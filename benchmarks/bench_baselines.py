@@ -1,0 +1,89 @@
+"""Experiment B1 — the baseline landscape ([8] BDD vs [9] SAT vs ours).
+
+Reproduces the paper's qualitative claims:
+
+* the symbolic method agrees on small circuits but its cost explodes with
+  size (it is skipped above a node budget),
+* the SAT-based method agrees everywhere but is slower than the
+  implication-based method, increasingly so on larger circuits,
+* restricting to reachable states ([8]'s capability) can only find *more*
+  multi-cycle pairs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bdd.traversal import BddLimitExceeded, BddMcDetector
+from repro.core.detector import detect_multi_cycle_pairs
+from repro.sat.mc_sat import sat_detect_multi_cycle_pairs
+from repro.reporting.tables import format_table
+
+from conftest import PROFILE, record_report
+from repro.bench_gen.suite import suite
+
+_CIRCUITS = suite(PROFILE)
+_IDS = [c.name for c in _CIRCUITS]
+#: keep the exploding baselines bounded
+_BDD_MAX_GATES = 200
+_SAT_MAX_GATES = 1500
+
+
+@pytest.mark.parametrize(
+    "circuit", [c for c in _CIRCUITS if c.num_gates <= _BDD_MAX_GATES],
+    ids=[c.name for c in _CIRCUITS if c.num_gates <= _BDD_MAX_GATES],
+)
+def test_bdd_baseline(benchmark, circuit):
+    detector = BddMcDetector(circuit, node_limit=5_000_000)
+    result = benchmark(detector.run)
+    reference = detect_multi_cycle_pairs(circuit)
+    assert result.multi_cycle_pair_names() == reference.multi_cycle_pair_names()
+
+
+@pytest.mark.parametrize(
+    "circuit", [c for c in _CIRCUITS if c.num_gates <= _SAT_MAX_GATES],
+    ids=[c.name for c in _CIRCUITS if c.num_gates <= _SAT_MAX_GATES],
+)
+def test_sat_incremental_baseline(benchmark, circuit):
+    result = benchmark(sat_detect_multi_cycle_pairs, circuit,
+                       mode="incremental")
+    reference = detect_multi_cycle_pairs(circuit)
+    assert result.multi_cycle_pair_names() == reference.multi_cycle_pair_names()
+
+
+def test_reachability_finds_superset(benchmark, bench_circuits):
+    """[8] with reachable states may only ADD multi-cycle pairs."""
+    eligible = [c for c in bench_circuits
+                if c.num_gates <= _BDD_MAX_GATES and len(c.dffs) <= 24]
+
+    def run_both():
+        outcomes = []
+        for circuit in eligible:
+            try:
+                outcomes.append((
+                    circuit,
+                    BddMcDetector(circuit).run(),
+                    BddMcDetector(circuit, use_reachability=True).run(),
+                ))
+            except BddLimitExceeded:
+                continue
+        return outcomes
+
+    rows = []
+    for circuit, assumed, reachable in benchmark.pedantic(
+        run_both, rounds=1, iterations=1
+    ):
+        assumed_set = set(assumed.multi_cycle_pair_names())
+        reachable_set = set(reachable.multi_cycle_pair_names())
+        assert assumed_set <= reachable_set
+        rows.append([
+            circuit.name, len(assumed_set), len(reachable_set),
+            reachable.reachable_states,
+        ])
+    if rows:
+        record_report(format_table(
+            "Baseline B1: assumed-reachable vs exact reachability ([8])",
+            ["circuit", "MC (all states)", "MC (reachable)", "|reachable|"],
+            rows,
+            ["Exact reachability can only add multi-cycle pairs."],
+        ))

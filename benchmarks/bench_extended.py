@@ -1,0 +1,53 @@
+"""Experiment X3 — the Condition-2 extension (paper §3.1, skipped there).
+
+Measures the one-step observability-based approximation of Condition 2:
+pairs the MC condition rejects but whose sink transition can never reach a
+primary output (SAT miter proof) while every successor pair is itself
+multi-cycle.  Reported per circuit: base MC pairs, upgraded pairs, total.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import detect_multi_cycle_pairs
+from repro.core.extended import condition2_extension
+from repro.reporting.tables import format_table
+
+from conftest import PROFILE, record_report
+from repro.bench_gen.suite import suite
+
+_CIRCUITS = suite(PROFILE)
+_IDS = [c.name for c in _CIRCUITS]
+
+
+@pytest.mark.parametrize("circuit", _CIRCUITS[:4], ids=_IDS[:4])
+def test_condition2_cost(benchmark, circuit):
+    detection = detect_multi_cycle_pairs(circuit)
+    extended = benchmark(condition2_extension, circuit, detection)
+    assert extended.total_multi_cycle >= len(detection.multi_cycle_pairs)
+
+
+def test_condition2_report(benchmark, bench_circuits):
+    def run_all():
+        rows = []
+        for circuit in bench_circuits:
+            detection = detect_multi_cycle_pairs(circuit)
+            extended = condition2_extension(circuit, detection)
+            rows.append([
+                circuit.name,
+                len(detection.multi_cycle_pairs),
+                len(extended.upgraded_pairs),
+                extended.total_multi_cycle,
+                extended.total_seconds,
+            ])
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    record_report(format_table(
+        "X3: Condition-2 extension (one-step observability approximation)",
+        ["circuit", "MC (cond. 1)", "upgraded", "total", "CPU(s)"],
+        rows,
+        ["Upgrades are pairs whose sink is PO-invisible with only "
+         "multi-cycle successors."],
+    ))

@@ -1,0 +1,62 @@
+"""Experiment X1 — the k-cycle extension (end of paper §4.1).
+
+Times k-cycle classification for growing k (each k adds a time frame) and
+regenerates the Fig. 1 cycle-budget story plus a budget histogram over the
+suite's smaller circuits.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.circuit.library import fig1_circuit
+from repro.circuit.topology import FFPair, connected_ff_pairs
+from repro.core.kcycle import KCycleAnalyzer, max_cycles
+from repro.reporting.tables import format_table
+
+from conftest import record_report
+from repro.bench_gen.suite import suite
+
+
+@pytest.mark.parametrize("k", [2, 3, 4, 5])
+def test_kcycle_analysis_cost(benchmark, k):
+    """Cost per k on Fig. 1 — each k adds one expanded time frame."""
+    circuit = fig1_circuit()
+    pairs = connected_ff_pairs(circuit)
+
+    def classify_all():
+        analyzer = KCycleAnalyzer(circuit, k)
+        return [analyzer.analyze(pair) for pair in pairs]
+
+    results = benchmark(classify_all)
+    assert len(results) == len(pairs)
+
+
+def test_fig1_budgets(benchmark):
+    circuit = fig1_circuit()
+    pair = FFPair(circuit.id_of("FF1"), circuit.id_of("FF2"))
+    budget = benchmark(max_cycles, circuit, pair)
+    assert budget == 3  # the paper's 3-cycle claim
+
+
+def test_kcycle_histogram_report(benchmark):
+    """Cycle-budget distribution over the smallest suite circuits."""
+    def build_histogram():
+        histogram: Counter[int] = Counter()
+        for circuit in suite("tiny")[:3]:
+            for pair in connected_ff_pairs(circuit):
+                histogram[max_cycles(circuit, pair, k_max=5)] += 1
+        return histogram
+
+    histogram = benchmark.pedantic(build_histogram, rounds=1, iterations=1)
+    rows = [[f"{k}-cycle", histogram[k]] for k in sorted(histogram)]
+    record_report(format_table(
+        "X1: cycle-budget histogram (tiny circuits, k_max=5)",
+        ["budget", "FF pairs"],
+        rows,
+        ["budget 1 = single-cycle; budget k = stable through t+k."],
+    ))
+    assert histogram[1] > 0  # single-cycle pairs exist
+    assert sum(count for k, count in histogram.items() if k >= 2) > 0

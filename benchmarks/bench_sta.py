@@ -1,0 +1,59 @@
+"""Experiment X2 — timing relaxation from multi-cycle constraints (§1).
+
+The motivation experiment: applying the detector's verdicts as multicycle
+timing constraints lowers the minimum feasible clock period.  Reported per
+circuit: baseline vs relaxed period and the unlocked speedup.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import detect_multi_cycle_pairs
+from repro.sta.constraints import relaxation_report
+from repro.sta.timing import ff_pair_delays
+from repro.reporting.tables import format_table
+
+from conftest import PROFILE, record_report
+from repro.bench_gen.suite import suite
+
+_CIRCUITS = suite(PROFILE)
+_IDS = [c.name for c in _CIRCUITS]
+
+
+@pytest.mark.parametrize("circuit", _CIRCUITS, ids=_IDS)
+def test_ff_pair_delay_cost(benchmark, circuit):
+    delays = benchmark(ff_pair_delays, circuit)
+    assert delays
+
+
+@pytest.mark.parametrize("circuit", _CIRCUITS, ids=_IDS)
+def test_relaxation_cost(benchmark, circuit):
+    detection = detect_multi_cycle_pairs(circuit)
+    report = benchmark(relaxation_report, circuit, detection)
+    assert report.min_period_relaxed <= report.min_period_baseline
+
+
+def test_sta_report(benchmark, bench_circuits):
+    detections = benchmark.pedantic(
+        lambda: [detect_multi_cycle_pairs(c) for c in bench_circuits],
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for circuit, detection in zip(bench_circuits, detections):
+        report = relaxation_report(circuit, detection)
+        rows.append([
+            circuit.name,
+            len(report.pair_timings),
+            len(detection.multi_cycle_pairs),
+            report.min_period_baseline,
+            report.min_period_relaxed,
+            f"{report.speedup:.2f}x",
+        ])
+        assert report.speedup >= 1.0
+    record_report(format_table(
+        "X2: clock-period relaxation from multi-cycle constraints",
+        ["circuit", "paths", "MC-pair", "T_baseline", "T_relaxed", "speedup"],
+        rows,
+        ["Unit gate delays; multi-cycle pairs receive 2 clock periods."],
+    ))

@@ -1,0 +1,55 @@
+"""Experiment X4 — delay-fault testing with multi-cycle budgets (§1, [10]).
+
+The introduction lists "ATPG for delay faults" among the users of
+multi-cycle information.  This experiment runs launch-on-capture
+transition-fault ATPG and counts how many detected faults sit entirely on
+multi-cycle register-to-register paths — those need at-speed testing only
+against the relaxed clock.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.detector import detect_multi_cycle_pairs
+from repro.atpg.transition import (
+    TransitionAtpg,
+    transition_relaxation_summary,
+)
+from repro.reporting.tables import format_table
+
+from conftest import PROFILE, record_report
+from repro.bench_gen.suite import suite
+
+_CIRCUITS = suite(PROFILE)[:4]
+_IDS = [c.name for c in _CIRCUITS]
+
+
+@pytest.mark.parametrize("circuit", _CIRCUITS, ids=_IDS)
+def test_transition_atpg_cost(benchmark, circuit):
+    atpg = TransitionAtpg(circuit)
+    report = benchmark(atpg.run)
+    assert report.results
+
+
+def test_transition_relaxation_report(benchmark, bench_circuits):
+    def run_all():
+        rows = []
+        for circuit in bench_circuits[:4]:
+            detection = detect_multi_cycle_pairs(circuit)
+            summary = transition_relaxation_summary(circuit, detection)
+            rows.append([
+                circuit.name, summary.total_faults, summary.detected,
+                summary.untestable, summary.relaxed,
+            ])
+            assert summary.relaxed <= summary.detected
+        return rows
+
+    rows = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    record_report(format_table(
+        "X4: transition faults vs multi-cycle budgets",
+        ["circuit", "faults", "detected", "untestable", "relaxed"],
+        rows,
+        ["relaxed = detected faults lying only on multi-cycle paths "
+         "(at-speed test may use the relaxed clock)."],
+    ))

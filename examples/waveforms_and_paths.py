@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Waveforms and per-path analysis of the Fig. 1 multi-cycle transport.
+
+Two complementary views of why (FF1, FF2) is a 3-cycle pair:
+
+1. **Waveforms** — simulate the launch/capture sequence and render the
+   signals as ASCII waves (and optionally a standard VCD file for
+   GTKWave): IN is loaded into FF1 at counter state (0,0) and appears in
+   FF2 exactly three edges later.
+2. **Paths** — enumerate the concrete combinational paths of several FF
+   pairs, classify each against the §2.3 sensitization conditions
+   (statically sensitizable / co-sensitizable only / false) and report
+   their topological delays.
+
+Usage::
+
+    python examples/waveforms_and_paths.py [--vcd OUT.vcd]
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.circuit.library import fig1_circuit
+from repro.circuit.paths import path_delay, paths_between
+from repro.circuit.topology import FFPair, connected_ff_pairs
+from repro.core.falsepath import classify_pair_paths
+from repro.logic.vcd import trace_circuit
+from repro.logic.values import X
+
+
+def ascii_wave(values: list[int]) -> str:
+    """Render a bit stream as a compact two-state ASCII wave."""
+    glyphs = {0: "_", 1: "#", X: "?"}
+    return "".join(glyphs[v] * 3 for v in values)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--vcd", help="also write a VCD file to this path")
+    args = parser.parse_args()
+
+    circuit = fig1_circuit()
+    signals = ["IN", "EN1", "EN2", "FF1", "FF2", "FF3", "FF4"]
+    tracer = trace_circuit(
+        circuit,
+        cycles=8,
+        initial_state=[0, 0, 0, 0],
+        inputs_per_cycle=[{"IN": 1}] + [{"IN": 0}] * 7,
+        signals=signals,
+    )
+    print("=== Fig. 1 launch/capture waveforms (IN pulsed at cycle 0) ===")
+    for index, name in enumerate(tracer.signals):
+        stream = [sample[index] for sample in tracer.samples]
+        print(f"{name:>4} {ascii_wave(stream)}")
+    print("      " + "".join(f"{c:<3d}" for c in range(len(tracer.samples))))
+    print("FF1 rises at edge 1 (EN1 active at counter (0,0)); FF2 rises at"
+          "\nedge 4 — three cycles later, when EN2 decodes (1,0).")
+    if args.vcd:
+        tracer.write(args.vcd)
+        print(f"wrote {args.vcd}")
+
+    print("\n=== Concrete paths of selected FF pairs ===")
+    for source, sink in (("FF1", "FF2"), ("FF3", "FF2"), ("FF4", "FF1")):
+        pair = FFPair(circuit.id_of(source), circuit.id_of(sink))
+        verdicts = classify_pair_paths(circuit, pair)
+        print(f"\n{source} -> {sink}: {len(verdicts)} path(s)")
+        for verdict in verdicts:
+            names = " -> ".join(circuit.names[n] for n in verdict.path.nodes)
+            delay = path_delay(circuit, verdict.path)
+            print(f"  [{verdict.classification.value:24s}] "
+                  f"delay={delay:.0f}  {names}")
+    print(
+        "\nEvery enumerated path above feeds the pair-level verdicts: the"
+        "\ndetector never enumerates them (that is the paper's point), but"
+        "\nthe per-path view explains what the relaxation buys."
+    )
+
+
+if __name__ == "__main__":
+    main()

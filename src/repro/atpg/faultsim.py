@@ -1,0 +1,203 @@
+"""Bit-parallel stuck-at fault simulation and fault-dropping ATPG.
+
+Test generation is only half of a test flow; the other half is *fault
+simulation* — given patterns, which faults do they catch?  This module
+simulates one fault against 64·`words` packed patterns at a time (the
+same uint64 machinery as the random filter) by re-evaluating only the
+fault site's fanout cone, and uses it two ways:
+
+* :func:`fault_simulate` — coverage of a pattern set over a fault list;
+* :class:`DroppingAtpg` — the classic accelerated flow: generate a test
+  for the first undetected fault, fault-simulate the pattern against all
+  remaining faults, drop everything it detects, repeat.  Produces far
+  fewer patterns than one-per-fault generation while detecting the same
+  faults (asserted against the plain generator in the tests).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.logic.bitsim import BitSimulator
+from repro.atpg.stuckat import (
+    AtpgReport,
+    Fault,
+    FaultResult,
+    FaultStatus,
+    StuckAtAtpg,
+    enumerate_faults,
+)
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+
+def _pack_patterns(comb: Circuit, patterns: list[dict[int, int]]) -> np.ndarray:
+    """Pack per-pattern input dicts into a (num_nodes, words) uint64 array."""
+    words = (len(patterns) + 63) // 64
+    packed = np.zeros((comb.num_nodes, words), dtype=np.uint64)
+    for index, pattern in enumerate(patterns):
+        word, bit = divmod(index, 64)
+        mask = np.uint64(1 << bit)
+        for node, value in pattern.items():
+            if value:
+                packed[node][word] |= mask
+    return packed
+
+
+class FaultSimulator:
+    """Simulates faults of a sequential circuit's 1-frame expansion."""
+
+    def __init__(self, atpg: StuckAtAtpg) -> None:
+        self.atpg = atpg
+        self.comb = atpg.expansion.comb
+        self._observe = atpg._observe
+        self._fanout_cache: dict[int, list[int]] = {}
+
+    def _cone_order(self, site: int) -> list[int]:
+        if site not in self._fanout_cache:
+            cone = self.comb.transitive_fanout([site])
+            self._fanout_cache[site] = [
+                n for n in self.comb.topo_order()
+                if n in cone and n != site
+                and self.comb.types[n] not in (GateType.INPUT,)
+            ]
+        return self._fanout_cache[site]
+
+    def detected_mask(
+        self, good: BitSimulator, fault: Fault
+    ) -> int:
+        """Bitmask (as python int over all words) of patterns detecting
+        ``fault``, given a good-circuit simulation ``good``."""
+        comb = self.comb
+        site = self.atpg.expansion.node_at[0][fault.node]
+        words = good.words
+        faulty = good.values.copy()
+        faulty[site] = np.zeros(words, dtype=np.uint64) if not fault.stuck_value \
+            else np.full(words, _ALL_ONES, dtype=np.uint64)
+
+        types = comb.types
+        fanins = comb.fanins
+        for node in self._cone_order(site):
+            gate_type = types[node]
+            fins = fanins[node]
+            if gate_type in (GateType.BUF, GateType.OUTPUT):
+                faulty[node] = faulty[fins[0]]
+            elif gate_type == GateType.NOT:
+                faulty[node] = ~faulty[fins[0]]
+            elif gate_type in (GateType.AND, GateType.NAND):
+                acc = faulty[fins[0]].copy()
+                for fanin in fins[1:]:
+                    acc &= faulty[fanin]
+                faulty[node] = ~acc if gate_type == GateType.NAND else acc
+            elif gate_type in (GateType.OR, GateType.NOR):
+                acc = faulty[fins[0]].copy()
+                for fanin in fins[1:]:
+                    acc |= faulty[fanin]
+                faulty[node] = ~acc if gate_type == GateType.NOR else acc
+            elif gate_type in (GateType.XOR, GateType.XNOR):
+                acc = faulty[fins[0]].copy()
+                for fanin in fins[1:]:
+                    acc ^= faulty[fanin]
+                faulty[node] = ~acc if gate_type == GateType.XNOR else acc
+            elif gate_type == GateType.MUX:
+                select = faulty[fins[0]]
+                faulty[node] = (~select & faulty[fins[1]]) | (select & faulty[fins[2]])
+
+        mask = 0
+        for observe in self._observe:
+            diff = good.values[observe] ^ faulty[observe]
+            for word_index in range(words):
+                mask |= int(diff[word_index]) << (64 * word_index)
+        return mask
+
+
+def fault_simulate(
+    circuit: Circuit,
+    patterns: list[dict[int, int]],
+    faults: list[Fault] | None = None,
+) -> dict[Fault, bool]:
+    """Which of ``faults`` does the pattern set detect?
+
+    Patterns are dicts over the 1-frame expansion's free-input node ids
+    (the format the generators emit).
+    """
+    atpg = StuckAtAtpg(circuit)
+    simulator = FaultSimulator(atpg)
+    comb = atpg.expansion.comb
+    if faults is None:
+        faults = enumerate_faults(circuit)
+    if not patterns:
+        return {fault: False for fault in faults}
+
+    words = (len(patterns) + 63) // 64
+    good = BitSimulator(comb, words=words)
+    good.values = _pack_patterns(comb, patterns)
+    for node in comb.ids_of_type(GateType.CONST1):
+        good.values[node] = _ALL_ONES
+    good.comb_eval()
+
+    valid_mask = (1 << len(patterns)) - 1
+    return {
+        fault: bool(simulator.detected_mask(good, fault) & valid_mask)
+        for fault in faults
+    }
+
+
+@dataclass
+class DroppingAtpgResult:
+    report: AtpgReport
+    #: the compacted test set (one dict per generated pattern)
+    patterns: list[dict[int, int]]
+
+
+class DroppingAtpg:
+    """Generate-then-drop ATPG: each new pattern is fault-simulated
+    against every remaining fault, so most faults never reach the
+    generator."""
+
+    def __init__(self, circuit: Circuit, backtrack_limit: int = 200) -> None:
+        self.circuit = circuit
+        self.atpg = StuckAtAtpg(circuit, backtrack_limit)
+
+    def run(self, faults: list[Fault] | None = None) -> DroppingAtpgResult:
+        started = time.perf_counter()
+        if faults is None:
+            faults = enumerate_faults(self.circuit)
+        simulator = FaultSimulator(self.atpg)
+        comb = self.atpg.expansion.comb
+
+        results: dict[Fault, FaultResult] = {}
+        patterns: list[dict[int, int]] = []
+        remaining = list(faults)
+        while remaining:
+            fault = remaining.pop(0)
+            result = self.atpg.generate_test(fault)
+            results[fault] = result
+            if result.status is not FaultStatus.DETECTED:
+                continue
+            patterns.append(result.pattern)
+            # Drop every remaining fault this single pattern also detects.
+            good = BitSimulator(comb, words=1)
+            good.values = _pack_patterns(comb, [result.pattern])
+            for node in comb.ids_of_type(GateType.CONST1):
+                good.values[node] = _ALL_ONES
+            good.comb_eval()
+            still_remaining = []
+            for other in remaining:
+                if simulator.detected_mask(good, other) & 1:
+                    results[other] = FaultResult(
+                        other, FaultStatus.DETECTED, result.pattern
+                    )
+                else:
+                    still_remaining.append(other)
+            remaining = still_remaining
+
+        ordered = [results[fault] for fault in faults]
+        report = AtpgReport(self.circuit, ordered,
+                            time.perf_counter() - started)
+        return DroppingAtpgResult(report, patterns)

@@ -1,0 +1,149 @@
+"""Backtrack search proving assumptions justifiable or impossible.
+
+Step 4.1.4 of the paper: after the implication procedure has derived every
+mandatory value, a D-algorithm-flavoured search either finds an input/state
+pattern consistent with the assumed values (the MC condition is violated —
+the FF pair is single-cycle) or proves that none exists (the pair is
+multi-cycle for this case).  The paper chose a D-algorithm-based engine
+over PODEM because values are assigned to internal nodes directly and the
+"fault" is likely redundant; our search shares that shape — it branches on
+the *justification frontier* (assigned gates whose output is not implied by
+their inputs) and relies on the implication engine to prune.
+
+The number of backtracks is bounded (the paper used 50 by default); hitting
+the bound yields :attr:`SearchStatus.ABORTED` and the pair is reported
+*undecided* (conservatively treated as single-cycle downstream).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.circuit.gates import CONTROLLING, GateType
+from repro.logic.values import ONE, X, ZERO
+from repro.atpg.implication import ImplicationEngine
+
+
+class SearchStatus(Enum):
+    """Outcome of a justification search."""
+
+    SAT = "sat"
+    UNSAT = "unsat"
+    ABORTED = "aborted"
+
+
+@dataclass
+class SearchResult:
+    status: SearchStatus
+    #: values of the free INPUT nodes when SAT (X entries are don't-cares)
+    witness: dict[int, int] | None = None
+    decisions: int = 0
+    backtracks: int = 0
+
+
+@dataclass
+class _Frame:
+    choices: list[tuple[int, int]]
+    index: int = 0
+    mark: tuple[int, tuple[int, ...]] | None = None
+
+
+def _choices_for(engine: ImplicationEngine, gate: int) -> list[tuple[int, int]]:
+    """Single assignments that could justify ``gate``'s assigned output."""
+    gate_type = engine.types[gate]
+    values = engine.assignment.values
+    fanins = engine.fanins[gate]
+
+    if gate_type in CONTROLLING:
+        controlling, _ = CONTROLLING[gate_type]
+        return [(f, controlling) for f in fanins if values[f] == X]
+    if gate_type in (GateType.XOR, GateType.XNOR):
+        for fanin in fanins:
+            if values[fanin] == X:
+                return [(fanin, ZERO), (fanin, ONE)]
+        return []
+    if gate_type == GateType.MUX:
+        select = fanins[0]
+        return [(select, ZERO), (select, ONE)]
+    # BUF/NOT/OUTPUT gates are always settled by implication.
+    return []  # pragma: no cover - defensive
+
+
+def _pick(engine: ImplicationEngine) -> int:
+    """Choose the unjustified gate closest to the inputs (lowest level)."""
+    levels = engine.levels
+    return min(engine.unjustified, key=lambda g: (levels[g], g))
+
+
+def extract_witness(engine: ImplicationEngine) -> dict[int, int]:
+    """Free-input values of the current (satisfying) assignment."""
+    return {
+        node: engine.value(node)
+        for node in range(engine.circuit.num_nodes)
+        if engine.types[node] == GateType.INPUT
+    }
+
+
+def justify(
+    engine: ImplicationEngine,
+    backtrack_limit: int = 50,
+    choice_sorter=None,
+) -> SearchResult:
+    """Search for an input pattern consistent with the current assignment.
+
+    The engine must already be at an implication fixpoint (i.e. the last
+    ``assume`` returned ``True``).  On every outcome — including SAT — the
+    engine is restored to the state it was called in; a SAT witness is
+    returned explicitly instead of being left in the engine.
+
+    ``choice_sorter`` optionally reorders each frontier gate's candidate
+    decisions (e.g. SCOAP-guided, :func:`repro.atpg.scoap.make_choice_sorter`);
+    ordering affects cost only, never verdicts.
+    """
+    if not engine.unjustified:
+        return SearchResult(SearchStatus.SAT, extract_witness(engine))
+
+    def choices_of(gate: int) -> list[tuple[int, int]]:
+        options = _choices_for(engine, gate)
+        return choice_sorter(options) if choice_sorter else options
+
+    outer_mark = engine.checkpoint()
+    decisions = 0
+    backtracks = 0
+    stack = [_Frame(choices_of(_pick(engine)))]
+
+    while stack:
+        frame = stack[-1]
+        if frame.mark is not None:
+            engine.backtrack(frame.mark)
+            frame.mark = None
+            backtracks += 1
+            if backtracks > backtrack_limit:
+                engine.backtrack(outer_mark)
+                return SearchResult(
+                    SearchStatus.ABORTED, decisions=decisions, backtracks=backtracks
+                )
+        if frame.index >= len(frame.choices):
+            stack.pop()
+            continue
+        node, value = frame.choices[frame.index]
+        frame.index += 1
+        frame.mark = engine.checkpoint()
+        decisions += 1
+        if engine.assume(node, value):
+            if not engine.unjustified:
+                witness = extract_witness(engine)
+                engine.backtrack(frame.mark)
+                engine.backtrack(outer_mark)
+                return SearchResult(
+                    SearchStatus.SAT, witness, decisions=decisions, backtracks=backtracks
+                )
+            stack.append(_Frame(choices_of(_pick(engine))))
+        # On a conflict the frame's mark is undone at the top of the loop
+        # and the next choice is tried.
+
+    engine.backtrack(outer_mark)
+    return SearchResult(
+        SearchStatus.UNSAT, decisions=decisions, backtracks=backtracks
+    )

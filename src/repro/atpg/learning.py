@@ -1,0 +1,84 @@
+"""Static learning of global implications (SOCRATES [11] style).
+
+Local implications only see one gate at a time; *static learning*
+pre-computes global relations of the form ``m = w  ⇒  n = v`` that local
+rules cannot derive.  The classic recipe: for every node ``n`` and value
+``v``, assume ``n = v``, run the implication procedure and record each
+derived assignment ``m = w``; by contraposition ``m = ¬w ⇒ n = ¬v`` holds
+and is worth remembering exactly when the implication engine cannot derive
+it on its own.
+
+The paper enables static learning for the handful of circuits that need
+large backtrack limits (s9234, s13207, prolog, ...); it is likewise
+optional here (``DetectorOptions.static_learning``) because the quadratic
+pre-pass only pays off when ATPG would otherwise thrash.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.logic.values import BINARY, X
+from repro.atpg.implication import ImplicationEngine
+
+
+def learn_static_implications(
+    circuit: Circuit,
+    max_consequents_per_key: int = 16,
+    check_redundant: bool = True,
+) -> dict[tuple[int, int], list[tuple[int, int]]]:
+    """Pre-compute a learned-implication table for ``circuit``.
+
+    Returns a mapping ``(node, value) -> [(node, value), ...]`` suitable for
+    :class:`~repro.atpg.implication.ImplicationEngine`'s ``learned``
+    argument.  With ``check_redundant`` (the SOCRATES learning criterion in
+    its practical form) a contrapositive is kept only when a fresh
+    implication run from its antecedent fails to reproduce it, so the table
+    holds genuinely *global* knowledge.
+    """
+    engine = ImplicationEngine(circuit)
+    learned: dict[tuple[int, int], list[tuple[int, int]]] = {}
+    candidates: list[tuple[int, int, int, int]] = []
+
+    skip_types = (GateType.CONST0, GateType.CONST1)
+    for node in range(circuit.num_nodes):
+        if circuit.types[node] in skip_types:
+            continue
+        for value in BINARY:
+            mark = engine.checkpoint()
+            before = engine.assignment.num_assigned()
+            ok = engine.assume(node, value)
+            if ok:
+                for derived, derived_value in engine.assignment.assigned_since(before):
+                    if derived == node:
+                        continue
+                    # Contrapositive: derived = !derived_value  =>  node = !value.
+                    candidates.append((derived, 1 - derived_value, node, 1 - value))
+            engine.backtrack(mark)
+            # A failed assumption means node is constant; local implication
+            # rediscovers that instantly, so nothing needs to be learned.
+
+    for antecedent, antecedent_value, consequent, consequent_value in candidates:
+        key = (antecedent, antecedent_value)
+        bucket = learned.get(key)
+        if bucket is not None and len(bucket) >= max_consequents_per_key:
+            continue
+        if check_redundant:
+            mark = engine.checkpoint()
+            ok = engine.assume(antecedent, antecedent_value)
+            already = ok and engine.value(consequent) == consequent_value
+            engine.backtrack(mark)
+            if already or not ok:
+                continue
+        entry = (consequent, consequent_value)
+        if bucket is None:
+            learned[key] = [entry]
+        elif entry not in bucket:
+            bucket.append(entry)
+
+    return learned
+
+
+def count_learned(learned: dict[tuple[int, int], list[tuple[int, int]]]) -> int:
+    """Total number of learned implication entries (for reports/tests)."""
+    return sum(len(v) for v in learned.values())

@@ -1,0 +1,201 @@
+"""PODEM-style justification search (the paper's rejected alternative).
+
+Section 4.5 of the paper: "we adopted [a] D-algorithm based method because
+it assigns values to internal nodes directly and tries to detect
+contradictions faster than [a] PODEM based method" — the target "fault" of
+the MC check is likely redundant, so conflicts should surface early.
+
+To make that design decision measurable, this module implements the PODEM
+counterpart: decisions are made **only on primary inputs**.  Each round
+picks an unjustified gate, *backtraces* its objective through X-valued
+lines to an unassigned input, assigns it, and lets the implication engine
+propagate; a conflict flips the input, two conflicts backtrack.  The
+result interface matches :func:`repro.atpg.justify.justify`, and the
+ablation benchmark (`benchmarks/bench_search_engines.py`) compares the two
+on the same pair workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.gates import CONTROLLING, GateType
+from repro.logic.values import ONE, X, ZERO
+from repro.atpg.implication import ImplicationEngine
+from repro.atpg.justify import SearchResult, SearchStatus, extract_witness
+
+
+def _objective_for(engine: ImplicationEngine, gate: int) -> tuple[int, int]:
+    """An (node, value) objective whose achievement helps justify ``gate``."""
+    gate_type = engine.types[gate]
+    values = engine.assignment.values
+    fanins = engine.fanins[gate]
+    if gate_type in CONTROLLING:
+        controlling, _ = CONTROLLING[gate_type]
+        for fanin in fanins:
+            if values[fanin] == X:
+                return fanin, controlling
+    elif gate_type == GateType.MUX:
+        select = fanins[0]
+        if values[select] == X:
+            return select, ZERO
+        data = fanins[2] if values[select] == ONE else fanins[1]
+        if values[data] == X:
+            return data, values[gate]
+    elif gate_type in (GateType.XOR, GateType.XNOR):
+        parity = ONE if gate_type == GateType.XNOR else ZERO
+        unknown = -1
+        for fanin in fanins:
+            value = values[fanin]
+            if value == X:
+                unknown = fanin
+            else:
+                parity ^= value
+        if unknown != -1:
+            target = values[gate]
+            return unknown, (parity ^ target) if target != X else ZERO
+    raise AssertionError("unjustified gate without an objective")  # pragma: no cover
+
+
+def _backtrace(engine: ImplicationEngine, node: int, value: int) -> tuple[int, int]:
+    """Walk an objective backwards through X lines to an unassigned input."""
+    types = engine.types
+    values = engine.assignment.values
+    while types[node] not in (GateType.INPUT,):
+        gate_type = types[node]
+        fanins = engine.fanins[node]
+        if gate_type in CONTROLLING:
+            controlling, inverted = CONTROLLING[gate_type]
+            needed = value ^ inverted
+            # needed == controlling: one controlling input suffices;
+            # otherwise every input must be non-controlling — either way
+            # we walk into some X fanin asking for ``needed``.
+            nxt = next((f for f in fanins if values[f] == X), None)
+            if nxt is None:  # pragma: no cover - defensive
+                break
+            node, value = nxt, needed
+        elif gate_type in (GateType.NOT,):
+            node, value = fanins[0], value ^ 1
+        elif gate_type in (GateType.BUF, GateType.OUTPUT):
+            node = fanins[0]
+        elif gate_type in (GateType.XOR, GateType.XNOR):
+            parity = ONE if gate_type == GateType.XNOR else ZERO
+            unknown = None
+            for fanin in fanins:
+                fanin_value = values[fanin]
+                if fanin_value == X and unknown is None:
+                    unknown = fanin
+                elif fanin_value != X:
+                    parity ^= fanin_value
+            if unknown is None:  # pragma: no cover - defensive
+                break
+            node, value = unknown, value ^ parity
+        elif gate_type == GateType.MUX:
+            select, d0, d1 = fanins
+            if values[select] == X:
+                node, value = select, ZERO
+            else:
+                node = d1 if values[select] == ONE else d0
+        else:  # pragma: no cover - constants cannot be X
+            break
+    return node, value
+
+
+@dataclass
+class _Decision:
+    node: int
+    value: int
+    mark: tuple[int, tuple[int, ...]]
+    flipped: bool = False
+
+
+def podem_justify(
+    engine: ImplicationEngine, backtrack_limit: int = 50
+) -> SearchResult:
+    """PODEM counterpart of :func:`repro.atpg.justify.justify`.
+
+    Complete over primary-input assignments: when every input is assigned,
+    implication either conflicts or justifies every gate, so the verdict
+    matches the D-algorithm-style search — only the exploration order (and
+    hence the cost profile) differs.
+    """
+    if not engine.unjustified:
+        return SearchResult(SearchStatus.SAT, extract_witness(engine))
+
+    outer_mark = engine.checkpoint()
+    decisions = 0
+    backtracks = 0
+    stack: list[_Decision] = []
+
+    def undo_to_flippable() -> bool:
+        """Pop flipped decisions; flip the newest unflipped one."""
+        nonlocal backtracks
+        while stack:
+            decision = stack[-1]
+            engine.backtrack(decision.mark)
+            backtracks += 1
+            if backtracks > backtrack_limit:
+                return False
+            if decision.flipped:
+                stack.pop()
+                continue
+            decision.flipped = True
+            decision.value ^= 1
+            decision.mark = engine.checkpoint()
+            if engine.assume(decision.node, decision.value):
+                return True
+            # Flipping also conflicts: keep unwinding.
+            engine.backtrack(decision.mark)
+            backtracks += 1
+            if backtracks > backtrack_limit:
+                return False
+            stack.pop()
+        return False
+
+    while True:
+        if not engine.unjustified:
+            witness = extract_witness(engine)
+            engine.backtrack(outer_mark)
+            return SearchResult(
+                SearchStatus.SAT, witness, decisions=decisions,
+                backtracks=backtracks,
+            )
+        gate = min(engine.unjustified, key=lambda g: (engine.levels[g], g))
+        objective = _objective_for(engine, gate)
+        node, value = _backtrace(engine, *objective)
+        if engine.types[node] != GateType.INPUT or engine.value(node) != X:
+            # Backtrace dead-ends (can only happen on defensive breaks):
+            # treat like a conflict.
+            ok = False
+        else:
+            decision = _Decision(node, value, engine.checkpoint())
+            decisions += 1
+            ok = engine.assume(node, value)
+            if ok:
+                stack.append(decision)
+            else:
+                engine.backtrack(decision.mark)
+                backtracks += 1
+                if backtracks > backtrack_limit:
+                    engine.backtrack(outer_mark)
+                    return SearchResult(
+                        SearchStatus.ABORTED, decisions=decisions,
+                        backtracks=backtracks,
+                    )
+                decision.flipped = True
+                decision.value ^= 1
+                decision.mark = engine.checkpoint()
+                if engine.assume(decision.node, decision.value):
+                    stack.append(decision)
+                    ok = True
+        if not ok:
+            if not undo_to_flippable():
+                engine.backtrack(outer_mark)
+                status = (
+                    SearchStatus.ABORTED
+                    if backtracks > backtrack_limit
+                    else SearchStatus.UNSAT
+                )
+                return SearchResult(
+                    status, decisions=decisions, backtracks=backtracks
+                )

@@ -1,0 +1,225 @@
+"""Textbook PODEM stuck-at test generation over the D-calculus.
+
+The second classic ATPG formulation (next to the miter-based one in
+:mod:`repro.atpg.stuckat`): decisions are made on primary inputs only,
+the circuit is 5-valued-simulated forward after each decision, and the
+objective alternates between *activating* the fault (drive the site to
+the complement of the stuck value) and *propagating* the D through a
+D-frontier gate by setting its X side inputs non-controlling.  Objectives
+are backtraced through X lines to an unassigned input; conflicts flip the
+last decision, two conflicts backtrack.
+
+Both generators must agree fault-for-fault (DETECTED/REDUNDANT); the test
+suite enforces that, making each a differential check of the other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.gates import CONTROLLING, GateType
+from repro.circuit.netlist import Circuit
+from repro.circuit.timeframe import TimeFrameExpansion, expand
+from repro.logic.dvalues import (
+    D,
+    DBAR,
+    DValue,
+    V0,
+    V1,
+    VX,
+    eval_gate5,
+    is_error,
+)
+from repro.logic.values import ONE, X, ZERO
+from repro.atpg.stuckat import Fault, FaultResult, FaultStatus
+
+
+@dataclass
+class _Decision:
+    node: int
+    value: int
+    flipped: bool = False
+
+
+class PodemStuckAtAtpg:
+    """PODEM over the 1-frame expansion (full-scan, like the miter ATPG)."""
+
+    def __init__(self, circuit: Circuit, backtrack_limit: int = 500) -> None:
+        self.circuit = circuit
+        self.backtrack_limit = backtrack_limit
+        self.expansion: TimeFrameExpansion = expand(circuit, frames=1)
+        comb = self.expansion.comb
+        self._order = [
+            n for n in comb.topo_order()
+            if comb.types[n] not in (GateType.INPUT,)
+        ]
+        observe = [comb.fanins[po][0] for po in comb.outputs]
+        observe.extend(self.expansion.ff_at[1])
+        self._observe = list(dict.fromkeys(observe))
+
+    # ------------------------------------------------------------------
+    def _simulate(self, assignment: dict[int, int], site: int, stuck: int
+                  ) -> list[DValue]:
+        comb = self.expansion.comb
+        values: list[DValue] = [VX] * comb.num_nodes
+        for node in comb.inputs:
+            bit = assignment.get(node, X)
+            values[node] = (bit, bit)
+        if site in comb.inputs:
+            good = assignment.get(site, X)
+            values[site] = (good, stuck)
+        for node in self._order:
+            gate_type = comb.types[node]
+            if gate_type == GateType.CONST0:
+                value: DValue = V0
+            elif gate_type == GateType.CONST1:
+                value = V1
+            else:
+                value = eval_gate5(
+                    gate_type, [values[f] for f in comb.fanins[node]]
+                )
+            if node == site:
+                value = (value[0], stuck)
+            values[node] = value
+        return values
+
+    def _d_frontier(self, values: list[DValue]) -> list[int]:
+        comb = self.expansion.comb
+        frontier = []
+        for node in self._order:
+            if values[node][0] != X and values[node][1] != X:
+                continue
+            if any(is_error(values[f]) for f in comb.fanins[node]):
+                frontier.append(node)
+        return frontier
+
+    def _objective(self, values: list[DValue], site: int, stuck: int
+                   ) -> tuple[int, int] | None:
+        """Next (node, good-value) objective, or None when stuck."""
+        comb = self.expansion.comb
+        site_value = values[site]
+        if site_value[0] == X:
+            return site, 1 - stuck  # activate the fault
+        if site_value[0] == stuck:
+            return None  # activation contradicted: hopeless under this cube
+        if not is_error(site_value):
+            return None
+        for gate in self._d_frontier(values):
+            gate_type = comb.types[gate]
+            entry = CONTROLLING.get(gate_type)
+            if entry is not None:
+                controlling, _ = entry
+                for fanin in comb.fanins[gate]:
+                    if values[fanin] == VX:
+                        return fanin, 1 - controlling
+                continue
+            if gate_type == GateType.MUX:
+                select, d0, d1 = comb.fanins[gate]
+                if values[select] == VX:
+                    error_on = d1 if is_error(values[d1]) else d0
+                    return select, (ONE if error_on == d1 else ZERO)
+                for fanin in (d0, d1):
+                    if values[fanin] == VX:
+                        return fanin, ZERO
+                continue
+            # XOR/XNOR/NOT/BUF propagate unconditionally once inputs known.
+            for fanin in comb.fanins[gate]:
+                if values[fanin] == VX:
+                    return fanin, ZERO
+        return None
+
+    def _backtrace(self, values: list[DValue], node: int, value: int
+                   ) -> tuple[int, int] | None:
+        comb = self.expansion.comb
+        while comb.types[node] != GateType.INPUT:
+            gate_type = comb.types[node]
+            fanins = comb.fanins[node]
+            entry = CONTROLLING.get(gate_type)
+            if entry is not None:
+                controlling, inverted = entry
+                needed = value ^ inverted
+                nxt = next(
+                    (f for f in fanins if values[f][0] == X), None
+                )
+                if nxt is None:
+                    return None
+                node, value = nxt, needed
+            elif gate_type == GateType.NOT:
+                node, value = fanins[0], value ^ 1
+            elif gate_type in (GateType.BUF, GateType.OUTPUT):
+                node = fanins[0]
+            elif gate_type in (GateType.XOR, GateType.XNOR):
+                parity = 1 if gate_type == GateType.XNOR else 0
+                unknown = None
+                for fanin in fanins:
+                    component = values[fanin][0]
+                    if component == X and unknown is None:
+                        unknown = fanin
+                    elif component != X:
+                        parity ^= component
+                if unknown is None:
+                    return None
+                node, value = unknown, value ^ parity
+            elif gate_type == GateType.MUX:
+                select, d0, d1 = fanins
+                if values[select][0] == X:
+                    node, value = select, ZERO
+                else:
+                    node = d1 if values[select][0] == ONE else d0
+            else:  # constants
+                return None
+        if values[node][0] != X:
+            return None
+        return node, value
+
+    # ------------------------------------------------------------------
+    def generate_test(self, fault: Fault) -> FaultResult:
+        comb = self.expansion.comb
+        site = self.expansion.node_at[0][fault.node]
+        stuck = fault.stuck_value
+        assignment: dict[int, int] = {}
+        stack: list[_Decision] = []
+        backtracks = 0
+
+        while True:
+            values = self._simulate(assignment, site, stuck)
+            if any(is_error(values[o]) for o in self._observe):
+                pattern = {
+                    node: assignment.get(node, ZERO) for node in comb.inputs
+                }
+                return FaultResult(fault, FaultStatus.DETECTED, pattern)
+            objective = self._objective(values, site, stuck)
+            decision = None
+            if objective is not None:
+                decision = self._backtrace(values, *objective)
+            if decision is None:
+                # Dead end: flip the most recent unflipped decision.
+                while stack:
+                    last = stack[-1]
+                    backtracks += 1
+                    if backtracks > self.backtrack_limit:
+                        return FaultResult(fault, FaultStatus.ABORTED)
+                    if last.flipped:
+                        del assignment[last.node]
+                        stack.pop()
+                        continue
+                    last.flipped = True
+                    last.value ^= 1
+                    assignment[last.node] = last.value
+                    break
+                else:
+                    return FaultResult(fault, FaultStatus.REDUNDANT)
+                continue
+            node, value = decision
+            assignment[node] = value
+            stack.append(_Decision(node, value))
+
+    def run(self, faults: list[Fault] | None = None):
+        from repro.atpg.stuckat import AtpgReport, enumerate_faults
+        import time
+
+        started = time.perf_counter()
+        if faults is None:
+            faults = enumerate_faults(self.circuit)
+        results = [self.generate_test(fault) for fault in faults]
+        return AtpgReport(self.circuit, results, time.perf_counter() - started)

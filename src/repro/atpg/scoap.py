@@ -1,0 +1,179 @@
+"""SCOAP testability measures and search guidance.
+
+Goldstein's SCOAP metrics estimate how hard it is to *control* a node to
+0/1 (``CC0``/``CC1``) and to *observe* it at an output (``CO``); classic
+ATPG uses them to order backtrace decisions toward the cheapest
+justification.  Here they serve two purposes:
+
+* a testability report (`scoap_report`) over any circuit, and
+* an optional decision-ordering heuristic for the justification search —
+  when branching on an AND-family frontier gate, try the input that is
+  *easiest to set to the controlling value* first
+  (:func:`make_choice_sorter`), an ablation the benchmarks quantify.
+
+DFF outputs and primary inputs both count as directly controllable
+(cost 1), matching the full-scan view the expansions already take.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.gates import CONTROLLING, GateType
+from repro.circuit.netlist import Circuit
+
+_INF = 10 ** 9
+
+
+@dataclass
+class Scoap:
+    """Controllability/observability numbers per node."""
+
+    circuit: Circuit
+    cc0: list[int]
+    cc1: list[int]
+    co: list[int]
+
+    def controllability(self, node: int, value: int) -> int:
+        return self.cc1[node] if value else self.cc0[node]
+
+
+def compute_scoap(circuit: Circuit) -> Scoap:
+    """Compute combinational SCOAP measures for ``circuit``.
+
+    Sequential nodes (DFF outputs) are treated as scan-controllable /
+    scan-observable with unit cost, so the numbers describe one frame.
+    """
+    n = circuit.num_nodes
+    cc0 = [_INF] * n
+    cc1 = [_INF] * n
+
+    for node in circuit.topo_order():
+        gate_type = circuit.types[node]
+        fanins = circuit.fanins[node]
+        if gate_type in (GateType.INPUT, GateType.DFF):
+            cc0[node] = cc1[node] = 1
+        elif gate_type == GateType.CONST0:
+            cc0[node], cc1[node] = 0, _INF
+        elif gate_type == GateType.CONST1:
+            cc0[node], cc1[node] = _INF, 0
+        elif gate_type in (GateType.BUF, GateType.OUTPUT):
+            cc0[node] = cc0[fanins[0]] + 1
+            cc1[node] = cc1[fanins[0]] + 1
+        elif gate_type == GateType.NOT:
+            cc0[node] = cc1[fanins[0]] + 1
+            cc1[node] = cc0[fanins[0]] + 1
+        elif gate_type in (GateType.AND, GateType.NAND):
+            all_ones = min(sum(cc1[f] for f in fanins) + 1, _INF)
+            some_zero = min(cc0[f] for f in fanins) + 1
+            if gate_type == GateType.AND:
+                cc1[node], cc0[node] = all_ones, some_zero
+            else:
+                cc0[node], cc1[node] = all_ones, some_zero
+        elif gate_type in (GateType.OR, GateType.NOR):
+            all_zeros = min(sum(cc0[f] for f in fanins) + 1, _INF)
+            some_one = min(cc1[f] for f in fanins) + 1
+            if gate_type == GateType.OR:
+                cc0[node], cc1[node] = all_zeros, some_one
+            else:
+                cc1[node], cc0[node] = all_zeros, some_one
+        elif gate_type in (GateType.XOR, GateType.XNOR):
+            # Fold pairwise: cost of parity-0 / parity-1 over the inputs.
+            even, odd = cc0[fanins[0]], cc1[fanins[0]]
+            for fanin in fanins[1:]:
+                even, odd = (
+                    min(even + cc0[fanin], odd + cc1[fanin]),
+                    min(even + cc1[fanin], odd + cc0[fanin]),
+                )
+            if gate_type == GateType.XOR:
+                cc0[node], cc1[node] = even + 1, odd + 1
+            else:
+                cc0[node], cc1[node] = odd + 1, even + 1
+        elif gate_type == GateType.MUX:
+            select, d0, d1 = fanins
+            cc0[node] = min(cc0[select] + cc0[d0], cc1[select] + cc0[d1]) + 1
+            cc1[node] = min(cc0[select] + cc1[d0], cc1[select] + cc1[d1]) + 1
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unhandled gate type {gate_type}")
+
+    # Observability: reverse topological sweep from POs and D inputs.
+    co = [_INF] * n
+    for po in circuit.outputs:
+        co[po] = 0
+    for dff in circuit.dffs:
+        co[circuit.next_state_node(dff)] = min(
+            co[circuit.next_state_node(dff)], 1
+        )
+    for node in reversed(circuit.topo_order()):
+        gate_type = circuit.types[node]
+        if co[node] == _INF and gate_type != GateType.OUTPUT:
+            pass  # may still be set through a fanout below
+        for fanin_pos, fanin in enumerate(circuit.fanins[node]):
+            cost = co[node]
+            if cost == _INF:
+                continue
+            others = [
+                f for k, f in enumerate(circuit.fanins[node]) if k != fanin_pos
+            ]
+            if gate_type in (GateType.BUF, GateType.OUTPUT, GateType.NOT):
+                extra = 0
+            elif gate_type in (GateType.AND, GateType.NAND):
+                extra = sum(cc1[f] for f in others)
+            elif gate_type in (GateType.OR, GateType.NOR):
+                extra = sum(cc0[f] for f in others)
+            elif gate_type in (GateType.XOR, GateType.XNOR):
+                extra = sum(min(cc0[f], cc1[f]) for f in others)
+            elif gate_type == GateType.MUX:
+                select, d0, d1 = circuit.fanins[node]
+                if fanin == select:
+                    extra = min(cc0[d0] + cc1[d1], cc1[d0] + cc0[d1])
+                elif fanin == d0:
+                    extra = cc0[select]
+                else:
+                    extra = cc1[select]
+            elif gate_type == GateType.DFF:
+                extra = 0
+            else:
+                continue
+            candidate = min(cost + extra + 1, _INF)
+            if candidate < co[fanin]:
+                co[fanin] = candidate
+    return Scoap(circuit, cc0, cc1, co)
+
+
+def make_choice_sorter(scoap: Scoap):
+    """Choice-ordering callable for the justification search.
+
+    Sorts candidate ``(node, value)`` decisions by the SCOAP cost of
+    achieving them, cheapest first — the classic "easiest controlling
+    input" heuristic.
+    """
+
+    def sorter(choices: list[tuple[int, int]]) -> list[tuple[int, int]]:
+        return sorted(
+            choices, key=lambda nv: scoap.controllability(nv[0], nv[1])
+        )
+
+    return sorter
+
+
+def scoap_report(circuit: Circuit, worst: int = 10) -> str:
+    """Text report: the hardest-to-control and hardest-to-observe nodes."""
+    scoap = compute_scoap(circuit)
+    rows = []
+    for node in range(circuit.num_nodes):
+        if circuit.types[node] == GateType.OUTPUT:
+            continue
+        rows.append((
+            max(scoap.cc0[node], scoap.cc1[node]),
+            scoap.co[node],
+            circuit.names[node],
+            scoap.cc0[node],
+            scoap.cc1[node],
+        ))
+    rows.sort(reverse=True)
+    lines = [f"{'node':>16}  {'CC0':>6}  {'CC1':>6}  {'CO':>6}"]
+    for controllability, co, name, cc0, cc1 in rows[:worst]:
+        co_text = "inf" if co >= _INF else str(co)
+        lines.append(f"{name:>16}  {cc0:>6}  {cc1:>6}  {co_text:>6}")
+    return "\n".join(lines)

@@ -1,0 +1,190 @@
+"""Stuck-at fault test generation (the classic ATPG the paper builds on).
+
+The paper's detector is "based on ATPG techniques"; this module provides
+the canonical such workload — single stuck-at fault test generation — on
+top of the same implication engine and justification search, both as a
+substrate demonstration and as an extra correctness cross-check (redundant
+faults are UNSAT instances, exactly the "likely redundant target" regime
+§4.5 discusses).
+
+Faults are injected under the full-scan assumption: the circuit's state is
+controllable/observable, so test generation runs on the 1-frame expansion
+with flip-flop outputs as pseudo-inputs and D-inputs as pseudo-outputs.
+For each fault the fanout cone of the fault site is duplicated with the
+site tied to the stuck value; a test exists iff some observation point of
+the good and faulty cones can differ, decided by the justification search.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.circuit.gates import COMBINATIONAL_TYPES, GateType
+from repro.circuit.netlist import Circuit
+from repro.circuit.timeframe import TimeFrameExpansion, expand
+from repro.logic.values import ONE, X, ZERO
+from repro.atpg.implication import ImplicationEngine
+from repro.atpg.justify import SearchStatus, justify
+
+
+@dataclass(frozen=True)
+class Fault:
+    """Single stuck-at fault on a node's output (sequential-circuit node)."""
+
+    node: int
+    stuck_value: int
+
+    def name(self, circuit: Circuit) -> str:
+        return f"{circuit.names[self.node]}/SA{self.stuck_value}"
+
+
+class FaultStatus(Enum):
+    """Outcome of test generation for one fault."""
+
+    DETECTED = "detected"
+    REDUNDANT = "redundant"
+    ABORTED = "aborted"
+
+
+@dataclass
+class FaultResult:
+    fault: Fault
+    status: FaultStatus
+    #: test pattern keyed by the expansion's free-input node ids
+    #: (``expansion.ff_at[0]`` state bits and ``expansion.pi_at[0]`` inputs)
+    pattern: dict[int, int] | None = None
+
+
+@dataclass
+class AtpgReport:
+    circuit: Circuit
+    results: list[FaultResult]
+    total_seconds: float
+
+    @property
+    def detected(self) -> list[FaultResult]:
+        return [r for r in self.results if r.status is FaultStatus.DETECTED]
+
+    @property
+    def redundant(self) -> list[FaultResult]:
+        return [r for r in self.results if r.status is FaultStatus.REDUNDANT]
+
+    @property
+    def aborted(self) -> list[FaultResult]:
+        return [r for r in self.results if r.status is FaultStatus.ABORTED]
+
+    @property
+    def coverage(self) -> float:
+        """Detected / testable (the usual fault-coverage definition)."""
+        testable = len(self.results) - len(self.redundant)
+        if testable == 0:
+            return 1.0
+        return len(self.detected) / testable
+
+
+def enumerate_faults(circuit: Circuit) -> list[Fault]:
+    """Both stuck-at faults on every PI, FF output and gate output."""
+    sites = [
+        n
+        for n in range(circuit.num_nodes)
+        if circuit.types[n] not in (GateType.OUTPUT, GateType.CONST0,
+                                    GateType.CONST1)
+    ]
+    return [Fault(node, v) for node in sites for v in (ZERO, ONE)]
+
+
+def build_fault_miter(
+    comb: Circuit,
+    site: int,
+    stuck_value: int,
+    observe: list[int],
+) -> tuple[Circuit, int]:
+    """Good circuit + faulty fanout cone of ``site`` + OR of observation XORs.
+
+    Shared by the stuck-at and transition-fault generators.  Returns the
+    miter circuit and its output node; the output is constant 0 when the
+    site reaches no observation point.
+    """
+    miter = comb.copy(f"{comb.name}_miter")
+    cone = comb.transitive_fanout([site])
+    dup: dict[int, int] = {}
+    const_type = GateType.CONST1 if stuck_value == ONE else GateType.CONST0
+    dup[site] = miter.add_node(const_type, (), f"{comb.names[site]}__flt")
+    for node in comb.topo_order():
+        if node not in cone or node == site:
+            continue
+        if comb.types[node] not in COMBINATIONAL_TYPES:
+            continue
+        fanins = tuple(dup.get(f, f) for f in comb.fanins[node])
+        dup[node] = miter.add_node(
+            comb.types[node], fanins, f"{comb.names[node]}__flt"
+        )
+    xors = []
+    for observation in observe:
+        faulty = dup.get(observation)
+        if faulty is None:
+            continue  # fault cannot reach this observation point
+        xors.append(
+            miter.add_node(
+                GateType.XOR, (observation, faulty),
+                f"{comb.names[observation]}__xor",
+            )
+        )
+    if not xors:
+        out = miter.add_node(GateType.CONST0, (), "__miter_const")
+        return miter, out
+    out = miter.add_node(GateType.OR, tuple(xors), "__miter")
+    return miter, out
+
+
+class StuckAtAtpg:
+    """Per-fault test generation over a shared 1-frame expansion."""
+
+    def __init__(self, circuit: Circuit, backtrack_limit: int = 200) -> None:
+        self.circuit = circuit
+        self.backtrack_limit = backtrack_limit
+        self.expansion: TimeFrameExpansion = expand(circuit, frames=1)
+        # Observation points: PO drivers and next-state nodes (full scan).
+        comb = self.expansion.comb
+        candidates = [comb.fanins[po][0] for po in comb.outputs]
+        candidates.extend(self.expansion.ff_at[1])
+        # Two FFs may share a D driver and a PO may observe it too: dedupe.
+        self._observe = list(dict.fromkeys(candidates))
+
+    def generate_test(self, fault: Fault) -> FaultResult:
+        """Build the fault miter and search for a distinguishing pattern."""
+        comb = self.expansion.comb
+        site = self.expansion.node_at[0][fault.node]
+        miter, out_node = build_fault_miter(
+            comb, site, fault.stuck_value, self._observe
+        )
+        engine = ImplicationEngine(miter)
+        if not engine.assume(out_node, ONE):
+            return FaultResult(fault, FaultStatus.REDUNDANT)
+        result = justify(engine, self.backtrack_limit)
+        if result.status is SearchStatus.UNSAT:
+            return FaultResult(fault, FaultStatus.REDUNDANT)
+        if result.status is SearchStatus.ABORTED:
+            return FaultResult(fault, FaultStatus.ABORTED)
+        pattern: dict[int, int] = {}
+        for node in comb.inputs:
+            miter_node = miter.id_of(comb.names[node])
+            value = result.witness.get(miter_node, X)
+            pattern[node] = ZERO if value == X else value
+        return FaultResult(fault, FaultStatus.DETECTED, pattern)
+
+    def run(self, faults: list[Fault] | None = None) -> AtpgReport:
+        started = time.perf_counter()
+        if faults is None:
+            faults = enumerate_faults(self.circuit)
+        results = [self.generate_test(fault) for fault in faults]
+        return AtpgReport(
+            self.circuit, results, time.perf_counter() - started
+        )
+
+
+def run_atpg(circuit: Circuit, backtrack_limit: int = 200) -> AtpgReport:
+    """Convenience wrapper: full-scan stuck-at ATPG over all faults."""
+    return StuckAtAtpg(circuit, backtrack_limit).run()

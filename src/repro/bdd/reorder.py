@@ -1,0 +1,104 @@
+"""Static variable-order heuristics for the BDD baseline.
+
+The symbolic method's cost is dominated by the variable order.  The
+manager in :mod:`repro.bdd.bdd` uses fixed integer orders, so reordering
+is done *statically*: choose a good order before building the node BDDs.
+Two standard heuristics are provided:
+
+* :func:`interleave_order` — current-state variables first, primary
+  inputs after, in declaration order (the baseline's default);
+* :func:`fanin_order` — a depth-first topological (Malik-style) ordering:
+  variables are ranked by their first appearance in a DFS from the
+  observation outputs, which keeps related support variables adjacent and
+  typically shrinks the intermediate BDDs substantially.
+
+:func:`estimate_bdd_cost` builds the node BDDs under a candidate order and
+reports the peak manager size, which the tests use to verify that the
+fanin order is no worse than a pessimal one on the suite circuits.
+"""
+
+from __future__ import annotations
+
+from repro.bdd.bdd import BddManager
+from repro.bdd.traversal import build_node_bdds
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.circuit.timeframe import TimeFrameExpansion
+
+
+def interleave_order(expansion: TimeFrameExpansion) -> dict[int, int]:
+    """State variables first, then each frame's primary inputs."""
+    var_of_input: dict[int, int] = {}
+    index = 0
+    for node in expansion.ff_at[0]:
+        var_of_input[node] = index
+        index += 1
+    for frame_pis in expansion.pi_at:
+        for node in frame_pis:
+            var_of_input[node] = index
+            index += 1
+    return var_of_input
+
+
+def fanin_order(expansion: TimeFrameExpansion) -> dict[int, int]:
+    """Depth-first fanin ordering from the expansion's observation points.
+
+    Walks the combinational cone of every next-state output and primary
+    output depth-first; each free input gets its rank at first visit.
+    Unreached inputs (outside every cone) are appended afterwards.
+    """
+    comb = expansion.comb
+    order: dict[int, int] = {}
+    visited = bytearray(comb.num_nodes)
+
+    roots: list[int] = list(expansion.ff_at[-1])
+    for frame in expansion.po_at:
+        roots.extend(frame)
+
+    def visit(start: int) -> None:
+        stack = [start]
+        while stack:
+            node = stack.pop()
+            if visited[node]:
+                continue
+            visited[node] = 1
+            if comb.types[node] == GateType.INPUT:
+                order[node] = len(order)
+                continue
+            # Reverse so the first fanin is explored first (true DFS).
+            stack.extend(reversed(comb.fanins[node]))
+
+    for root in roots:
+        visit(root)
+    for node in comb.inputs:
+        if node not in order:
+            order[node] = len(order)
+    return order
+
+
+def estimate_bdd_cost(
+    expansion: TimeFrameExpansion,
+    var_of_input: dict[int, int],
+    node_limit: int | None = None,
+) -> int:
+    """Total manager nodes after building every node BDD under an order."""
+    manager = BddManager()
+    build_node_bdds(expansion.comb, manager, var_of_input, node_limit=node_limit)
+    return manager.num_nodes
+
+
+def choose_order(
+    expansion: TimeFrameExpansion, budget_nodes: int = 500_000
+) -> dict[int, int]:
+    """Pick the cheaper of the two heuristics (bounded trial builds)."""
+    candidates = [interleave_order(expansion), fanin_order(expansion)]
+    best = candidates[0]
+    best_cost: int | None = None
+    for candidate in candidates:
+        try:
+            cost = estimate_bdd_cost(expansion, candidate, budget_nodes)
+        except Exception:
+            continue
+        if best_cost is None or cost < best_cost:
+            best, best_cost = candidate, cost
+    return best

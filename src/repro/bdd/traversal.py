@@ -1,0 +1,243 @@
+"""Symbolic (BDD-based) multi-cycle detection — the baseline of ref. [8].
+
+Builds BDDs for every node of the 2-time-frame expansion (state variables
+first in the order, then the two frames' inputs) and checks, per FF pair,
+whether::
+
+    (FF_i(t) XOR FF_i(t+1)) AND (FF_j(t+1) XOR FF_j(t+2))
+
+is the constant-false function.  Optionally the check is restricted to the
+*reachable* state set computed by a classic symbolic forward traversal —
+the feature that lets [8] find more multi-cycle pairs than assumed-
+reachable methods, at a cost that does not scale (which is exactly why the
+paper's implication-based method exists).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, validate
+from repro.circuit.timeframe import expand
+from repro.circuit.topology import FFPair, connected_ff_pairs
+from repro.bdd.bdd import FALSE, TRUE, BddManager
+
+
+class BddLimitExceeded(RuntimeError):
+    """Raised when the manager grows beyond the configured node limit."""
+
+
+def build_node_bdds(
+    circuit: Circuit,
+    manager: BddManager,
+    var_of_input: dict[int, int],
+    node_limit: int | None = None,
+) -> list[int]:
+    """BDD per node of a combinational circuit, in topological order."""
+    if circuit.dffs:
+        raise ValueError("build_node_bdds expects a combinational circuit")
+    bdds = [FALSE] * circuit.num_nodes
+    for node in circuit.topo_order():
+        gate_type = circuit.types[node]
+        if gate_type == GateType.INPUT:
+            bdds[node] = manager.var(var_of_input[node])
+            continue
+        if gate_type == GateType.CONST0:
+            bdds[node] = FALSE
+            continue
+        if gate_type == GateType.CONST1:
+            bdds[node] = TRUE
+            continue
+        if gate_type == GateType.DFF:
+            raise ValueError("build_node_bdds expects a combinational circuit")
+        ins = [bdds[f] for f in circuit.fanins[node]]
+        if gate_type in (GateType.BUF, GateType.OUTPUT):
+            bdds[node] = ins[0]
+        elif gate_type == GateType.NOT:
+            bdds[node] = manager.apply_not(ins[0])
+        elif gate_type == GateType.AND:
+            bdds[node] = manager.and_all(ins)
+        elif gate_type == GateType.NAND:
+            bdds[node] = manager.apply_not(manager.and_all(ins))
+        elif gate_type == GateType.OR:
+            bdds[node] = manager.or_all(ins)
+        elif gate_type == GateType.NOR:
+            bdds[node] = manager.apply_not(manager.or_all(ins))
+        elif gate_type == GateType.XOR or gate_type == GateType.XNOR:
+            acc = ins[0]
+            for operand in ins[1:]:
+                acc = manager.apply_xor(acc, operand)
+            if gate_type == GateType.XNOR:
+                acc = manager.apply_not(acc)
+            bdds[node] = acc
+        elif gate_type == GateType.MUX:
+            bdds[node] = manager.ite(ins[0], ins[2], ins[1])
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unhandled gate type {gate_type}")
+        if node_limit is not None and manager.num_nodes > node_limit:
+            raise BddLimitExceeded(
+                f"BDD manager exceeded {node_limit} nodes at {circuit.names[node]!r}"
+            )
+    return bdds
+
+
+@dataclass
+class BddPairResult:
+    pair: FFPair
+    is_multi_cycle: bool
+
+
+@dataclass
+class BddDetectionResult:
+    circuit: Circuit
+    connected_pairs: int
+    pair_results: list[BddPairResult]
+    total_seconds: float
+    reachable_states: int | None = None
+
+    @property
+    def multi_cycle_pairs(self) -> list[BddPairResult]:
+        return [p for p in self.pair_results if p.is_multi_cycle]
+
+    def multi_cycle_pair_names(self) -> list[tuple[str, str]]:
+        names = self.circuit.names
+        return sorted(
+            (names[p.pair.source], names[p.pair.sink]) for p in self.multi_cycle_pairs
+        )
+
+
+class BddMcDetector:
+    """Symbolic MC-pair detection, optionally restricted to reachable states."""
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        use_reachability: bool = False,
+        node_limit: int | None = 2_000_000,
+    ) -> None:
+        validate(circuit)
+        self.circuit = circuit
+        self.use_reachability = use_reachability
+        self.node_limit = node_limit
+
+    def run(self) -> BddDetectionResult:
+        started = time.perf_counter()
+        circuit = self.circuit
+        pairs = connected_ff_pairs(circuit)
+        expansion = expand(circuit, frames=2)
+        manager = BddManager()
+
+        # Variable order: frame-0 state first, then frame-0 and frame-1 PIs.
+        var_of_input: dict[int, int] = {}
+        next_var = 0
+        for node in expansion.ff_at[0]:
+            var_of_input[node] = next_var
+            next_var += 1
+        self._state_vars = list(range(next_var))
+        for frame_pis in expansion.pi_at:
+            for node in frame_pis:
+                var_of_input[node] = next_var
+                next_var += 1
+
+        bdds = build_node_bdds(
+            expansion.comb, manager, var_of_input, node_limit=self.node_limit
+        )
+
+        reachable = TRUE
+        reachable_states: int | None = None
+        if self.use_reachability:
+            reachable = self._reachable_set(manager)
+            reachable_states = manager.count_solutions(
+                reachable, num_vars=len(circuit.dffs)
+            )
+
+        results = []
+        for pair in pairs:
+            source = expansion.ff_index(pair.source)
+            sink = expansion.ff_index(pair.sink)
+            toggle = manager.apply_xor(
+                bdds[expansion.ff_at[0][source]], bdds[expansion.ff_at[1][source]]
+            )
+            changes = manager.apply_xor(
+                bdds[expansion.ff_at[1][sink]], bdds[expansion.ff_at[2][sink]]
+            )
+            violation = manager.and_all([reachable, toggle, changes])
+            results.append(BddPairResult(pair, violation == FALSE))
+
+        return BddDetectionResult(
+            circuit=circuit,
+            connected_pairs=len(pairs),
+            pair_results=results,
+            total_seconds=time.perf_counter() - started,
+            reachable_states=reachable_states,
+        )
+
+    def _reachable_set(self, manager: BddManager) -> int:
+        """Forward image computation from the all-states... no — from reset.
+
+        Reset state: all flip-flops at 0 (the conventional assumption for
+        benchmark circuits without explicit initialisation logic).  State
+        variable ``k`` of the expansion doubles as the current-state
+        variable here; next-state functions come from a 1-frame expansion
+        sharing the same variable numbering.
+        """
+        circuit = self.circuit
+        expansion = expand(circuit, frames=1)
+        var_of_input: dict[int, int] = {}
+        for k, node in enumerate(expansion.ff_at[0]):
+            var_of_input[node] = k
+        num_state = len(circuit.dffs)
+        input_vars = []
+        for node in expansion.pi_at[0]:
+            var_of_input[node] = num_state + len(input_vars)
+            input_vars.append(num_state + len(input_vars))
+        bdds = build_node_bdds(
+            expansion.comb, manager, var_of_input, node_limit=self.node_limit
+        )
+        next_state = [bdds[n] for n in expansion.ff_at[1]]
+
+        # Reset: every FF at 0.
+        reached = manager.and_all(manager.nvar(k) for k in range(num_state))
+        frontier = reached
+        while frontier != FALSE:
+            # Image of the frontier under the transition functions.
+            image = self._image(manager, frontier, next_state, input_vars, num_state)
+            new_states = manager.apply_and(image, manager.apply_not(reached))
+            reached = manager.apply_or(reached, image)
+            frontier = new_states
+        return reached
+
+    def _image(
+        self,
+        manager: BddManager,
+        states: int,
+        next_state: list[int],
+        input_vars: list[int],
+        num_state: int,
+    ) -> int:
+        """Forward image via the monolithic transition relation."""
+        # T(s, x, s') = AND_k (s'_k <-> delta_k(s, x)); s' vars are fresh.
+        offset = num_state + len(input_vars)
+        relation = states
+        for k, delta in enumerate(next_state):
+            relation = manager.apply_and(
+                relation, manager.xnor(manager.var(offset + k), delta)
+            )
+            if self.node_limit is not None and manager.num_nodes > self.node_limit:
+                raise BddLimitExceeded("transition relation blew up")
+        quantified = manager.exists(
+            relation, list(range(num_state)) + list(input_vars)
+        )
+        # Rename s' back to s (shift down by offset).
+        return manager.rename(
+            quantified, {offset + k: k for k in range(num_state)}
+        )
+
+
+def bdd_detect_multi_cycle_pairs(
+    circuit: Circuit, use_reachability: bool = False
+) -> BddDetectionResult:
+    """Convenience wrapper: run the symbolic baseline end to end."""
+    return BddMcDetector(circuit, use_reachability=use_reachability).run()

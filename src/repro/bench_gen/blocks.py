@@ -1,0 +1,127 @@
+"""Structural building blocks for the synthetic benchmark generator.
+
+The ISCAS89 suite the paper evaluates on is not redistributable, so
+:mod:`repro.bench_gen` synthesises circuits from the ingredients that make
+multi-cycle paths arise in real designs (see DESIGN.md "Substitutions"):
+
+* free-running counters,
+* decoded load-enable signals,
+* enable-gated (MUX-hold) register banks,
+* always-loading registers,
+* random combinational logic clouds between banks.
+
+Every block takes a :class:`~repro.circuit.builder.CircuitBuilder` plus a
+``random.Random`` where needed, and returns the signal/FF ids it created.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuit.builder import CircuitBuilder
+
+
+def add_counter(builder: CircuitBuilder, width: int, prefix: str) -> list[int]:
+    """Free-running binary up-counter; returns its FF ids (LSB first)."""
+    bits = [builder.dff(f"{prefix}_q{i}") for i in range(width)]
+    carry = builder.const1(f"{prefix}_cin")
+    for i, bit in enumerate(bits):
+        builder.drive(bit, builder.xor(bit, carry, name=f"{prefix}_n{i}"))
+        if i < width - 1:
+            carry = builder.and_(bit, carry, name=f"{prefix}_c{i}")
+    return bits
+
+
+def add_decoder(
+    builder: CircuitBuilder, counter_bits: list[int], value: int, prefix: str
+) -> int:
+    """AND-decode of ``counter == value``; returns the enable signal."""
+    literals = []
+    for i, bit in enumerate(counter_bits):
+        if (value >> i) & 1:
+            literals.append(bit)
+        else:
+            literals.append(builder.not_(bit, name=f"{prefix}_n{i}"))
+    if len(literals) == 1:
+        return builder.buf(literals[0], name=prefix)
+    return builder.and_(*literals, name=prefix)
+
+
+def add_msb_decoder(
+    builder: CircuitBuilder, counter_bits: list[int], prefix: str
+) -> int:
+    """Enable that is simply the counter's MSB (a *partial* state decode).
+
+    Registers gated this way load during half the counter period.  A
+    toggle at such a register tells the implication engine only that the
+    MSB was 1 at launch time — the successor state stays partially
+    unknown, so proving a downstream exact-decoded bank untouched requires
+    the ATPG backtrack search (carry-chain case analysis), not just local
+    implications.  This is the ingredient that populates the ATPG column
+    of Table 2.
+    """
+    return builder.buf(counter_bits[-1], name=prefix)
+
+
+def add_random_logic(
+    builder: CircuitBuilder,
+    inputs: list[int],
+    num_gates: int,
+    rng: random.Random,
+    prefix: str,
+    num_outputs: int | None = None,
+) -> list[int]:
+    """Random combinational DAG over ``inputs``; returns output signals.
+
+    Gates draw fanins from earlier signals (inputs plus already-created
+    gates), biased toward recent ones so depth grows with size.  Inverting
+    and non-inverting gate types are mixed to keep the logic unbiased.
+    """
+    if not inputs:
+        raise ValueError("random logic needs at least one input signal")
+    pool = list(inputs)
+    makers = ["and", "or", "nand", "nor", "xor", "not"]
+    for g in range(num_gates):
+        kind = rng.choice(makers)
+        name = f"{prefix}_g{g}"
+        if kind == "not" or len(pool) == 1:
+            node = builder.not_(rng.choice(pool), name=name)
+        else:
+            span = max(2, len(pool) // 2)
+            a = pool[rng.randrange(max(0, len(pool) - span), len(pool))]
+            b = pool[rng.randrange(len(pool))]
+            if kind == "and":
+                node = builder.and_(a, b, name=name)
+            elif kind == "or":
+                node = builder.or_(a, b, name=name)
+            elif kind == "nand":
+                node = builder.nand(a, b, name=name)
+            elif kind == "nor":
+                node = builder.nor(a, b, name=name)
+            else:
+                node = builder.xor(a, b, name=name)
+        pool.append(node)
+    count = num_outputs if num_outputs is not None else min(len(pool), 8)
+    return pool[-count:]
+
+
+def add_enabled_bank(
+    builder: CircuitBuilder,
+    enable: int,
+    data: list[int],
+    prefix: str,
+) -> list[int]:
+    """Bank of MUX-hold registers loading ``data`` when ``enable`` is high."""
+    return [
+        builder.enabled_dff(f"{prefix}_r{i}", enable, signal)
+        for i, signal in enumerate(data)
+    ]
+
+
+def add_plain_bank(
+    builder: CircuitBuilder, data: list[int], prefix: str
+) -> list[int]:
+    """Bank of always-loading registers (a rich source of 1-cycle pairs)."""
+    return [
+        builder.dff(f"{prefix}_r{i}", d=signal) for i, signal in enumerate(data)
+    ]

@@ -1,0 +1,75 @@
+"""The benchmark suite: a size ladder echoing the paper's Table 1.
+
+Each entry is a synthetic stand-in for an ISCAS89 circuit of comparable
+scale (see DESIGN.md for why the originals cannot be shipped).  Names carry
+the approximate gate count.  ``suite("small")`` is the default for tests
+and quick benchmark runs; ``suite("full")`` adds the large entries used for
+the headline Table 1 reproduction.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.library import fig1_circuit, s27
+from repro.bench_gen.synth import CircuitSpec, generate
+
+#: Specs in increasing size; tuples of (profile levels that include them).
+_SPECS: list[tuple[CircuitSpec, tuple[str, ...]]] = [
+    (CircuitSpec("syn040", num_inputs=3, counter_width=2, num_banks=3,
+                 bank_width=3, logic_per_bank=8, spacing=2,
+                 plain_registers=3, shift_tail=3, seed=11), ("tiny", "small", "full")),
+    (CircuitSpec("syn090", num_inputs=4, counter_width=3, num_banks=4,
+                 bank_width=4, logic_per_bank=12, spacing=2,
+                 plain_registers=5, shift_tail=5, seed=23), ("tiny", "small", "full")),
+    (CircuitSpec("syn170", num_inputs=5, counter_width=3, num_banks=5,
+                 bank_width=6, logic_per_bank=16, spacing=2,
+                 plain_registers=8, shift_tail=8, hard_enables=True, seed=37), ("small", "full")),
+    (CircuitSpec("syn330", num_inputs=6, counter_width=4, num_banks=6,
+                 bank_width=8, logic_per_bank=24, spacing=3,
+                 plain_registers=12, shift_tail=12, hard_enables=True, seed=41), ("small", "full")),
+    (CircuitSpec("syn700", num_inputs=8, counter_width=4, num_banks=8,
+                 bank_width=10, logic_per_bank=40, spacing=2,
+                 plain_registers=20, shift_tail=16, hard_enables=True, seed=53), ("medium", "full")),
+    (CircuitSpec("syn1500", num_inputs=10, counter_width=5, num_banks=10,
+                 bank_width=14, logic_per_bank=70, spacing=3,
+                 plain_registers=30, shift_tail=24, hard_enables=True, seed=67), ("medium", "full")),
+    (CircuitSpec("syn3000", num_inputs=12, counter_width=5, num_banks=12,
+                 bank_width=20, logic_per_bank=120, spacing=3,
+                 plain_registers=40, shift_tail=32, hard_enables=True, seed=79), ("large", "full")),
+    (CircuitSpec("syn6000", num_inputs=16, counter_width=6, num_banks=14,
+                 bank_width=28, logic_per_bank=220, spacing=3,
+                 plain_registers=60, shift_tail=48, hard_enables=True, seed=97), ("large", "full")),
+]
+
+PROFILES = ("tiny", "small", "medium", "large", "full")
+
+
+def suite(profile: str = "small") -> list[Circuit]:
+    """Benchmark circuits of the given profile, smallest first.
+
+    Profiles are cumulative by construction: every circuit tagged for a
+    smaller profile that is also tagged ``full`` appears in ``full``.  The
+    embedded real circuits (s27 and the paper's Fig. 1) lead every profile.
+    """
+    if profile not in PROFILES:
+        raise ValueError(f"unknown profile {profile!r}; choose from {PROFILES}")
+    circuits: list[Circuit] = [s27(), fig1_circuit()]
+    if profile == "full":
+        wanted = [spec for spec, _tags in _SPECS]
+    else:
+        wanted = [spec for spec, tags in _SPECS if profile in tags]
+    circuits.extend(generate(spec) for spec in wanted)
+    return circuits
+
+
+def spec_by_name(name: str) -> CircuitSpec:
+    """Look up a suite spec by circuit name (raises ``KeyError``)."""
+    for spec, _tags in _SPECS:
+        if spec.name == name:
+            return spec
+    raise KeyError(name)
+
+
+def all_specs() -> list[CircuitSpec]:
+    """Every synthetic spec of the ladder, smallest first."""
+    return [spec for spec, _tags in _SPECS]

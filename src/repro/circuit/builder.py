@@ -1,0 +1,123 @@
+"""Convenience API for constructing circuits programmatically.
+
+Sequential circuits contain feedback through flip-flops, so the builder lets
+a DFF be declared first (its Q output usable immediately) and connected to
+its D driver later::
+
+    b = CircuitBuilder("gray2")
+    q0 = b.dff("q0")
+    q1 = b.dff("q1")
+    b.drive(q0, b.not_(q1, name="n_q1"))
+    b.drive(q1, q0)
+    b.output("out", b.xor(q0, q1))
+    circuit = b.build()
+
+``build()`` validates the result and returns the finished
+:class:`~repro.circuit.netlist.Circuit`.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, CircuitError, validate
+
+
+class CircuitBuilder:
+    """Incrementally build a :class:`Circuit`; node handles are plain ids."""
+
+    def __init__(self, name: str = "circuit") -> None:
+        self._circuit = Circuit(name)
+        self._pending_dffs: set[int] = set()
+
+    # ------------------------------------------------------------------
+    # Sources.
+    # ------------------------------------------------------------------
+    def input(self, name: str) -> int:
+        """Add a primary input."""
+        return self._circuit.add_node(GateType.INPUT, (), name)
+
+    def const0(self, name: str | None = None) -> int:
+        return self._circuit.add_node(GateType.CONST0, (), name)
+
+    def const1(self, name: str | None = None) -> int:
+        return self._circuit.add_node(GateType.CONST1, (), name)
+
+    def dff(self, name: str, d: int | None = None) -> int:
+        """Add a flip-flop; drive its D input now or later via :meth:`drive`."""
+        node = self._circuit.add_node(GateType.DFF, (0,), name)
+        if d is None:
+            self._pending_dffs.add(node)
+        else:
+            self._circuit.set_fanins(node, (d,))
+        return node
+
+    def drive(self, dff_node: int, d: int) -> None:
+        """Connect the D input of a previously declared flip-flop."""
+        if self._circuit.types[dff_node] != GateType.DFF:
+            raise CircuitError("drive() target must be a DFF")
+        self._circuit.set_fanins(dff_node, (d,))
+        self._pending_dffs.discard(dff_node)
+
+    # ------------------------------------------------------------------
+    # Combinational gates.
+    # ------------------------------------------------------------------
+    def _gate(self, gate_type: GateType, fanins: Sequence[int], name: str | None) -> int:
+        return self._circuit.add_node(gate_type, fanins, name)
+
+    def and_(self, *fanins: int, name: str | None = None) -> int:
+        return self._gate(GateType.AND, fanins, name)
+
+    def nand(self, *fanins: int, name: str | None = None) -> int:
+        return self._gate(GateType.NAND, fanins, name)
+
+    def or_(self, *fanins: int, name: str | None = None) -> int:
+        return self._gate(GateType.OR, fanins, name)
+
+    def nor(self, *fanins: int, name: str | None = None) -> int:
+        return self._gate(GateType.NOR, fanins, name)
+
+    def xor(self, *fanins: int, name: str | None = None) -> int:
+        return self._gate(GateType.XOR, fanins, name)
+
+    def xnor(self, *fanins: int, name: str | None = None) -> int:
+        return self._gate(GateType.XNOR, fanins, name)
+
+    def not_(self, fanin: int, name: str | None = None) -> int:
+        return self._gate(GateType.NOT, (fanin,), name)
+
+    def buf(self, fanin: int, name: str | None = None) -> int:
+        return self._gate(GateType.BUF, (fanin,), name)
+
+    def mux(self, select: int, d0: int, d1: int, name: str | None = None) -> int:
+        """2:1 multiplexer: output is ``d0`` when ``select`` = 0, else ``d1``."""
+        return self._gate(GateType.MUX, (select, d0, d1), name)
+
+    def output(self, name: str, fanin: int) -> int:
+        """Mark ``fanin`` as a primary output (adds an OUTPUT buffer node)."""
+        return self._gate(GateType.OUTPUT, (fanin,), name)
+
+    # ------------------------------------------------------------------
+    # Composite helpers used by the example library and the generator.
+    # ------------------------------------------------------------------
+    def enabled_dff(self, name: str, enable: int, d: int) -> int:
+        """Flip-flop that loads ``d`` when ``enable`` = 1, else holds.
+
+        This is the MUX-plus-FF idiom of the paper's Fig. 1 — the structure
+        that gives rise to multi-cycle paths when the enables of source and
+        sink registers are decoded from distant counter states.
+        """
+        dff_node = self.dff(name)
+        mux_node = self.mux(enable, dff_node, d, name=f"{name}_mux")
+        self.drive(dff_node, mux_node)
+        return dff_node
+
+    def build(self, validate_result: bool = True) -> Circuit:
+        """Finish and validate the circuit."""
+        if self._pending_dffs:
+            missing = sorted(self._circuit.names[n] for n in self._pending_dffs)
+            raise CircuitError(f"undriven DFFs: {missing}")
+        if validate_result:
+            validate(self._circuit)
+        return self._circuit

@@ -1,0 +1,140 @@
+"""Gate types of the synchronous sequential netlist model.
+
+The paper's analysis exploits *controlling values*: an input value that fixes
+a gate's output regardless of the other inputs (0 for AND/NAND, 1 for
+OR/NOR).  ``GateType`` centralises those properties so the simulators, the
+implication engine and the sensitization checks all agree on them.
+
+Conventions
+-----------
+* ``INPUT`` nodes have no fanin (primary inputs).
+* ``OUTPUT`` nodes have exactly one fanin and behave as buffers; they mark
+  primary outputs.
+* ``DFF`` nodes represent positive-edge-triggered D flip-flops driven by a
+  single shared clock (the paper's circuit model).  The node's *output* is
+  the Q signal; its single fanin is the D input.  No direct FF-to-FF
+  feedback restrictions are imposed beyond the netlist being well formed.
+* ``MUX`` nodes take fanins ``(select, d0, d1)`` and output ``d0`` when the
+  select is 0, ``d1`` when it is 1.
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+
+from repro.logic.values import ONE, ZERO
+
+
+class GateType(IntEnum):
+    """All node types a :class:`~repro.circuit.netlist.Circuit` may contain."""
+
+    INPUT = 0
+    OUTPUT = 1
+    DFF = 2
+    BUF = 3
+    NOT = 4
+    AND = 5
+    NAND = 6
+    OR = 7
+    NOR = 8
+    XOR = 9
+    XNOR = 10
+    MUX = 11
+    CONST0 = 12
+    CONST1 = 13
+
+
+#: Gate types with a controlling value, mapped to ``(controlling, inverted)``.
+#: ``controlling`` is the input value that determines the output on its own;
+#: ``inverted`` tells whether the output is complemented (NAND/NOR/NOT).
+CONTROLLING = {
+    GateType.AND: (ZERO, False),
+    GateType.NAND: (ZERO, True),
+    GateType.OR: (ONE, False),
+    GateType.NOR: (ONE, True),
+}
+
+#: Single-input combinational types, mapped to whether they invert.
+UNARY = {
+    GateType.BUF: False,
+    GateType.NOT: True,
+    GateType.OUTPUT: False,
+}
+
+#: Parity gate types, mapped to whether they invert (XNOR inverts).
+PARITY = {
+    GateType.XOR: False,
+    GateType.XNOR: True,
+}
+
+#: Types whose nodes act as combinational-logic *sources* (no combinational
+#: fanin): primary inputs, flip-flop outputs and constants.
+SOURCE_TYPES = frozenset(
+    {GateType.INPUT, GateType.DFF, GateType.CONST0, GateType.CONST1}
+)
+
+#: Types evaluated as combinational logic.
+COMBINATIONAL_TYPES = frozenset(
+    {
+        GateType.OUTPUT,
+        GateType.BUF,
+        GateType.NOT,
+        GateType.AND,
+        GateType.NAND,
+        GateType.OR,
+        GateType.NOR,
+        GateType.XOR,
+        GateType.XNOR,
+        GateType.MUX,
+    }
+)
+
+#: Allowed fanin counts per type; ``None`` means "one or more".
+_FANIN_ARITY = {
+    GateType.INPUT: 0,
+    GateType.OUTPUT: 1,
+    GateType.DFF: 1,
+    GateType.BUF: 1,
+    GateType.NOT: 1,
+    GateType.AND: None,
+    GateType.NAND: None,
+    GateType.OR: None,
+    GateType.NOR: None,
+    GateType.XOR: None,
+    GateType.XNOR: None,
+    GateType.MUX: 3,
+    GateType.CONST0: 0,
+    GateType.CONST1: 0,
+}
+
+
+def fanin_arity_ok(gate_type: GateType, count: int) -> bool:
+    """Check whether ``count`` fanins is legal for ``gate_type``."""
+    expected = _FANIN_ARITY[gate_type]
+    if expected is None:
+        return count >= 1
+    return count == expected
+
+
+def controlling_value(gate_type: GateType) -> int | None:
+    """Return the controlling input value of ``gate_type`` or ``None``."""
+    entry = CONTROLLING.get(gate_type)
+    return entry[0] if entry is not None else None
+
+
+def controlled_output(gate_type: GateType) -> int | None:
+    """Output value of ``gate_type`` when some input is controlling."""
+    entry = CONTROLLING.get(gate_type)
+    if entry is None:
+        return None
+    controlling, inverted = entry
+    return controlling ^ inverted
+
+
+def noncontrolled_output(gate_type: GateType) -> int | None:
+    """Output value of ``gate_type`` when every input is non-controlling."""
+    entry = CONTROLLING.get(gate_type)
+    if entry is None:
+        return None
+    controlling, inverted = entry
+    return (1 - controlling) ^ inverted

@@ -1,0 +1,200 @@
+"""Built-in example circuits.
+
+Contains faithful reconstructions of the circuits the paper uses to explain
+the method:
+
+* :func:`fig1_circuit` — the running example of Fig. 1: a 4-state Gray-code
+  counter whose decoded states enable a MUX-loaded register chain, making
+  every path from FF1 to FF2 a 3-cycle path.
+* :func:`fig3_circuit` — Fig. 1 technology-mapped as in Fig. 3 (each MUX
+  replaced by two ANDs, an OR and a NOT), which exhibits a static hazard at
+  FF2 for the pair (FF3, FF2).
+* :func:`fig4_fragment` — a combinational fragment whose A→C path is
+  statically co-sensitizable but not statically sensitizable (Fig. 4).
+* :func:`s27` — the public ISCAS89 s27 benchmark, embedded verbatim.
+* small parametric building blocks (counters, shift registers) reused by
+  tests and examples.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.bench import loads
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.netlist import Circuit
+from repro.circuit.techmap import techmap
+
+
+def fig1_circuit() -> Circuit:
+    """The paper's Fig. 1 example.
+
+    FF3/FF4 form a free-running Gray-code counter cycling
+    ``(0,0) → (0,1) → (1,1) → (1,0) → (0,0)``.  MUX1 loads FF1 from primary
+    input IN while the counter reads (0,0); MUX2 loads FF2 from FF1 while it
+    reads (1,0); otherwise the registers hold.  The counter needs three
+    clocks from the launch of a new FF1 value to its capture into FF2, so
+    all FF1→FF2 paths are 3-cycle paths and (FF1, FF2) is a multi-cycle FF
+    pair.
+    """
+    b = CircuitBuilder("fig1")
+    data_in = b.input("IN")
+    ff1 = b.dff("FF1")
+    ff2 = b.dff("FF2")
+    ff3 = b.dff("FF3")
+    ff4 = b.dff("FF4")
+
+    # Gray counter: FF3' = FF4, FF4' = not FF3.
+    b.drive(ff3, b.buf(ff4, name="FF3_next"))
+    b.drive(ff4, b.not_(ff3, name="FF4_next"))
+
+    n_ff3 = b.not_(ff3, name="nFF3")
+    n_ff4 = b.not_(ff4, name="nFF4")
+    en1 = b.and_(n_ff3, n_ff4, name="EN1")  # decode state (0,0)
+    en2 = b.and_(ff3, n_ff4, name="EN2")    # decode state (1,0)
+
+    b.drive(ff1, b.mux(en1, ff1, data_in, name="MUX1"))
+    b.drive(ff2, b.mux(en2, ff2, ff1, name="MUX2"))
+    b.output("OUT", ff2)
+    return b.build()
+
+
+def fig3_circuit() -> Circuit:
+    """Fig. 1 technology-mapped as in the paper's Fig. 3.
+
+    Each multiplexer becomes ``OR(AND(NOT(sel), d0), AND(sel, d1))``.  On
+    this structure the multi-cycle pair (FF3, FF2) admits a static hazard at
+    FF2's data input (the glitch runs through the AND/OR of MUX2), which the
+    static-sensitization check of Section 5 detects.
+    """
+    mapped = techmap(fig1_circuit(), name="fig3")
+    return mapped
+
+
+def fig4_fragment() -> Circuit:
+    """Combinational fragment illustrating Fig. 4.
+
+    ``C = AND(A, B)`` with side input B held at 0: the path A→C is *not*
+    statically sensitizable (B would need the non-controlling value 1) but
+    it *is* statically co-sensitizable to 0 (choose A = 0, the controlling
+    value on the on-input).  The fragment is wrapped with flip-flops so the
+    pair-level hazard API can be exercised on it.
+    """
+    b = CircuitBuilder("fig4")
+    a_in = b.input("A_in")
+    b_in = b.input("B_in")
+    ff_a = b.dff("A", d=a_in)
+    ff_b = b.dff("B", d=b_in)
+    c = b.and_(ff_a, ff_b, name="C")
+    b.dff("FF_C", d=c)
+    b.output("C_out", c)
+    return b.build()
+
+
+_S27_BENCH = """
+# s27 (ISCAS89)
+INPUT(G0)
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+OUTPUT(G17)
+G5 = DFF(G10)
+G6 = DFF(G11)
+G7 = DFF(G13)
+G14 = NOT(G0)
+G17 = NOT(G11)
+G8 = AND(G14, G6)
+G15 = OR(G12, G8)
+G16 = OR(G3, G8)
+G9 = NAND(G16, G15)
+G10 = NOR(G14, G11)
+G11 = NOR(G5, G9)
+G12 = NOR(G1, G7)
+G13 = NOR(G2, G12)
+"""
+
+
+def s27() -> Circuit:
+    """The ISCAS89 s27 benchmark circuit (4 PIs, 1 PO, 3 DFFs, 10 gates)."""
+    return loads(_S27_BENCH, name="s27")
+
+
+def binary_counter(width: int, name: str = "counter") -> Circuit:
+    """Free-running ``width``-bit binary up-counter with its bits as POs."""
+    b = CircuitBuilder(name)
+    bits = [b.dff(f"q{i}") for i in range(width)]
+    carry = b.const1("c_in")
+    for i, bit in enumerate(bits):
+        b.drive(bit, b.xor(bit, carry, name=f"q{i}_next"))
+        if i < width - 1:
+            carry = b.and_(bit, carry, name=f"carry{i}")
+    for i, bit in enumerate(bits):
+        b.output(f"count{i}", bit)
+    return b.build()
+
+
+def gray_counter(width: int, name: str = "gray") -> Circuit:
+    """Gray-code counter built as a binary counter plus output XORs."""
+    b = CircuitBuilder(name)
+    bits = [b.dff(f"b{i}") for i in range(width)]
+    carry = b.const1("c_in")
+    for i, bit in enumerate(bits):
+        b.drive(bit, b.xor(bit, carry, name=f"b{i}_next"))
+        if i < width - 1:
+            carry = b.and_(bit, carry, name=f"carry{i}")
+    for i in range(width):
+        if i == width - 1:
+            gray = b.buf(bits[i], name=f"g{i}")
+        else:
+            gray = b.xor(bits[i], bits[i + 1], name=f"g{i}")
+        b.output(f"gray{i}", gray)
+    return b.build()
+
+
+def shift_register(length: int, name: str = "shift") -> Circuit:
+    """Serial-in shift register; every stage pair is single-cycle."""
+    b = CircuitBuilder(name)
+    serial_in = b.input("sin")
+    previous = serial_in
+    for i in range(length):
+        stage = b.dff(f"s{i}", d=previous)
+        previous = stage
+    b.output("sout", previous)
+    return b.build()
+
+
+def enabled_pipeline(
+    stages: int, counter_width: int = 2, spacing: int = 2, name: str = "pipe"
+) -> Circuit:
+    """Register pipeline whose stages load on distinct decoded counter states.
+
+    Generalisation of Fig. 1: stage ``i`` loads when the free-running
+    ``counter_width``-bit counter reads ``(i * spacing) mod 2**counter_width``.
+    With ``spacing >= 2`` consecutive stages are multi-cycle pairs (the
+    counter needs ``spacing`` clocks between their load states); with
+    ``spacing = 1`` they are single-cycle.
+    """
+    b = CircuitBuilder(name)
+    data_in = b.input("din")
+    count = [b.dff(f"c{i}") for i in range(counter_width)]
+    carry = b.const1("cin")
+    for i, bit in enumerate(count):
+        b.drive(bit, b.xor(bit, carry, name=f"c{i}_next"))
+        if i < counter_width - 1:
+            carry = b.and_(bit, carry, name=f"cc{i}")
+
+    def decode(value: int, tag: str) -> int:
+        literals = []
+        for i, bit in enumerate(count):
+            if (value >> i) & 1:
+                literals.append(bit)
+            else:
+                literals.append(b.not_(bit, name=f"{tag}_n{i}"))
+        return b.and_(*literals, name=tag)
+
+    previous = data_in
+    modulus = 1 << counter_width
+    for stage in range(stages):
+        enable = decode((stage * spacing) % modulus, f"en{stage}")
+        reg = b.enabled_dff(f"r{stage}", enable, previous)
+        previous = reg
+    b.output("dout", previous)
+    return b.build()

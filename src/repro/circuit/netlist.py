@@ -1,0 +1,292 @@
+"""Flat gate-level netlist model for synchronous sequential circuits.
+
+A :class:`Circuit` stores nodes in dense integer-indexed arrays, which the
+simulators and the implication engine rely on for speed.  Nodes are created
+through :class:`~repro.circuit.builder.CircuitBuilder` or the ``.bench``
+reader (:mod:`repro.circuit.bench`); the class itself only offers structural
+queries.
+
+Terminology used across the library:
+
+* *source nodes* — primary inputs, flip-flop outputs, constants (level 0 of
+  the combinational part),
+* *next-state node* of a flip-flop — the node driving its D input,
+* *combinational part* — everything except INPUT/DFF/CONST nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.circuit.gates import (
+    COMBINATIONAL_TYPES,
+    SOURCE_TYPES,
+    GateType,
+    fanin_arity_ok,
+)
+
+
+class CircuitError(ValueError):
+    """Raised for structurally invalid netlists or malformed queries."""
+
+
+@dataclass(frozen=True)
+class Node:
+    """Read-only view of one netlist node."""
+
+    id: int
+    name: str
+    type: GateType
+    fanins: tuple[int, ...]
+
+
+@dataclass
+class Circuit:
+    """A synchronous sequential circuit over a single clock.
+
+    Attributes
+    ----------
+    name:
+        Circuit name (used in reports and ``.bench`` output).
+    types / fanins / names:
+        Per-node arrays indexed by node id.
+    """
+
+    name: str = "circuit"
+    types: list[GateType] = field(default_factory=list)
+    fanins: list[tuple[int, ...]] = field(default_factory=list)
+    names: list[str] = field(default_factory=list)
+    _name_to_id: dict[str, int] = field(default_factory=dict)
+    _fanouts: list[list[int]] | None = None
+
+    # ------------------------------------------------------------------
+    # Construction primitives (used by the builder and parsers).
+    # ------------------------------------------------------------------
+    def add_node(
+        self, gate_type: GateType, fanins: Sequence[int] = (), name: str | None = None
+    ) -> int:
+        """Append a node and return its id.
+
+        Fanin ids may be forward references only when added through the
+        builder, which patches them before validation; direct users must pass
+        already-existing ids.
+        """
+        node_id = len(self.types)
+        if name is None:
+            name = f"n{node_id}"
+        if name in self._name_to_id:
+            raise CircuitError(f"duplicate node name: {name!r}")
+        self.types.append(gate_type)
+        self.fanins.append(tuple(fanins))
+        self.names.append(name)
+        self._name_to_id[name] = node_id
+        self._fanouts = None
+        return node_id
+
+    def set_fanins(self, node_id: int, fanins: Sequence[int]) -> None:
+        """Replace the fanins of ``node_id`` (used to close DFF feedback)."""
+        self.fanins[node_id] = tuple(fanins)
+        self._fanouts = None
+
+    # ------------------------------------------------------------------
+    # Basic queries.
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.types)
+
+    def node(self, node_id: int) -> Node:
+        return Node(node_id, self.names[node_id], self.types[node_id], self.fanins[node_id])
+
+    def id_of(self, name: str) -> int:
+        try:
+            return self._name_to_id[name]
+        except KeyError:
+            raise CircuitError(f"no node named {name!r}") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._name_to_id
+
+    def nodes(self) -> Iterator[Node]:
+        for node_id in range(self.num_nodes):
+            yield self.node(node_id)
+
+    def ids_of_type(self, gate_type: GateType) -> list[int]:
+        return [i for i, t in enumerate(self.types) if t == gate_type]
+
+    @property
+    def inputs(self) -> list[int]:
+        """Primary input node ids in creation order."""
+        return self.ids_of_type(GateType.INPUT)
+
+    @property
+    def outputs(self) -> list[int]:
+        """Primary output node ids in creation order."""
+        return self.ids_of_type(GateType.OUTPUT)
+
+    @property
+    def dffs(self) -> list[int]:
+        """Flip-flop node ids in creation order."""
+        return self.ids_of_type(GateType.DFF)
+
+    @property
+    def num_gates(self) -> int:
+        """Number of combinational gates (excludes PI/PO/DFF/constants)."""
+        excluded = {GateType.INPUT, GateType.OUTPUT, GateType.DFF,
+                    GateType.CONST0, GateType.CONST1}
+        return sum(1 for t in self.types if t not in excluded)
+
+    def fanouts(self, node_id: int) -> list[int]:
+        """Node ids that take ``node_id`` as a fanin (computed lazily)."""
+        if self._fanouts is None:
+            fanouts: list[list[int]] = [[] for _ in range(self.num_nodes)]
+            for sink, fins in enumerate(self.fanins):
+                for src in fins:
+                    fanouts[src].append(sink)
+            self._fanouts = fanouts
+        return self._fanouts[node_id]
+
+    def is_source(self, node_id: int) -> bool:
+        """True for PI / DFF output / constant nodes."""
+        return self.types[node_id] in SOURCE_TYPES
+
+    def next_state_node(self, dff_id: int) -> int:
+        """The node driving the D input of flip-flop ``dff_id``."""
+        if self.types[dff_id] != GateType.DFF:
+            raise CircuitError(f"node {dff_id} is not a DFF")
+        return self.fanins[dff_id][0]
+
+    # ------------------------------------------------------------------
+    # Structural traversals.
+    # ------------------------------------------------------------------
+    def topo_order(self) -> list[int]:
+        """Combinational topological order of all nodes.
+
+        Source nodes (PI, DFF outputs, constants) come first; every
+        combinational node appears after its fanins.  DFF *D-input edges*
+        are not followed, which is what breaks the sequential loops.
+        Raises :class:`CircuitError` on a combinational cycle.
+        """
+        order: list[int] = []
+        state = bytearray(self.num_nodes)  # 0 unvisited / 1 on stack / 2 done
+        for root in range(self.num_nodes):
+            if state[root]:
+                continue
+            stack: list[tuple[int, int]] = [(root, 0)]
+            state[root] = 1
+            while stack:
+                node_id, fanin_pos = stack[-1]
+                follows = (
+                    self.fanins[node_id]
+                    if self.types[node_id] in COMBINATIONAL_TYPES
+                    else ()
+                )
+                if fanin_pos < len(follows):
+                    stack[-1] = (node_id, fanin_pos + 1)
+                    child = follows[fanin_pos]
+                    if state[child] == 1:
+                        raise CircuitError(
+                            f"combinational cycle through {self.names[child]!r}"
+                        )
+                    if state[child] == 0:
+                        state[child] = 1
+                        stack.append((child, 0))
+                else:
+                    state[node_id] = 2
+                    order.append(node_id)
+                    stack.pop()
+        return order
+
+    def levels(self) -> list[int]:
+        """Combinational level per node (sources at level 0)."""
+        level = [0] * self.num_nodes
+        for node_id in self.topo_order():
+            if self.types[node_id] in COMBINATIONAL_TYPES and self.fanins[node_id]:
+                level[node_id] = 1 + max(level[f] for f in self.fanins[node_id])
+        return level
+
+    def transitive_fanin(self, roots: Iterable[int]) -> set[int]:
+        """All nodes reaching ``roots`` through combinational edges.
+
+        The cone stops at source nodes (they are included, their sequential
+        fanin is not followed).
+        """
+        seen: set[int] = set()
+        stack = list(roots)
+        while stack:
+            node_id = stack.pop()
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            if self.types[node_id] in COMBINATIONAL_TYPES:
+                stack.extend(self.fanins[node_id])
+        return seen
+
+    def transitive_fanout(self, roots: Iterable[int]) -> set[int]:
+        """All nodes reachable from ``roots`` through combinational edges.
+
+        DFF and OUTPUT nodes terminate the traversal (they are included)."""
+        seen: set[int] = set()
+        stack = list(roots)
+        while stack:
+            node_id = stack.pop()
+            if node_id in seen:
+                continue
+            seen.add(node_id)
+            if self.types[node_id] in (GateType.DFF, GateType.OUTPUT):
+                continue
+            stack.extend(self.fanouts(node_id))
+        return seen
+
+    def copy(self, name: str | None = None) -> "Circuit":
+        """Deep copy (fanout cache not shared)."""
+        duplicate = Circuit(name or self.name)
+        duplicate.types = list(self.types)
+        duplicate.fanins = list(self.fanins)
+        duplicate.names = list(self.names)
+        duplicate._name_to_id = dict(self._name_to_id)
+        return duplicate
+
+    def stats(self) -> dict[str, int]:
+        """Summary statistics used by reports."""
+        return {
+            "inputs": len(self.inputs),
+            "outputs": len(self.outputs),
+            "dffs": len(self.dffs),
+            "gates": self.num_gates,
+            "nodes": self.num_nodes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        s = self.stats()
+        return (
+            f"Circuit({self.name!r}, in={s['inputs']}, out={s['outputs']}, "
+            f"ff={s['dffs']}, gates={s['gates']})"
+        )
+
+
+def validate(circuit: Circuit) -> None:
+    """Check structural well-formedness; raise :class:`CircuitError` if bad.
+
+    Verifies fanin arities, fanin id ranges, the absence of combinational
+    cycles and that every OUTPUT/DFF has its single driver.
+    """
+    for node_id in range(circuit.num_nodes):
+        gate_type = circuit.types[node_id]
+        fanins = circuit.fanins[node_id]
+        if not fanin_arity_ok(gate_type, len(fanins)):
+            raise CircuitError(
+                f"node {circuit.names[node_id]!r} ({gate_type.name}) has "
+                f"{len(fanins)} fanins"
+            )
+        for fanin in fanins:
+            if not 0 <= fanin < circuit.num_nodes:
+                raise CircuitError(
+                    f"node {circuit.names[node_id]!r} references missing id {fanin}"
+                )
+            if circuit.types[fanin] == GateType.OUTPUT:
+                raise CircuitError(
+                    f"OUTPUT node {circuit.names[fanin]!r} used as a fanin"
+                )
+    circuit.topo_order()  # raises on combinational cycles

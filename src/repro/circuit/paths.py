@@ -1,0 +1,132 @@
+"""Bounded path enumeration between flip-flop pairs.
+
+The detector is deliberately *non-path-based* (that is the paper's whole
+point — per-pair analysis avoids the combinatorial explosion), but users
+acting on a multi-cycle verdict usually want to see the concrete paths
+whose constraints get relaxed.  This module enumerates them lazily with a
+hard cap, along with per-path topological delays for STA reports.
+
+A path is the paper's Definition in §2.1: an alternating sequence of gates
+and edges from a source (FF output) to a sink (an FF's data input),
+represented here by the node id sequence.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.circuit.gates import COMBINATIONAL_TYPES, GateType
+from repro.circuit.netlist import Circuit
+from repro.circuit.topology import FFPair
+from repro.sta.timing import DelayModel
+
+
+@dataclass(frozen=True)
+class Path:
+    """One combinational path, source node first, sink D-input node last."""
+
+    nodes: tuple[int, ...]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+
+def iter_paths(
+    circuit: Circuit, source: int, target: int, max_paths: int | None = None
+) -> Iterator[Path]:
+    """Yield combinational paths from ``source`` to ``target``.
+
+    ``source`` is typically an FF output, ``target`` the next-state node of
+    another FF.  Traversal is depth-first over combinational edges only and
+    never crosses a flip-flop; ``max_paths`` bounds the enumeration (the
+    number of paths can be exponential — the reason non-path-based methods
+    exist).
+    """
+    reach = circuit.transitive_fanin([target])
+    if source not in reach:
+        return
+    yielded = 0
+    stack: list[int] = [source]
+
+    def walk(node: int) -> Iterator[Path]:
+        nonlocal yielded
+        if node == target:
+            yield Path(tuple(stack))
+            yielded += 1
+            return
+        for fanout in circuit.fanouts(node):
+            if max_paths is not None and yielded >= max_paths:
+                return
+            if fanout not in reach:
+                continue
+            if circuit.types[fanout] not in COMBINATIONAL_TYPES:
+                continue
+            stack.append(fanout)
+            yield from walk(fanout)
+            stack.pop()
+
+    yield from walk(source)
+
+
+def paths_between(
+    circuit: Circuit, pair: FFPair, max_paths: int = 1000
+) -> list[Path]:
+    """All (up to ``max_paths``) paths of a flip-flop pair."""
+    target = circuit.next_state_node(pair.sink)
+    if pair.source == target:
+        # Direct FF-to-FF wire: the degenerate single-node path.
+        return [Path((pair.source,))]
+    return list(iter_paths(circuit, pair.source, target, max_paths))
+
+
+def count_paths(circuit: Circuit, pair: FFPair) -> int:
+    """Exact number of paths of a pair, by dynamic programming (fast even
+    when enumeration would explode)."""
+    target = circuit.next_state_node(pair.sink)
+    reach = circuit.transitive_fanin([target])
+    if pair.source not in reach:
+        return 0
+    counts: dict[int, int] = {}
+
+    def count_from(node: int) -> int:
+        if node == target:
+            return 1
+        if node in counts:
+            return counts[node]
+        total = 0
+        for fanout in circuit.fanouts(node):
+            if fanout in reach and circuit.types[fanout] in COMBINATIONAL_TYPES:
+                total += count_from(fanout)
+        if target == node:  # pragma: no cover - handled above
+            total += 1
+        counts[node] = total
+        return total
+
+    return count_from(pair.source)
+
+
+def path_delay(
+    circuit: Circuit, path: Path, model: DelayModel | None = None
+) -> float:
+    """Topological delay of one path (source pin excluded, as in STA)."""
+    model = model or DelayModel()
+    return sum(
+        model.delay_of(circuit.types[node])
+        for node in path.nodes[1:]
+    )
+
+
+def longest_path(
+    circuit: Circuit, pair: FFPair, model: DelayModel | None = None,
+    max_paths: int = 10_000,
+) -> Path | None:
+    """The maximum-delay path of a pair (bounded enumeration)."""
+    model = model or DelayModel()
+    best: Path | None = None
+    best_delay = float("-inf")
+    for path in paths_between(circuit, pair, max_paths):
+        delay = path_delay(circuit, path, model)
+        if delay > best_delay:
+            best, best_delay = path, delay
+    return best

@@ -1,0 +1,89 @@
+"""Technology mapping to an AND/OR/NOT netlist.
+
+Section 5 of the paper analyses static hazards on the *technology-mapped*
+circuit (its Fig. 3 replaces each multiplexer with two ANDs, an OR and a
+NOT).  :func:`techmap` performs exactly that decomposition for MUX, XOR and
+XNOR nodes while keeping names, flip-flops and functionality intact, so the
+hazard checks can run on the mapped structure.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, validate
+
+_DECOMPOSED = (GateType.MUX, GateType.XOR, GateType.XNOR)
+
+
+def techmap(circuit: Circuit, name: str | None = None) -> Circuit:
+    """Return a functionally equivalent circuit without MUX/XOR/XNOR nodes.
+
+    * ``MUX(s, d0, d1)`` becomes ``OR(AND(NOT(s), d0), AND(s, d1))`` — the
+      paper's Fig. 3 mapping, which is the one that exhibits static hazards.
+    * ``XOR(a, b)`` becomes ``OR(AND(a, NOT(b)), AND(NOT(a), b))``;
+      wider parity gates are decomposed into a chain of 2-input XORs first.
+    * ``XNOR`` is an XOR chain followed by a NOT.
+
+    Node ids change; original node names are preserved on the nodes that
+    compute the same signal, so lookups by name keep working.
+    """
+    mapped = Circuit(name or f"{circuit.name}_mapped")
+    new_id: dict[int, int] = {}
+
+    def fresh(gate_type: GateType, fanins: tuple[int, ...], base: str) -> int:
+        index = 0
+        candidate = base
+        while candidate in mapped:
+            index += 1
+            candidate = f"{base}_{index}"
+        return mapped.add_node(gate_type, fanins, candidate)
+
+    def map_xor2(a: int, b: int, base: str) -> int:
+        not_a = fresh(GateType.NOT, (a,), f"{base}_na")
+        not_b = fresh(GateType.NOT, (b,), f"{base}_nb")
+        left = fresh(GateType.AND, (a, not_b), f"{base}_l")
+        right = fresh(GateType.AND, (not_a, b), f"{base}_r")
+        return fresh(GateType.OR, (left, right), f"{base}_or")
+
+    # DFFs may be referenced before their D driver exists, so create every
+    # non-decomposed node first and wire fanins in a second pass.
+    for node_id in range(circuit.num_nodes):
+        gate_type = circuit.types[node_id]
+        if gate_type not in _DECOMPOSED:
+            new_id[node_id] = mapped.add_node(gate_type, (), circuit.names[node_id])
+
+    order = circuit.topo_order()
+    for node_id in order:
+        gate_type = circuit.types[node_id]
+        if gate_type not in _DECOMPOSED:
+            continue
+        base = circuit.names[node_id]
+        fanins = [new_id[f] for f in circuit.fanins[node_id]]
+        if gate_type == GateType.MUX:
+            select, d0, d1 = fanins
+            not_s = fresh(GateType.NOT, (select,), f"{base}_ns")
+            low = fresh(GateType.AND, (not_s, d0), f"{base}_a0")
+            high = fresh(GateType.AND, (select, d1), f"{base}_a1")
+            new_id[node_id] = mapped.add_node(GateType.OR, (low, high), base)
+        else:
+            acc = fanins[0]
+            for position, operand in enumerate(fanins[1:]):
+                acc = map_xor2(acc, operand, f"{base}_x{position}")
+            if gate_type == GateType.XNOR:
+                new_id[node_id] = mapped.add_node(GateType.NOT, (acc,), base)
+            else:
+                # Rename the final OR of the chain to carry the signal name.
+                new_id[node_id] = mapped.add_node(GateType.BUF, (acc,), base)
+
+    for node_id in range(circuit.num_nodes):
+        if circuit.types[node_id] in _DECOMPOSED:
+            continue
+        mapped.set_fanins(new_id[node_id], tuple(new_id[f] for f in circuit.fanins[node_id]))
+
+    validate(mapped)
+    return mapped
+
+
+def is_mapped(circuit: Circuit) -> bool:
+    """True when the circuit contains no MUX/XOR/XNOR nodes."""
+    return all(t not in _DECOMPOSED for t in circuit.types)

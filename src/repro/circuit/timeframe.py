@@ -1,0 +1,102 @@
+"""Time-frame expansion of a sequential circuit.
+
+Checking the MC condition needs the combinational logic replicated over two
+(or, for k-cycle analysis, more) clock cycles — Step 3 of the paper's flow.
+:func:`expand` produces a purely combinational :class:`Circuit` in which
+
+* the state at time ``t`` appears as free pseudo-inputs (all states are
+  assumed reachable, as in the paper and the SAT-based method [9]),
+* each frame ``f`` gets its own copy of the primary inputs and gates,
+* the next-state node of frame ``f`` *is* the state node feeding frame
+  ``f + 1`` — no aliasing layer is needed.
+
+The returned :class:`TimeFrameExpansion` records, for every flip-flop and
+every time point ``t + f``, the expanded node carrying its value:
+``ff_at[f][k]`` is the node for the value of the circuit's ``k``-th DFF at
+time ``t + f``.  ``ff_at[0]`` are the pseudo-inputs; ``ff_at[f >= 1]`` are
+the frame-``f-1`` copies of the D-input drivers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+
+@dataclass
+class TimeFrameExpansion:
+    """A sequential circuit unrolled into ``frames`` combinational frames."""
+
+    sequential: Circuit
+    comb: Circuit
+    frames: int
+    #: ``ff_at[f][k]``: expanded node holding DFF ``k``'s value at time t+f.
+    ff_at: list[list[int]]
+    #: ``pi_at[f][k]``: expanded node for primary input ``k`` during frame f.
+    pi_at: list[list[int]]
+    #: ``po_at[f][k]``: expanded node for primary output ``k`` of frame f.
+    po_at: list[list[int]]
+    #: ``node_at[f][n]``: expanded id of sequential node ``n`` in frame f
+    #: (DFF entries point at the frame's *state* node).
+    node_at: list[list[int]]
+
+    def ff_index(self, dff_id: int) -> int:
+        """Position of sequential DFF node ``dff_id`` in the ``ff_at`` rows."""
+        return self._ff_pos[dff_id]
+
+    def __post_init__(self) -> None:
+        self._ff_pos = {d: i for i, d in enumerate(self.sequential.dffs)}
+
+
+def expand(circuit: Circuit, frames: int = 2) -> TimeFrameExpansion:
+    """Unroll ``circuit`` into ``frames`` combinational time frames."""
+    if frames < 1:
+        raise ValueError("frames must be >= 1")
+
+    comb = Circuit(f"{circuit.name}_x{frames}")
+    dffs = circuit.dffs
+    pis = circuit.inputs
+    order = [
+        n
+        for n in circuit.topo_order()
+        if circuit.types[n] not in (GateType.INPUT, GateType.DFF)
+    ]
+
+    # Frame-0 state: one free pseudo-input per flip-flop.
+    state_nodes = [
+        comb.add_node(GateType.INPUT, (), f"{circuit.names[d]}@0") for d in dffs
+    ]
+    ff_at = [list(state_nodes)]
+    pi_at: list[list[int]] = []
+    po_at: list[list[int]] = []
+    node_at: list[list[int]] = []
+
+    for frame in range(frames):
+        mapping = [-1] * circuit.num_nodes
+        for k, dff_id in enumerate(dffs):
+            mapping[dff_id] = state_nodes[k]
+        frame_pis = []
+        for pi in pis:
+            node = comb.add_node(GateType.INPUT, (), f"{circuit.names[pi]}@{frame}")
+            mapping[pi] = node
+            frame_pis.append(node)
+        pi_at.append(frame_pis)
+
+        for node_id in order:
+            gate_type = circuit.types[node_id]
+            fanins = tuple(mapping[f] for f in circuit.fanins[node_id])
+            mapping[node_id] = comb.add_node(
+                gate_type if gate_type != GateType.OUTPUT else GateType.OUTPUT,
+                fanins,
+                f"{circuit.names[node_id]}@{frame}",
+            )
+        node_at.append(mapping)
+        po_at.append([mapping[po] for po in circuit.outputs])
+
+        # The copy of each D-input driver is the state entering frame+1.
+        state_nodes = [mapping[circuit.next_state_node(d)] for d in dffs]
+        ff_at.append(list(state_nodes))
+
+    return TimeFrameExpansion(circuit, comb, frames, ff_at, pi_at, po_at, node_at)

@@ -1,0 +1,67 @@
+"""Structural analyses: FF-pair connectivity and cone extraction.
+
+Step 1 of the paper's flow drops every FF pair with no combinational path
+between them; only *topologically connected* pairs enter the expensive
+stages.  :func:`connected_ff_pairs` computes exactly that relation (the
+"FF-pair" column of Table 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class FFPair:
+    """An ordered pair of flip-flops (source, sink), stored by node id."""
+
+    source: int
+    sink: int
+
+
+def source_ffs_of_sink(circuit: Circuit, sink_dff: int) -> set[int]:
+    """Flip-flops with a combinational path into ``sink_dff``'s D input."""
+    cone = circuit.transitive_fanin([circuit.next_state_node(sink_dff)])
+    return {n for n in cone if circuit.types[n] == GateType.DFF}
+
+def connected_ff_pairs(
+    circuit: Circuit, include_self_loops: bool = True
+) -> list[FFPair]:
+    """All ordered FF pairs joined by at least one combinational path.
+
+    Pairs are returned sorted by (source, sink) id for determinism.  The
+    paper analyses self-loop pairs too (its SAT-based comparison excluded
+    them), so they are included by default.
+    """
+    pairs: list[FFPair] = []
+    for sink in circuit.dffs:
+        for source in sorted(source_ffs_of_sink(circuit, sink)):
+            if source == sink and not include_self_loops:
+                continue
+            pairs.append(FFPair(source, sink))
+    pairs.sort(key=lambda p: (p.source, p.sink))
+    return pairs
+
+
+def pair_count_matrix(circuit: Circuit) -> dict[int, set[int]]:
+    """Map each sink DFF id to the set of its source DFF ids."""
+    return {sink: source_ffs_of_sink(circuit, sink) for sink in circuit.dffs}
+
+
+def nodes_reaching(circuit: Circuit, target: int) -> set[int]:
+    """Nodes with a combinational path to ``target`` (including it)."""
+    return circuit.transitive_fanin([target])
+
+
+def nodes_reachable_from(circuit: Circuit, source: int) -> set[int]:
+    """Nodes combinationally reachable from ``source`` (including it)."""
+    return circuit.transitive_fanout([source])
+
+
+def combinational_depth(circuit: Circuit) -> int:
+    """Maximum combinational level in the circuit."""
+    levels = circuit.levels()
+    return max(levels) if levels else 0

@@ -1,0 +1,311 @@
+"""Command-line interface: ``python -m repro <command>`` or ``repro-mcp``.
+
+Commands
+--------
+analyze FILE            detect multi-cycle FF pairs (``.bench`` or ``.v``)
+hazard FILE             detection + static hazard validation
+kcycle FILE             k-cycle pair detection for k = 2..max
+extended FILE           Condition-2 (observability) extension
+equiv GOLDEN REVISED    SAT-miter equivalence of two netlists
+table1 / table2 / table3
+                        regenerate the paper's tables on the suite
+generate DIR            write the synthetic benchmark suite as .bench files
+sta FILE                timing relaxation unlocked by multi-cycle pairs
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.circuit.bench import dump, load as load_bench
+from repro.core.detector import DetectorOptions, detect_multi_cycle_pairs
+from repro.core.hazard import check_hazards
+from repro.core.sensitization import SensitizationMode
+from repro.core.result import Stage
+
+
+def load(path: str):
+    """Load a netlist by extension: ``.v`` Verilog, otherwise ``.bench``."""
+    if str(path).endswith(".v"):
+        from repro.circuit import verilog
+
+        return verilog.load(path)
+    return load_bench(path)
+
+
+def _detector_options(args: argparse.Namespace) -> DetectorOptions:
+    return DetectorOptions(
+        backtrack_limit=args.backtrack_limit,
+        static_learning=args.static_learning,
+        include_self_loops=not args.no_self_loops,
+    )
+
+
+def _add_detector_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--backtrack-limit", type=int, default=50,
+                        help="ATPG backtrack limit (paper default: 50)")
+    parser.add_argument("--static-learning", action="store_true",
+                        help="pre-compute SOCRATES-style global implications")
+    parser.add_argument("--no-self-loops", action="store_true",
+                        help="skip (FF, FF) self pairs, as [9] did")
+
+
+def cmd_analyze(args: argparse.Namespace) -> int:
+    """Detect and summarise multi-cycle FF pairs of one netlist."""
+    circuit = load(args.file)
+    result = detect_multi_cycle_pairs(circuit, _detector_options(args))
+    stats = circuit.stats()
+    print(f"{circuit.name}: {stats['inputs']} inputs, {stats['dffs']} FFs, "
+          f"{stats['gates']} gates")
+    print(f"connected FF pairs: {result.connected_pairs}")
+    print(f"multi-cycle pairs:  {len(result.multi_cycle_pairs)}")
+    print(f"undecided pairs:    {len(result.undecided_pairs)}")
+    print(f"CPU seconds:        {result.total_seconds:.2f}")
+    for stage in Stage:
+        s = result.stats[stage]
+        print(f"  {stage.value:12s} single={s.single_cycle:6d} "
+              f"multi={s.multi_cycle:6d} cpu={s.cpu_seconds:.2f}s")
+    if args.list_pairs:
+        for source, sink in result.multi_cycle_pair_names():
+            print(f"  multicycle {source} -> {sink}")
+    return 0
+
+
+def cmd_hazard(args: argparse.Namespace) -> int:
+    """Detection plus Section-5 hazard validation and classification."""
+    from repro.circuit.techmap import techmap
+
+    circuit = techmap(load(args.file))
+    result = detect_multi_cycle_pairs(circuit, _detector_options(args))
+    print(f"multi-cycle pairs before hazard checking: "
+          f"{len(result.multi_cycle_pairs)}")
+    for mode in SensitizationMode:
+        hazard = check_hazards(circuit, result, mode)
+        print(f"after {mode.value:13s}: {len(hazard.verified_pairs)} kept, "
+              f"{len(hazard.flagged_pairs)} flagged "
+              f"({hazard.total_seconds:.2f}s)")
+    from repro.core.hazard import HazardClass, classify_hazards
+
+    classes = classify_hazards(circuit, result)
+    print("classification (Section 5.2/5.3):")
+    for key in (HazardClass.SAFE, HazardClass.DEPENDENT, HazardClass.HAZARDOUS):
+        print(f"  {key:10s}: {len(classes[key])}")
+    return 0
+
+
+def cmd_table(args: argparse.Namespace) -> int:
+    """Regenerate one of the paper's tables on the benchmark suite."""
+    from repro.bench_gen.suite import suite
+    from repro.reporting.tables import run_table1, run_table2, run_table3
+
+    circuits = suite(args.profile)
+    if args.table == "table1":
+        table, _ = run_table1(circuits, sat_mode=args.sat_mode,
+                              run_sat=not args.no_sat)
+    elif args.table == "table2":
+        table = run_table2(circuits)
+    else:
+        table = run_table3(circuits)
+    print(table.format())
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    """Write the synthetic benchmark suite as .bench files."""
+    from repro.bench_gen.suite import suite
+
+    out_dir = Path(args.dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    for circuit in suite(args.profile):
+        path = out_dir / f"{circuit.name}.bench"
+        dump(circuit, path)
+        print(f"wrote {path}")
+    return 0
+
+
+def cmd_kcycle(args: argparse.Namespace) -> int:
+    """k-cycle pair detection for k = 2..max_k."""
+    from repro.core.kcycle import KCycleDetector
+
+    circuit = load(args.file)
+    for k in range(2, args.max_k + 1):
+        result = KCycleDetector(
+            circuit, k, backtrack_limit=args.backtrack_limit,
+            include_self_loops=not args.no_self_loops,
+        ).run()
+        print(f"k={k}: {len(result.k_cycle_pairs)} of "
+              f"{result.connected_pairs} pairs are {k}-cycle "
+              f"({result.total_seconds:.2f}s)")
+        if args.list_pairs:
+            for source, sink in result.k_cycle_pair_names():
+                print(f"  {source} -> {sink}")
+    return 0
+
+
+def cmd_extended(args: argparse.Namespace) -> int:
+    """Condition-2 (observability-based) extension pass."""
+    from repro.core.extended import condition2_extension
+
+    circuit = load(args.file)
+    detection = detect_multi_cycle_pairs(circuit, _detector_options(args))
+    extended = condition2_extension(circuit, detection)
+    print(f"MC-condition multi-cycle pairs: {len(detection.multi_cycle_pairs)}")
+    print(f"Condition-2 upgraded pairs:     {len(extended.upgraded_pairs)}")
+    print(f"total multi-cycle pairs:        {extended.total_multi_cycle}")
+    for source, sink in extended.upgraded_pair_names():
+        print(f"  upgraded {source} -> {sink}")
+    return 0
+
+
+def cmd_equiv(args: argparse.Namespace) -> int:
+    """SAT-miter equivalence of two netlists; exit 1 on mismatch."""
+    from repro.sat.equivalence import check_sequential_equivalence_1step
+
+    golden = load(args.golden)
+    revised = load(args.revised)
+    result = check_sequential_equivalence_1step(golden, revised)
+    if result.equivalent:
+        print("EQUIVALENT (outputs and next-state functions match)")
+        return 0
+    print(f"NOT equivalent: first difference at {result.differing_signal}")
+    if result.counterexample:
+        assignment = " ".join(
+            f"{name}={value}"
+            for name, value in sorted(result.counterexample.items())
+        )
+        print(f"counterexample: {assignment}")
+    return 1
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    """Structural statistics of a netlist."""
+    from repro.circuit.stats import compute_stats, format_stats
+
+    print(format_stats(compute_stats(load(args.file))))
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Run every experiment and write one markdown report."""
+    from repro.bench_gen.suite import suite
+    from repro.reporting.summary import generate_report
+
+    circuits = suite(args.profile)
+    text = generate_report(circuits, sat_mode=args.sat_mode,
+                           run_sat=not args.no_sat)
+    Path(args.out).write_text(text)
+    print(f"wrote {args.out}")
+    return 0
+
+
+def cmd_sta(args: argparse.Namespace) -> int:
+    """Timing relaxation unlocked by the detected multi-cycle pairs."""
+    from repro.sta.constraints import relaxation_report
+    from repro.sta.report import format_slack_table, worst_slack_table
+
+    circuit = load(args.file)
+    detection = detect_multi_cycle_pairs(circuit, _detector_options(args))
+    report = relaxation_report(circuit, detection)
+    print(f"FF-to-FF paths analysed:     {len(report.pair_timings)}")
+    print(f"min period (all 1-cycle):    {report.min_period_baseline:.2f}")
+    print(f"min period (MC relaxed):     {report.min_period_relaxed:.2f}")
+    print(f"clock speedup:               {report.speedup:.2f}x")
+    if args.period is not None:
+        lines = worst_slack_table(circuit, detection, args.period,
+                                  limit=args.worst)
+        print()
+        print(format_slack_table(lines, args.period))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-mcp",
+        description="Implication-based multi-cycle path detection "
+                    "(reproduction of Higuchi, DAC 2002)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="detect multi-cycle FF pairs")
+    p.add_argument("file", help=".bench netlist")
+    p.add_argument("--list-pairs", action="store_true")
+    _add_detector_args(p)
+    p.set_defaults(func=cmd_analyze)
+
+    p = sub.add_parser("hazard", help="detection + static hazard checks")
+    p.add_argument("file", help=".bench netlist")
+    _add_detector_args(p)
+    p.set_defaults(func=cmd_hazard)
+
+    for name in ("table1", "table2", "table3"):
+        p = sub.add_parser(name, help=f"regenerate the paper's {name}")
+        p.add_argument("--profile", default="small",
+                       choices=("tiny", "small", "medium", "large", "full"))
+        if name == "table1":
+            p.add_argument("--sat-mode", default="per-pair",
+                           choices=("per-pair", "incremental"))
+            p.add_argument("--no-sat", action="store_true",
+                           help="skip the SAT baseline column")
+        p.set_defaults(func=cmd_table, table=name)
+
+    p = sub.add_parser("generate", help="write suite circuits as .bench")
+    p.add_argument("dir")
+    p.add_argument("--profile", default="small",
+                   choices=("tiny", "small", "medium", "large", "full"))
+    p.set_defaults(func=cmd_generate)
+
+    p = sub.add_parser("sta", help="timing relaxation report")
+    p.add_argument("file", help=".bench netlist")
+    p.add_argument("--period", type=float, default=None,
+                   help="also print the worst-slack table at this period")
+    p.add_argument("--worst", type=int, default=10,
+                   help="rows in the slack table (default 10)")
+    _add_detector_args(p)
+    p.set_defaults(func=cmd_sta)
+
+    p = sub.add_parser("kcycle", help="k-cycle pair detection (k = 2..max)")
+    p.add_argument("file", help=".bench netlist")
+    p.add_argument("--max-k", type=int, default=4)
+    p.add_argument("--list-pairs", action="store_true")
+    _add_detector_args(p)
+    p.set_defaults(func=cmd_kcycle)
+
+    p = sub.add_parser("extended",
+                       help="Condition-2 extension (observability based)")
+    p.add_argument("file", help=".bench netlist")
+    _add_detector_args(p)
+    p.set_defaults(func=cmd_extended)
+
+    p = sub.add_parser("equiv", help="SAT miter equivalence of two netlists")
+    p.add_argument("golden", help="reference .bench netlist")
+    p.add_argument("revised", help="netlist to compare against the reference")
+    p.set_defaults(func=cmd_equiv)
+
+    p = sub.add_parser("stats", help="structural statistics of a netlist")
+    p.add_argument("file", help=".bench or .v netlist")
+    p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser("report",
+                       help="run every experiment, write a markdown report")
+    p.add_argument("out", help="output markdown file")
+    p.add_argument("--profile", default="tiny",
+                   choices=("tiny", "small", "medium", "large", "full"))
+    p.add_argument("--sat-mode", default="per-pair",
+                   choices=("per-pair", "incremental"))
+    p.add_argument("--no-sat", action="store_true")
+    p.set_defaults(func=cmd_report)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,126 @@
+"""Exhaustive reference oracle for the MC condition.
+
+For circuits small enough to enumerate every (state, input, input)
+combination this module decides the MC condition *exactly* by simulation.
+It exists to cross-validate the implication-based detector, the SAT-based
+baseline and the BDD-based baseline — all four must agree on small
+circuits — and doubles as executable documentation of the condition.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.topology import FFPair, connected_ff_pairs
+from repro.logic.simulator import Simulator
+
+
+def _three_frames(circuit: Circuit, state_bits: tuple[int, ...],
+                  inputs0: tuple[int, ...], inputs1: tuple[int, ...]):
+    """Simulate two clock cycles; return FF value dicts at t, t+1, t+2."""
+    sim = Simulator(circuit)
+    sim.set_all_state(state_bits)
+    if circuit.inputs:
+        sim.set_all_inputs(inputs0)
+    s0 = {d: sim.values[d] for d in circuit.dffs}
+    sim.clock()
+    s1 = {d: sim.values[d] for d in circuit.dffs}
+    if circuit.inputs:
+        sim.set_all_inputs(inputs1)
+    sim.clock()
+    s2 = {d: sim.values[d] for d in circuit.dffs}
+    return s0, s1, s2
+
+
+def brute_force_mc_pairs(
+    circuit: Circuit,
+    include_self_loops: bool = True,
+    max_bits: int = 22,
+) -> set[tuple[int, int]]:
+    """All multi-cycle FF pairs by exhaustive enumeration.
+
+    Enumerates every initial state and every input vector for two cycles
+    (``2**(num_dffs + 2 * num_inputs)`` simulations) and keeps the pairs for
+    which no combination violates the MC condition.  Refuses circuits with
+    more than ``max_bits`` free bits.
+    """
+    num_dffs = len(circuit.dffs)
+    num_inputs = len(circuit.inputs)
+    total_bits = num_dffs + 2 * num_inputs
+    if total_bits > max_bits:
+        raise ValueError(
+            f"{total_bits} free bits exceed the brute-force limit of {max_bits}"
+        )
+
+    pairs = connected_ff_pairs(circuit, include_self_loops=include_self_loops)
+    candidates: set[tuple[int, int]] = {(p.source, p.sink) for p in pairs}
+
+    for state_bits in product((0, 1), repeat=num_dffs):
+        for inputs0 in product((0, 1), repeat=num_inputs):
+            for inputs1 in product((0, 1), repeat=num_inputs):
+                if not candidates:
+                    return candidates
+                s0, s1, s2 = _three_frames(circuit, state_bits, inputs0, inputs1)
+                violated = [
+                    (i, j)
+                    for (i, j) in candidates
+                    if s0[i] != s1[i] and s1[j] != s2[j]
+                ]
+                candidates.difference_update(violated)
+    return candidates
+
+
+def brute_force_is_multi_cycle(circuit: Circuit, pair: FFPair) -> bool:
+    """Exact MC-condition check for a single pair (same enumeration)."""
+    result = brute_force_mc_pairs(circuit)
+    return (pair.source, pair.sink) in result
+
+
+def brute_force_k_cycle_pairs(
+    circuit: Circuit,
+    k: int,
+    include_self_loops: bool = True,
+    max_bits: int = 20,
+) -> set[tuple[int, int]]:
+    """Exact k-cycle FF pairs: sink stable from t+1 through t+k.
+
+    ``k = 2`` coincides with :func:`brute_force_mc_pairs`.
+    """
+    if k < 2:
+        raise ValueError("k must be >= 2")
+    num_dffs = len(circuit.dffs)
+    num_inputs = len(circuit.inputs)
+    total_bits = num_dffs + k * num_inputs
+    if total_bits > max_bits:
+        raise ValueError(
+            f"{total_bits} free bits exceed the brute-force limit of {max_bits}"
+        )
+
+    pairs = connected_ff_pairs(circuit, include_self_loops=include_self_loops)
+    candidates: set[tuple[int, int]] = {(p.source, p.sink) for p in pairs}
+
+    for state_bits in product((0, 1), repeat=num_dffs):
+        for input_seq in product(
+            *[product((0, 1), repeat=num_inputs) for _ in range(k)]
+        ):
+            if not candidates:
+                return candidates
+            sim = Simulator(circuit)
+            sim.set_all_state(state_bits)
+            states = []
+            for frame in range(k):
+                if circuit.inputs:
+                    sim.set_all_inputs(input_seq[frame])
+                states.append({d: sim.values[d] for d in circuit.dffs})
+                sim.clock()
+            states.append({d: sim.values[d] for d in circuit.dffs})
+            # states[f] holds FF values at time t+f for f in 0..k.
+            violated = [
+                (i, j)
+                for (i, j) in candidates
+                if states[0][i] != states[1][i]
+                and any(states[m][j] != states[m + 1][j] for m in range(1, k))
+            ]
+            candidates.difference_update(violated)
+    return candidates

@@ -1,0 +1,147 @@
+"""Per-path sensitization analysis (the §2.3 definitions as an API).
+
+The detector never enumerates paths, but the sensitization conditions it
+uses for hazard checking are defined *per path* (Definitions in §2.3):
+
+* a path is **statically sensitizable** if some input vector sets every
+  side input along it to its non-controlling value;
+* a path is **statically co-sensitizable** (to 0 or 1) if some vector
+  makes every controlled gate on the path receive its controlling value
+  on the on-input;
+* a path that is not even statically co-sensitizable is a **false path**
+  in the floating-mode sense — no delay assignment can make it the one
+  that determines the output (statically co-sensitizable is an upper
+  bound of exact sensitization, §2.3).
+
+Combined with :mod:`repro.circuit.paths` this module classifies the
+concrete paths of an FF pair — the classic false-path analysis the paper
+positions itself against (path-based methods explode; this API is for
+inspecting individual paths, not for whole-circuit analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.paths import Path, paths_between
+from repro.circuit.topology import FFPair
+from repro.atpg.implication import ImplicationEngine
+from repro.atpg.justify import SearchStatus, justify
+from repro.core.sensitization import SensitizationMode, _extension_options
+
+
+class PathClass(Enum):
+    """Sensitization classification of one concrete path."""
+
+    STATICALLY_SENSITIZABLE = "statically-sensitizable"
+    CO_SENSITIZABLE_ONLY = "co-sensitizable-only"
+    FALSE = "false"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class PathVerdict:
+    path: Path
+    classification: PathClass
+    #: satisfying input vector for the strongest condition met, if any
+    witness: dict[int, int] | None = None
+
+
+def _check_condition(
+    circuit: Circuit,
+    path: Path,
+    mode: SensitizationMode,
+    backtrack_limit: int,
+) -> tuple[bool | None, dict[int, int] | None]:
+    """Does some vector satisfy ``mode`` along the concrete ``path``?
+
+    Returns (verdict, witness); verdict ``None`` means the search aborted.
+    """
+    engine = ImplicationEngine(circuit)
+    nodes = path.nodes
+    aborted = False
+
+    def walk(position: int) -> tuple[bool, dict[int, int] | None]:
+        nonlocal aborted
+        if position == len(nodes) - 1:
+            result = justify(engine, backtrack_limit)
+            if result.status is SearchStatus.SAT:
+                return True, result.witness
+            if result.status is SearchStatus.ABORTED:
+                aborted = True
+            return False, None
+        via = nodes[position]
+        gate = nodes[position + 1]
+        options = _extension_options(engine, gate, via, mode)
+        if options is None:
+            options = [[]]
+        for option in options:
+            mark = engine.checkpoint()
+            if engine.assume_all(option):
+                found, witness = walk(position + 1)
+                if found:
+                    return True, witness
+            engine.backtrack(mark)
+        return False, None
+
+    found, witness = walk(0)
+    if found:
+        return True, witness
+    return (None if aborted else False), None
+
+
+def classify_path(
+    circuit: Circuit, path: Path, backtrack_limit: int = 1000
+) -> PathVerdict:
+    """Classify one concrete combinational path of ``circuit``.
+
+    The path must run through combinational nodes (e.g. obtained from
+    :func:`repro.circuit.paths.paths_between`).  Classification is by the
+    strongest satisfied condition: statically sensitizable > statically
+    co-sensitizable only > false.
+    """
+    if len(path.nodes) < 2:
+        # A bare wire has no side inputs: trivially sensitizable.
+        return PathVerdict(path, PathClass.STATICALLY_SENSITIZABLE, {})
+
+    sensitizable, witness = _check_condition(
+        circuit, path, SensitizationMode.STATIC_SENSITIZATION, backtrack_limit
+    )
+    if sensitizable:
+        return PathVerdict(path, PathClass.STATICALLY_SENSITIZABLE, witness)
+
+    co_sensitizable, witness = _check_condition(
+        circuit, path, SensitizationMode.STATIC_CO_SENSITIZATION,
+        backtrack_limit,
+    )
+    if co_sensitizable:
+        return PathVerdict(path, PathClass.CO_SENSITIZABLE_ONLY, witness)
+    if sensitizable is None or co_sensitizable is None:
+        return PathVerdict(path, PathClass.UNKNOWN)
+    return PathVerdict(path, PathClass.FALSE)
+
+
+def classify_pair_paths(
+    circuit: Circuit,
+    pair: FFPair,
+    max_paths: int = 100,
+    backtrack_limit: int = 1000,
+) -> list[PathVerdict]:
+    """Classify (up to ``max_paths``) paths of an FF pair."""
+    return [
+        classify_path(circuit, path, backtrack_limit)
+        for path in paths_between(circuit, pair, max_paths)
+    ]
+
+
+def false_path_fraction(
+    circuit: Circuit, pair: FFPair, max_paths: int = 100
+) -> float:
+    """Fraction of a pair's (enumerated) paths that are false paths."""
+    verdicts = classify_pair_paths(circuit, pair, max_paths)
+    if not verdicts:
+        return 0.0
+    false = sum(1 for v in verdicts if v.classification is PathClass.FALSE)
+    return false / len(verdicts)

@@ -1,0 +1,130 @@
+"""Result types for the multi-cycle FF-pair detection pipeline.
+
+Every FF pair ends in exactly one classification, tagged with the pipeline
+stage that settled it — the data behind the paper's Tables 1 and 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.topology import FFPair
+
+
+class Classification(Enum):
+    """Final verdict for an FF pair."""
+
+    MULTI_CYCLE = "multi-cycle"
+    SINGLE_CYCLE = "single-cycle"
+    #: ATPG hit its backtrack limit; treated as single-cycle downstream
+    #: (no timing relaxation is claimed for it).
+    UNDECIDED = "undecided"
+
+
+class Stage(Enum):
+    """Pipeline stage that settled a pair (Table 2 attribution)."""
+
+    SIMULATION = "sim"
+    IMPLICATION = "implication"
+    ATPG = "atpg"
+
+
+class CaseOutcome(Enum):
+    """Outcome of one ``(FF_i(t), FF_j(t+1)) = (a, b)`` assignment case."""
+
+    #: the premise assignments contradict during implication
+    CONTRADICTION = "contradiction"
+    #: implication derives FF_j(t+2) = FF_j(t+1) directly
+    IMPLIED_STABLE = "implied-stable"
+    #: the backtrack search proved no violating pattern exists
+    PROVED_STABLE = "proved-stable"
+    #: a violating pattern was found — the pair is single-cycle
+    VIOLATED = "violated"
+    #: the backtrack limit was exhausted
+    ABORTED = "aborted"
+
+
+@dataclass
+class CaseResult:
+    """Per-case record; ``a``/``b`` are the assumed FF values."""
+
+    a: int
+    b: int
+    outcome: CaseOutcome
+    decisions: int = 0
+    backtracks: int = 0
+    #: violating free-input pattern, by expanded-circuit node id (SAT only)
+    witness: dict[int, int] | None = None
+
+
+@dataclass
+class PairResult:
+    """Full record for one topologically connected FF pair."""
+
+    pair: FFPair
+    classification: Classification
+    stage: Stage
+    cases: list[CaseResult] = field(default_factory=list)
+
+    @property
+    def is_multi_cycle(self) -> bool:
+        return self.classification is Classification.MULTI_CYCLE
+
+
+@dataclass
+class StageStats:
+    """Counts and CPU time per pipeline stage (the paper's Table 2)."""
+
+    single_cycle: int = 0
+    multi_cycle: int = 0
+    undecided: int = 0
+    cpu_seconds: float = 0.0
+
+
+@dataclass
+class DetectionResult:
+    """Everything the detector learned about one circuit."""
+
+    circuit: Circuit
+    connected_pairs: int
+    pair_results: list[PairResult]
+    stats: dict[Stage, StageStats]
+    total_seconds: float
+    learned_implications: int = 0
+
+    @property
+    def multi_cycle_pairs(self) -> list[PairResult]:
+        return [p for p in self.pair_results if p.is_multi_cycle]
+
+    @property
+    def single_cycle_pairs(self) -> list[PairResult]:
+        return [
+            p
+            for p in self.pair_results
+            if p.classification is Classification.SINGLE_CYCLE
+        ]
+
+    @property
+    def undecided_pairs(self) -> list[PairResult]:
+        return [
+            p for p in self.pair_results if p.classification is Classification.UNDECIDED
+        ]
+
+    def pair_names(self, result: PairResult) -> tuple[str, str]:
+        names = self.circuit.names
+        return names[result.pair.source], names[result.pair.sink]
+
+    def multi_cycle_pair_names(self) -> list[tuple[str, str]]:
+        """Readable ``(source, sink)`` names of all multi-cycle pairs."""
+        return sorted(self.pair_names(p) for p in self.multi_cycle_pairs)
+
+    def summary(self) -> dict[str, float | int]:
+        return {
+            "ff_pairs": self.connected_pairs,
+            "mc_pairs": len(self.multi_cycle_pairs),
+            "single_cycle": len(self.single_cycle_pairs),
+            "undecided": len(self.undecided_pairs),
+            "cpu_seconds": self.total_seconds,
+        }

@@ -1,0 +1,60 @@
+"""Roth's 5-valued D-calculus as a composite good/faulty algebra.
+
+Classic ATPG reasons over five values — 0, 1, X, D (good 1 / faulty 0)
+and D̄ (good 0 / faulty 1).  This module represents each as a *pair* of
+three-valued components ``(good, faulty)`` and lifts the ordinary gate
+algebra componentwise, which is exactly the D-calculus (and generalises
+it: the pair form is the full 9-valued algebra, of which Roth's five
+values are the consistent states reachable from a single fault).
+
+Used by :mod:`repro.atpg.podem_stuckat`, the textbook PODEM test
+generator.
+"""
+
+from __future__ import annotations
+
+from repro.circuit.gates import GateType
+from repro.logic.simulator import evaluate_gate
+from repro.logic.values import ONE, X, ZERO
+
+#: the five classic values as (good, faulty) component pairs
+V0 = (ZERO, ZERO)
+V1 = (ONE, ONE)
+VX = (X, X)
+D = (ONE, ZERO)
+DBAR = (ZERO, ONE)
+
+DValue = tuple[int, int]
+
+
+def is_error(value: DValue) -> bool:
+    """True for D/D̄ — the fault effect is visible on this line."""
+    good, faulty = value
+    return good != X and faulty != X and good != faulty
+
+
+def is_known(value: DValue) -> bool:
+    """True when both components are binary (no X anywhere)."""
+    return value[0] != X and value[1] != X
+
+
+def to_symbol(value: DValue) -> str:
+    """Render as 0/1/X/D/D'/partial."""
+    if value == V0:
+        return "0"
+    if value == V1:
+        return "1"
+    if value == D:
+        return "D"
+    if value == DBAR:
+        return "D'"
+    if value == VX:
+        return "X"
+    return f"({'01X'[value[0]]}/{'01X'[value[1]]})"
+
+
+def eval_gate5(gate_type: GateType, values: list[DValue]) -> DValue:
+    """Evaluate one gate over composite values, componentwise."""
+    good = evaluate_gate(gate_type, [v[0] for v in values])
+    faulty = evaluate_gate(gate_type, [v[1] for v in values])
+    return (good, faulty)

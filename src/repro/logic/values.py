@@ -1,0 +1,133 @@
+"""Three-valued logic algebra used throughout the library.
+
+The detection pipeline reasons about partially assigned circuits, so every
+signal carries one of three values:
+
+* ``ZERO`` (0) — logic 0,
+* ``ONE`` (1) — logic 1,
+* ``X`` (2) — unknown / unassigned.
+
+The encoding is chosen so that for the binary values the Python integer *is*
+the logic value, which keeps the simulators and the implication engine free
+of translation layers.  All gate evaluation helpers in this module accept and
+return these small integers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+ZERO = 0
+ONE = 1
+X = 2
+
+VALUES = (ZERO, ONE, X)
+BINARY = (ZERO, ONE)
+
+_NOT = (ONE, ZERO, X)
+
+#: AND truth table indexed as ``_AND[a][b]``.
+_AND = (
+    (ZERO, ZERO, ZERO),
+    (ZERO, ONE, X),
+    (ZERO, X, X),
+)
+
+#: OR truth table indexed as ``_OR[a][b]``.
+_OR = (
+    (ZERO, ONE, X),
+    (ONE, ONE, ONE),
+    (X, ONE, X),
+)
+
+#: XOR truth table indexed as ``_XOR[a][b]``.
+_XOR = (
+    (ZERO, ONE, X),
+    (ONE, ZERO, X),
+    (X, X, X),
+)
+
+
+def v_not(a: int) -> int:
+    """Return the three-valued negation of ``a``."""
+    return _NOT[a]
+
+
+def v_and(a: int, b: int) -> int:
+    """Return the three-valued conjunction of ``a`` and ``b``."""
+    return _AND[a][b]
+
+
+def v_or(a: int, b: int) -> int:
+    """Return the three-valued disjunction of ``a`` and ``b``."""
+    return _OR[a][b]
+
+
+def v_xor(a: int, b: int) -> int:
+    """Return the three-valued exclusive-or of ``a`` and ``b``."""
+    return _XOR[a][b]
+
+
+def v_and_all(values: Iterable[int]) -> int:
+    """Three-valued AND over an iterable (identity ``ONE`` when empty)."""
+    result = ONE
+    for value in values:
+        result = _AND[result][value]
+        if result == ZERO:
+            return ZERO
+    return result
+
+
+def v_or_all(values: Iterable[int]) -> int:
+    """Three-valued OR over an iterable (identity ``ZERO`` when empty)."""
+    result = ZERO
+    for value in values:
+        result = _OR[result][value]
+        if result == ONE:
+            return ONE
+    return result
+
+
+def v_xor_all(values: Iterable[int]) -> int:
+    """Three-valued XOR over an iterable (identity ``ZERO`` when empty)."""
+    result = ZERO
+    for value in values:
+        result = _XOR[result][value]
+    return result
+
+
+def v_mux(select: int, d0: int, d1: int) -> int:
+    """Three-valued 2:1 multiplexer: ``d0`` when ``select`` is 0, else ``d1``.
+
+    When the select is unknown the output is known only if both data inputs
+    agree on a binary value.
+    """
+    if select == ZERO:
+        return d0
+    if select == ONE:
+        return d1
+    if d0 == d1 and d0 != X:
+        return d0
+    return X
+
+
+def is_binary(value: int) -> bool:
+    """Return ``True`` for ``ZERO``/``ONE``, ``False`` for ``X``."""
+    return value == ZERO or value == ONE
+
+
+def to_char(value: int) -> str:
+    """Render a logic value as ``'0'``, ``'1'`` or ``'X'``."""
+    return "01X"[value]
+
+
+def from_char(char: str) -> int:
+    """Parse ``'0'``/``'1'``/``'X'`` (case-insensitive) into a logic value."""
+    normalized = char.upper()
+    if normalized == "0":
+        return ZERO
+    if normalized == "1":
+        return ONE
+    if normalized == "X":
+        return X
+    raise ValueError(f"not a logic value character: {char!r}")

@@ -1,0 +1,135 @@
+"""Value Change Dump (VCD) tracing for the three-valued simulator.
+
+Wraps a :class:`~repro.logic.simulator.Simulator` and records the values
+of selected signals after every clock edge, emitting standard IEEE 1364
+VCD text that any waveform viewer (GTKWave etc.) understands.  Used by the
+examples to visualise the paper's Fig. 1 three-cycle data transport.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.circuit.netlist import Circuit
+from repro.logic.simulator import Simulator
+from repro.logic.values import X
+
+#: printable identifier characters per the VCD grammar
+_ID_CHARS = "".join(chr(c) for c in range(33, 127))
+
+
+def _identifier(index: int) -> str:
+    """Short VCD identifier for the ``index``-th traced signal."""
+    base = len(_ID_CHARS)
+    chars = []
+    index += 1
+    while index:
+        index, digit = divmod(index - 1, base)
+        chars.append(_ID_CHARS[digit])
+    return "".join(reversed(chars))
+
+
+def _value_char(value: int) -> str:
+    return "x" if value == X else str(value)
+
+
+class VcdTracer:
+    """Records signal values per clock cycle and serialises them as VCD.
+
+    Typical use::
+
+        sim = Simulator(circuit)
+        tracer = VcdTracer(sim, signals=["FF1", "FF2", "EN2"])
+        sim.set_all_state([0, 0, 0, 0])
+        tracer.sample()            # time 0
+        for _ in range(8):
+            sim.clock()
+            tracer.sample()
+        tracer.write("trace.vcd")
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        signals: list[str] | None = None,
+        timescale: str = "1ns",
+        clock_period: int = 10,
+    ) -> None:
+        self.simulator = simulator
+        circuit = simulator.circuit
+        if signals is None:
+            signals = [circuit.names[n] for n in circuit.inputs] + [
+                circuit.names[n] for n in circuit.dffs
+            ]
+        self.signals = list(signals)
+        self._nodes = [circuit.id_of(name) for name in self.signals]
+        self._ids = [_identifier(i) for i in range(len(self.signals))]
+        self.timescale = timescale
+        self.clock_period = clock_period
+        #: per-sample tuples of signal values
+        self.samples: list[tuple[int, ...]] = []
+
+    def sample(self) -> None:
+        """Record the current value of every traced signal."""
+        values = self.simulator.values
+        self.samples.append(tuple(values[n] for n in self._nodes))
+
+    def dumps(self) -> str:
+        """Serialise the recorded samples as VCD text."""
+        circuit = self.simulator.circuit
+        out = io.StringIO()
+        out.write(f"$timescale {self.timescale} $end\n")
+        out.write(f"$scope module {circuit.name} $end\n")
+        for name, ident in zip(self.signals, self._ids):
+            out.write(f"$var wire 1 {ident} {name} $end\n")
+        out.write("$upscope $end\n$enddefinitions $end\n")
+
+        previous: tuple[int, ...] | None = None
+        for step, sample in enumerate(self.samples):
+            changes = [
+                (value, ident)
+                for value, prev_value, ident in zip(
+                    sample,
+                    previous if previous is not None else (None,) * len(sample),
+                    self._ids,
+                )
+                if value != prev_value
+            ]
+            if changes or previous is None:
+                out.write(f"#{step * self.clock_period}\n")
+                if previous is None:
+                    out.write("$dumpvars\n")
+                for value, ident in changes:
+                    out.write(f"{_value_char(value)}{ident}\n")
+                if previous is None:
+                    out.write("$end\n")
+            previous = sample
+        return out.getvalue()
+
+    def write(self, path: str | Path) -> None:
+        Path(path).write_text(self.dumps())
+
+
+def trace_circuit(
+    circuit: Circuit,
+    cycles: int,
+    initial_state: list[int] | None = None,
+    inputs_per_cycle: list[dict[str, int]] | None = None,
+    signals: list[str] | None = None,
+) -> VcdTracer:
+    """Convenience one-shot: simulate ``cycles`` clocks and return the trace."""
+    sim = Simulator(circuit)
+    if initial_state is not None:
+        sim.set_all_state(initial_state)
+    tracer = VcdTracer(sim, signals)
+    if inputs_per_cycle and inputs_per_cycle[0]:
+        sim.set_inputs(inputs_per_cycle[0])
+    sim.comb_eval()
+    tracer.sample()
+    for cycle in range(cycles):
+        if inputs_per_cycle is not None and cycle < len(inputs_per_cycle):
+            sim.set_inputs(inputs_per_cycle[cycle])
+        sim.clock()
+        tracer.sample()
+    return tracer

@@ -1,0 +1,104 @@
+"""DIMACS CNF import/export.
+
+Lets the library interoperate with external SAT tooling: the Tseitin
+encoding of a time-frame expansion (or any clause set) can be written in
+standard DIMACS format, and DIMACS files can be solved with the built-in
+CDCL solver.
+"""
+
+from __future__ import annotations
+
+import io
+from pathlib import Path
+
+from repro.sat.solver import CdclSolver
+
+
+class DimacsFormatError(ValueError):
+    """Raised on malformed DIMACS input."""
+
+
+def parse_dimacs(text: str) -> tuple[int, list[list[int]]]:
+    """Parse DIMACS CNF text into ``(num_vars, clauses)``.
+
+    Tolerates missing/incorrect header counts (many generators get them
+    wrong); comment lines (``c ...``) and ``%``/``0`` trailer lines are
+    skipped.
+    """
+    num_vars = 0
+    declared_clauses: int | None = None
+    clauses: list[list[int]] = []
+    current: list[int] = []
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("c") or line.startswith("%"):
+            continue
+        if line.startswith("p"):
+            parts = line.split()
+            if len(parts) != 4 or parts[1] != "cnf":
+                raise DimacsFormatError(f"line {line_no}: bad header {line!r}")
+            try:
+                num_vars = int(parts[2])
+                declared_clauses = int(parts[3])
+            except ValueError:
+                raise DimacsFormatError(
+                    f"line {line_no}: non-numeric header {line!r}"
+                ) from None
+            continue
+        for token in line.split():
+            try:
+                literal = int(token)
+            except ValueError:
+                raise DimacsFormatError(
+                    f"line {line_no}: bad literal {token!r}"
+                ) from None
+            if literal == 0:
+                # A bare "0" line is the SATLIB end-of-file trailer, so an
+                # empty clause here is a terminator, not falsum.
+                if current:
+                    clauses.append(current)
+                current = []
+            else:
+                num_vars = max(num_vars, abs(literal))
+                current.append(literal)
+    if current:
+        clauses.append(current)
+    if declared_clauses is not None and declared_clauses != len(clauses):
+        # Header mismatch is common in the wild; keep the parsed clauses.
+        pass
+    return num_vars, clauses
+
+
+def load_dimacs(path: str | Path) -> tuple[int, list[list[int]]]:
+    """Read a DIMACS CNF file."""
+    return parse_dimacs(Path(path).read_text())
+
+
+def write_dimacs(
+    num_vars: int,
+    clauses: list[list[int]],
+    path: str | Path | None = None,
+    comments: list[str] | None = None,
+) -> str:
+    """Serialise clauses as DIMACS CNF; optionally write to ``path``."""
+    out = io.StringIO()
+    for comment in comments or []:
+        out.write(f"c {comment}\n")
+    out.write(f"p cnf {num_vars} {len(clauses)}\n")
+    for clause in clauses:
+        out.write(" ".join(str(l) for l in clause) + " 0\n")
+    text = out.getvalue()
+    if path is not None:
+        Path(path).write_text(text)
+    return text
+
+
+def solver_from_dimacs(text: str) -> CdclSolver:
+    """Build a :class:`CdclSolver` preloaded with a DIMACS formula."""
+    num_vars, clauses = parse_dimacs(text)
+    solver = CdclSolver()
+    solver._ensure_vars(num_vars)
+    for clause in clauses:
+        if not solver.add_clause(clause):
+            break
+    return solver

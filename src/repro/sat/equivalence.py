@@ -1,0 +1,156 @@
+"""SAT-based miter equivalence checking and FF observability.
+
+Two uses inside the library:
+
+* **transformation validation** — the technology mapper and the benchmark
+  generator are checked by building a miter between original and mapped
+  circuits (primary outputs and next-state functions compared, matched by
+  name) and proving it UNSAT with the built-in CDCL solver;
+* **observability analysis** — :func:`ff_observable_at_outputs` asks
+  whether toggling one flip-flop's output can ever change a primary
+  output within one frame, which the extended Condition-2 analysis
+  (:mod:`repro.core.extended`) needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.circuit.timeframe import expand
+from repro.sat.solver import CdclSolver, SolveStatus
+from repro.sat.tseitin import encode_circuit
+
+
+@dataclass
+class EquivalenceResult:
+    equivalent: bool
+    #: name of the first differing output / next-state function, if any
+    differing_signal: str | None = None
+    #: a distinguishing assignment over shared input/state names, if any
+    counterexample: dict[str, int] | None = None
+
+
+def check_sequential_equivalence_1step(
+    golden: Circuit, revised: Circuit
+) -> EquivalenceResult:
+    """Combinational equivalence of outputs and next-state functions.
+
+    Both circuits must have identically named primary inputs and
+    flip-flops (the techmap and the bench round-trip preserve names).
+    Because the state is compared transition-by-transition from *any*
+    state, this is a sound and complete sequential equivalence check for
+    same-state-encoding revisions.
+    """
+    golden_inputs = {golden.names[n] for n in golden.inputs}
+    revised_inputs = {revised.names[n] for n in revised.inputs}
+    if golden_inputs != revised_inputs:
+        return EquivalenceResult(False, differing_signal="<input sets differ>")
+    golden_ffs = {golden.names[n] for n in golden.dffs}
+    revised_ffs = {revised.names[n] for n in revised.dffs}
+    if golden_ffs != revised_ffs:
+        return EquivalenceResult(False, differing_signal="<FF sets differ>")
+
+    golden_exp = expand(golden, 1)
+    revised_exp = expand(revised, 1)
+    solver = CdclSolver()
+    golden_enc = encode_circuit(golden_exp.comb, solver)
+    revised_enc = encode_circuit(revised_exp.comb, solver)
+
+    # Tie shared free inputs together (state@0 and PIs@0 match by name).
+    shared_names: dict[str, tuple[int, int]] = {}
+    golden_by_name = {golden_exp.comb.names[n]: n for n in golden_exp.comb.inputs}
+    revised_by_name = {revised_exp.comb.names[n]: n for n in revised_exp.comb.inputs}
+    for name, golden_node in golden_by_name.items():
+        revised_node = revised_by_name[name]
+        a = golden_enc.var_of[golden_node]
+        b = revised_enc.var_of[revised_node]
+        solver.add_clause([-a, b])
+        solver.add_clause([a, -b])
+        shared_names[name] = (golden_node, revised_node)
+
+    # Primary outputs are matched by their *driver* signal name, which is
+    # stable across the .bench and Verilog writers (the OUTPUT marker
+    # node's own name is writer-specific).
+    golden_outs = {
+        golden.names[golden.fanins[po][0]]: golden_exp.po_at[0][k]
+        for k, po in enumerate(golden.outputs)
+    }
+    revised_outs = {
+        revised.names[revised.fanins[po][0]]: revised_exp.po_at[0][k]
+        for k, po in enumerate(revised.outputs)
+    }
+    for k, dff in enumerate(golden.dffs):
+        golden_outs[f"{golden.names[dff]}.next"] = golden_exp.ff_at[1][k]
+    for k, dff in enumerate(revised.dffs):
+        revised_outs[f"{revised.names[dff]}.next"] = revised_exp.ff_at[1][k]
+
+    if set(golden_outs) != set(revised_outs):
+        return EquivalenceResult(False, differing_signal="<output sets differ>")
+
+    for name in sorted(golden_outs):
+        a = golden_enc.var_of[golden_outs[name]]
+        b = revised_enc.var_of[revised_outs[name]]
+        miter = solver.new_var()
+        # miter <-> (a XOR b)
+        solver.add_clause([-miter, a, b])
+        solver.add_clause([-miter, -a, -b])
+        solver.add_clause([miter, -a, b])
+        solver.add_clause([miter, a, -b])
+        status = solver.solve([miter])
+        if status is SolveStatus.SAT:
+            counterexample = {
+                shared: solver.model_value(golden_enc.var_of[node_a]) or 0
+                for shared, (node_a, _node_b) in shared_names.items()
+            }
+            return EquivalenceResult(False, name, counterexample)
+    return EquivalenceResult(True)
+
+
+def ff_observable_at_outputs(circuit: Circuit, dff: int) -> bool:
+    """Can flipping ``dff``'s output ever change a primary output?
+
+    Builds a miter between two copies of the one-frame expansion that
+    agree on every free input except the chosen flip-flop's state, which
+    is forced to differ; SAT on any output miter means observable.  A
+    circuit without primary outputs makes every FF trivially unobservable.
+    """
+    if circuit.types[dff] != GateType.DFF:
+        raise ValueError("ff_observable_at_outputs expects a DFF node")
+    if not circuit.outputs:
+        return False
+    expansion_a = expand(circuit, 1)
+    expansion_b = expand(circuit, 1)
+    solver = CdclSolver()
+    enc_a = encode_circuit(expansion_a.comb, solver)
+    enc_b = encode_circuit(expansion_b.comb, solver)
+
+    index = expansion_a.ff_index(dff)
+    target_a = expansion_a.ff_at[0][index]
+    target_b = expansion_b.ff_at[0][index]
+    by_name_a = {expansion_a.comb.names[n]: n for n in expansion_a.comb.inputs}
+    by_name_b = {expansion_b.comb.names[n]: n for n in expansion_b.comb.inputs}
+    for name, node_a in by_name_a.items():
+        node_b = by_name_b[name]
+        a = enc_a.var_of[node_a]
+        b = enc_b.var_of[node_b]
+        if node_a == target_a:
+            solver.add_clause([a, b])
+            solver.add_clause([-a, -b])  # forced to differ
+        else:
+            solver.add_clause([-a, b])
+            solver.add_clause([a, -b])
+
+    difference_lits = []
+    for k in range(len(circuit.outputs)):
+        a = enc_a.var_of[expansion_a.po_at[0][k]]
+        b = enc_b.var_of[expansion_b.po_at[0][k]]
+        diff = solver.new_var()
+        solver.add_clause([-diff, a, b])
+        solver.add_clause([-diff, -a, -b])
+        solver.add_clause([diff, -a, b])
+        solver.add_clause([diff, a, -b])
+        difference_lits.append(diff)
+    solver.add_clause(difference_lits)
+    return solver.solve() is SolveStatus.SAT

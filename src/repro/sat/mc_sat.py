@@ -1,0 +1,143 @@
+"""The conventional SAT-based multi-cycle detector (baseline, ref. [9]).
+
+Nakamura et al. formulate the MC condition as propositional satisfiability:
+a pair ``(FF_i, FF_j)`` is multi-cycle iff
+
+    FF_i(t) != FF_i(t+1)  AND  FF_j(t+1) != FF_j(t+2)
+
+is unsatisfiable over the 2-time-frame expansion (all states reachable).
+Here the expansion is Tseitin-encoded once; each FF gets two *difference*
+variables (``source toggles``, ``sink stays``) and every pair is a single
+incremental solve under two assumptions.
+
+This module exists as the comparison point of Table 1: it must agree with
+the implication-based detector on MC-pair counts while being slower.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit, validate
+from repro.circuit.timeframe import expand
+from repro.circuit.topology import FFPair, connected_ff_pairs
+from repro.sat.solver import CdclSolver, SolveStatus
+from repro.sat.tseitin import encode_circuit
+
+
+@dataclass
+class SatPairResult:
+    pair: FFPair
+    is_multi_cycle: bool
+    #: None when decided; set when the conflict limit was exhausted.
+    unknown: bool = False
+
+
+@dataclass
+class SatDetectionResult:
+    circuit: Circuit
+    connected_pairs: int
+    pair_results: list[SatPairResult]
+    total_seconds: float
+
+    @property
+    def multi_cycle_pairs(self) -> list[SatPairResult]:
+        return [p for p in self.pair_results if p.is_multi_cycle]
+
+    def multi_cycle_pair_names(self) -> list[tuple[str, str]]:
+        names = self.circuit.names
+        return sorted(
+            (names[p.pair.source], names[p.pair.sink]) for p in self.multi_cycle_pairs
+        )
+
+
+class SatMcDetector:
+    """SAT-based MC-pair detection.
+
+    Two modes:
+
+    * ``"incremental"`` — one shared Tseitin encoding of the 2-frame
+      expansion; each pair is an assumption-based solve that benefits from
+      clauses learned on earlier pairs (a modern formulation).
+    * ``"per-pair"`` — a fresh solver and encoding per pair, modelling the
+      conventional method of [9] (one CNF instance per FF pair).  This is
+      the comparison point of the paper's Table 1.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        include_self_loops: bool = True,
+        conflict_limit: int | None = None,
+        mode: str = "incremental",
+    ) -> None:
+        if mode not in ("incremental", "per-pair"):
+            raise ValueError(f"unknown mode {mode!r}")
+        validate(circuit)
+        self.circuit = circuit
+        self.include_self_loops = include_self_loops
+        self.conflict_limit = conflict_limit
+        self.mode = mode
+        self._prepare()
+
+    def _prepare(self) -> None:
+        self.expansion = expand(self.circuit, frames=2)
+        self.encoding = encode_circuit(self.expansion.comb)
+        solver = self.encoding.solver
+        exp = self.expansion
+        self._toggle_var: dict[int, int] = {}
+        self._stable_var: dict[int, int] = {}
+        for index, dff in enumerate(self.circuit.dffs):
+            ff_t = exp.ff_at[0][index]
+            ff_t1 = exp.ff_at[1][index]
+            ff_t2 = exp.ff_at[2][index]
+            toggles = solver.new_var()
+            self._encode_xor_flag(solver, toggles, ff_t, ff_t1)
+            self._toggle_var[dff] = toggles
+            changes = solver.new_var()
+            self._encode_xor_flag(solver, changes, ff_t1, ff_t2)
+            self._stable_var[dff] = changes
+
+    def _encode_xor_flag(self, solver: CdclSolver, flag: int, node_a: int, node_b: int) -> None:
+        """``flag <-> (node_a != node_b)`` over encoded circuit nodes."""
+        a = self.encoding.var_of[node_a]
+        b = self.encoding.var_of[node_b]
+        solver.add_clause([-flag, a, b])
+        solver.add_clause([-flag, -a, -b])
+        solver.add_clause([flag, -a, b])
+        solver.add_clause([flag, a, -b])
+
+    def analyze(self, pair: FFPair) -> SatPairResult:
+        """One SAT call: UNSAT means multi-cycle."""
+        if self.mode == "per-pair":
+            self._prepare()  # fresh solver + encoding, as in [9]
+        assumptions = [self._toggle_var[pair.source], self._stable_var[pair.sink]]
+        status = self.encoding.solver.solve(
+            assumptions, conflict_limit=self.conflict_limit
+        )
+        if status is SolveStatus.UNKNOWN:
+            return SatPairResult(pair, is_multi_cycle=False, unknown=True)
+        return SatPairResult(pair, is_multi_cycle=status is SolveStatus.UNSAT)
+
+    def run(self) -> SatDetectionResult:
+        started = time.perf_counter()
+        pairs = connected_ff_pairs(
+            self.circuit, include_self_loops=self.include_self_loops
+        )
+        results = [self.analyze(pair) for pair in pairs]
+        return SatDetectionResult(
+            circuit=self.circuit,
+            connected_pairs=len(pairs),
+            pair_results=results,
+            total_seconds=time.perf_counter() - started,
+        )
+
+
+def sat_detect_multi_cycle_pairs(
+    circuit: Circuit, include_self_loops: bool = True, mode: str = "incremental"
+) -> SatDetectionResult:
+    """Convenience wrapper: run the SAT baseline end to end."""
+    return SatMcDetector(
+        circuit, include_self_loops=include_self_loops, mode=mode
+    ).run()

@@ -1,0 +1,119 @@
+"""Tseitin encoding of combinational circuits into CNF.
+
+Every circuit node gets one SAT variable; each gate contributes the clauses
+of its input/output consistency constraint.  Used by the SAT-based baseline
+(:mod:`repro.sat.mc_sat`) to encode the 2-time-frame expansion once and
+query it per FF pair under assumptions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.sat.solver import CdclSolver
+
+
+@dataclass
+class CircuitEncoding:
+    """CNF encoding of one combinational circuit."""
+
+    circuit: Circuit
+    solver: CdclSolver
+    #: SAT variable (DIMACS index) per circuit node id.
+    var_of: list[int]
+
+    def lit(self, node: int, value: int) -> int:
+        """Literal asserting ``node == value``."""
+        var = self.var_of[node]
+        return var if value else -var
+
+
+def _encode_and(solver: CdclSolver, out: int, ins: list[int], invert: bool) -> None:
+    """``out = AND(ins)`` (or NAND when ``invert``)."""
+    out_lit = -out if invert else out
+    for i in ins:
+        solver.add_clause([-out_lit, i])
+    solver.add_clause([out_lit] + [-i for i in ins])
+
+
+def _encode_or(solver: CdclSolver, out: int, ins: list[int], invert: bool) -> None:
+    """``out = OR(ins)`` (or NOR when ``invert``)."""
+    out_lit = -out if invert else out
+    for i in ins:
+        solver.add_clause([out_lit, -i])
+    solver.add_clause([-out_lit] + list(ins))
+
+
+def _encode_xor2(solver: CdclSolver, out: int, a: int, b: int) -> None:
+    """``out = a XOR b``."""
+    solver.add_clause([-out, a, b])
+    solver.add_clause([-out, -a, -b])
+    solver.add_clause([out, -a, b])
+    solver.add_clause([out, a, -b])
+
+
+def _encode_eq(solver: CdclSolver, a: int, b: int, invert: bool = False) -> None:
+    """``a == b`` (or ``a == !b`` when ``invert``)."""
+    b_lit = -b if invert else b
+    solver.add_clause([-a, b_lit])
+    solver.add_clause([a, -b_lit])
+
+
+def _encode_mux(solver: CdclSolver, out: int, select: int, d0: int, d1: int) -> None:
+    """``out = select ? d1 : d0``."""
+    solver.add_clause([select, -out, d0])
+    solver.add_clause([select, out, -d0])
+    solver.add_clause([-select, -out, d1])
+    solver.add_clause([-select, out, -d1])
+
+
+def encode_circuit(circuit: Circuit, solver: CdclSolver | None = None) -> CircuitEncoding:
+    """Encode every node of a combinational circuit into ``solver``.
+
+    The circuit must be combinational (e.g. a time-frame expansion); DFF
+    nodes are rejected.
+    """
+    solver = solver or CdclSolver()
+    var_of = [0] * circuit.num_nodes
+    for node in range(circuit.num_nodes):
+        var_of[node] = solver.new_var()
+
+    for node in range(circuit.num_nodes):
+        gate_type = circuit.types[node]
+        out = var_of[node]
+        ins = [var_of[f] for f in circuit.fanins[node]]
+        if gate_type == GateType.INPUT:
+            continue
+        if gate_type == GateType.DFF:
+            raise ValueError("encode_circuit expects a combinational circuit")
+        if gate_type == GateType.CONST0:
+            solver.add_clause([-out])
+        elif gate_type == GateType.CONST1:
+            solver.add_clause([out])
+        elif gate_type in (GateType.BUF, GateType.OUTPUT):
+            _encode_eq(solver, out, ins[0])
+        elif gate_type == GateType.NOT:
+            _encode_eq(solver, out, ins[0], invert=True)
+        elif gate_type == GateType.AND:
+            _encode_and(solver, out, ins, invert=False)
+        elif gate_type == GateType.NAND:
+            _encode_and(solver, out, ins, invert=True)
+        elif gate_type == GateType.OR:
+            _encode_or(solver, out, ins, invert=False)
+        elif gate_type == GateType.NOR:
+            _encode_or(solver, out, ins, invert=True)
+        elif gate_type in (GateType.XOR, GateType.XNOR):
+            acc = ins[0]
+            for operand in ins[1:]:
+                fresh = solver.new_var()
+                _encode_xor2(solver, fresh, acc, operand)
+                acc = fresh
+            _encode_eq(solver, out, acc, invert=gate_type == GateType.XNOR)
+        elif gate_type == GateType.MUX:
+            _encode_mux(solver, out, ins[0], ins[1], ins[2])
+        else:  # pragma: no cover - defensive
+            raise ValueError(f"unhandled gate type {gate_type}")
+
+    return CircuitEncoding(circuit, solver, var_of)

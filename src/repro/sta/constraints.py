@@ -1,0 +1,90 @@
+"""Applying detected multi-cycle pairs as timing constraints.
+
+Quantifies the paper's motivation: every FF pair proven multi-cycle may be
+given ``k`` clock periods instead of one, relaxing the timing constraints
+used by synthesis/STA.  :func:`relaxation_report` compares the circuit's
+timing before and after applying the detector's verdicts:
+
+* per-pair required time ``k * period`` instead of ``period``,
+* minimum feasible clock period with and without relaxation,
+* slack distribution and the number of violating pairs at a given period.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit
+from repro.core.result import DetectionResult
+from repro.sta.timing import DelayModel, ff_pair_delays
+
+
+@dataclass
+class PairTiming:
+    source: int
+    sink: int
+    delay: float
+    allowed_cycles: int
+
+    def slack(self, period: float) -> float:
+        return self.allowed_cycles * period - self.delay
+
+
+@dataclass
+class RelaxationReport:
+    circuit: Circuit
+    pair_timings: list[PairTiming]
+    #: smallest clock period meeting every single-cycle constraint
+    min_period_baseline: float
+    #: smallest clock period when multi-cycle pairs get k cycles
+    min_period_relaxed: float
+
+    @property
+    def speedup(self) -> float:
+        """Clock-frequency gain unlocked by multi-cycle relaxation."""
+        if self.min_period_relaxed == 0.0:
+            return 1.0
+        return self.min_period_baseline / self.min_period_relaxed
+
+    def violations_at(self, period: float, relaxed: bool = True) -> int:
+        """Number of pairs with negative slack at ``period``."""
+        count = 0
+        for timing in self.pair_timings:
+            cycles = timing.allowed_cycles if relaxed else 1
+            if cycles * period - timing.delay < 0:
+                count += 1
+        return count
+
+    def worst_slack(self, period: float, relaxed: bool = True) -> float:
+        slacks = [
+            (t.allowed_cycles if relaxed else 1) * period - t.delay
+            for t in self.pair_timings
+        ]
+        return min(slacks) if slacks else 0.0
+
+
+def relaxation_report(
+    circuit: Circuit,
+    detection: DetectionResult,
+    model: DelayModel | None = None,
+    multi_cycle_budget: int = 2,
+) -> RelaxationReport:
+    """Build the before/after timing comparison for one detection run.
+
+    Multi-cycle pairs receive ``multi_cycle_budget`` cycles (the MC
+    condition guarantees 2; callers holding k-cycle results may pass more
+    per :mod:`repro.core.kcycle`).  Undecided and single-cycle pairs keep 1.
+    """
+    delays = ff_pair_delays(circuit, model)
+    budget: dict[tuple[int, int], int] = {}
+    for result in detection.pair_results:
+        key = (result.pair.source, result.pair.sink)
+        budget[key] = multi_cycle_budget if result.is_multi_cycle else 1
+
+    timings = [
+        PairTiming(source, sink, delay, budget.get((source, sink), 1))
+        for (source, sink), delay in sorted(delays.items())
+    ]
+    min_baseline = max((t.delay for t in timings), default=0.0)
+    min_relaxed = max((t.delay / t.allowed_cycles for t in timings), default=0.0)
+    return RelaxationReport(circuit, timings, min_baseline, min_relaxed)

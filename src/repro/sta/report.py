@@ -1,0 +1,88 @@
+"""Slack reports: per-pair timing tables and critical-path listings.
+
+Where :mod:`repro.sta.constraints` aggregates (minimum period, speedup),
+this module renders the detail a designer acts on: the worst-slack FF
+pairs at a given clock period under multicycle constraints, and — via the
+bounded path enumerator — the concrete critical path of any pair.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.paths import longest_path, path_delay
+from repro.circuit.topology import FFPair
+from repro.core.result import DetectionResult
+from repro.sta.constraints import RelaxationReport, relaxation_report
+from repro.sta.timing import DelayModel
+
+
+@dataclass
+class SlackLine:
+    """One row of the slack table."""
+
+    source: str
+    sink: str
+    delay: float
+    allowed_cycles: int
+    slack: float
+
+
+def worst_slack_table(
+    circuit: Circuit,
+    detection: DetectionResult,
+    period: float,
+    model: DelayModel | None = None,
+    limit: int = 20,
+    multi_cycle_budget: int = 2,
+) -> list[SlackLine]:
+    """The ``limit`` worst-slack FF pairs at ``period`` (relaxed timing)."""
+    report = relaxation_report(
+        circuit, detection, model, multi_cycle_budget=multi_cycle_budget
+    )
+    lines = [
+        SlackLine(
+            source=circuit.names[timing.source],
+            sink=circuit.names[timing.sink],
+            delay=timing.delay,
+            allowed_cycles=timing.allowed_cycles,
+            slack=timing.slack(period),
+        )
+        for timing in report.pair_timings
+    ]
+    lines.sort(key=lambda line: line.slack)
+    return lines[:limit]
+
+
+def format_slack_table(lines: list[SlackLine], period: float) -> str:
+    """Fixed-width rendering of a slack table."""
+    header = (f"{'source':>12}  {'sink':>12}  {'delay':>6}  "
+              f"{'cycles':>6}  {'slack':>7}")
+    rows = [f"slack report at clock period {period:g}", header,
+            "-" * len(header)]
+    for line in lines:
+        marker = "VIOLATED " if line.slack < 0 else ""
+        rows.append(
+            f"{line.source:>12}  {line.sink:>12}  {line.delay:>6.1f}  "
+            f"{line.allowed_cycles:>6}  {line.slack:>7.2f}  {marker}"
+        )
+    return "\n".join(rows)
+
+
+def critical_path_report(
+    circuit: Circuit,
+    pair: FFPair,
+    model: DelayModel | None = None,
+    max_paths: int = 10_000,
+) -> str:
+    """Human-readable listing of a pair's longest path."""
+    path = longest_path(circuit, pair, model, max_paths)
+    source = circuit.names[pair.source]
+    sink = circuit.names[pair.sink]
+    if path is None:
+        return f"{source} -> {sink}: no combinational path"
+    delay = path_delay(circuit, path, model)
+    stops = " -> ".join(circuit.names[n] for n in path.nodes)
+    return (f"critical path {source} -> {sink} (delay {delay:g}):\n"
+            f"  {stops} -> [{sink}.D]")

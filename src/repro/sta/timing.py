@@ -1,0 +1,85 @@
+"""Static timing analysis over the register-to-register paths.
+
+The paper's motivation: topological STA treats every FF-to-FF path as a
+single-cycle constraint, which is too conservative when the path is
+multi-cycle.  This module computes topological FF-to-FF delays so
+:mod:`repro.sta.constraints` can show how much slack the detected
+multi-cycle pairs release.
+
+Delays are per gate type (unit delay by default); interconnect is ignored,
+matching the abstraction level of the paper's circuit model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.circuit.gates import COMBINATIONAL_TYPES, GateType
+from repro.circuit.netlist import Circuit
+
+
+@dataclass(frozen=True)
+class DelayModel:
+    """Per-gate-type delays; anything unlisted uses ``default``."""
+
+    default: float = 1.0
+    per_type: dict[GateType, float] = field(default_factory=dict)
+    #: OUTPUT markers and buffers are free by default
+    free_types: frozenset = frozenset({GateType.OUTPUT, GateType.BUF})
+
+    def delay_of(self, gate_type: GateType) -> float:
+        if gate_type in self.free_types:
+            return 0.0
+        return self.per_type.get(gate_type, self.default)
+
+
+def arrival_times(circuit: Circuit, model: DelayModel | None = None) -> list[float]:
+    """Topological arrival time per node, measured from FF outputs / PIs."""
+    model = model or DelayModel()
+    arrival = [0.0] * circuit.num_nodes
+    for node in circuit.topo_order():
+        gate_type = circuit.types[node]
+        if gate_type not in COMBINATIONAL_TYPES or not circuit.fanins[node]:
+            continue
+        arrival[node] = model.delay_of(gate_type) + max(
+            arrival[f] for f in circuit.fanins[node]
+        )
+    return arrival
+
+
+def ff_pair_delays(
+    circuit: Circuit, model: DelayModel | None = None
+) -> dict[tuple[int, int], float]:
+    """Maximum topological delay per connected (source FF, sink FF) pair.
+
+    One forward sweep per source flip-flop: ``delay_from[n]`` is the longest
+    path delay from the source's Q pin to node ``n`` (or ``-inf`` when
+    unreachable).  The result maps ``(source, sink)`` to the delay of the
+    longest path ending at the sink's D input.
+    """
+    model = model or DelayModel()
+    order = circuit.topo_order()
+    minus_inf = float("-inf")
+    delays: dict[tuple[int, int], float] = {}
+    next_state = {dff: circuit.next_state_node(dff) for dff in circuit.dffs}
+
+    for source in circuit.dffs:
+        delay_from = [minus_inf] * circuit.num_nodes
+        delay_from[source] = 0.0
+        for node in order:
+            gate_type = circuit.types[node]
+            if gate_type not in COMBINATIONAL_TYPES or not circuit.fanins[node]:
+                continue
+            best = max(delay_from[f] for f in circuit.fanins[node])
+            if best != minus_inf:
+                delay_from[node] = best + model.delay_of(gate_type)
+        for sink, d_node in next_state.items():
+            if delay_from[d_node] != minus_inf:
+                delays[(source, sink)] = delay_from[d_node]
+    return delays
+
+
+def critical_ff_delay(circuit: Circuit, model: DelayModel | None = None) -> float:
+    """The longest FF-to-FF topological delay (classic critical path)."""
+    delays = ff_pair_delays(circuit, model)
+    return max(delays.values()) if delays else 0.0

@@ -1,0 +1,87 @@
+"""Fault simulation and fault-dropping ATPG."""
+
+from hypothesis import given
+
+from repro.circuit.library import fig1_circuit, s27
+from repro.atpg.faultsim import DroppingAtpg, fault_simulate
+from repro.atpg.stuckat import (
+    FaultStatus,
+    StuckAtAtpg,
+    enumerate_faults,
+    run_atpg,
+)
+
+from tests.strategies import random_sequential_circuit, seeds
+
+
+def test_generated_patterns_detect_their_faults(s27_circuit):
+    """Fault simulation must confirm every generator verdict."""
+    atpg = StuckAtAtpg(s27_circuit)
+    report = atpg.run()
+    for result in report.detected:
+        detected = fault_simulate(
+            s27_circuit, [result.pattern], [result.fault]
+        )
+        assert detected[result.fault], result.fault.name(s27_circuit)
+
+
+def test_empty_pattern_set_detects_nothing(fig1):
+    faults = enumerate_faults(fig1)[:4]
+    detected = fault_simulate(fig1, [], faults)
+    assert not any(detected.values())
+
+
+def test_random_patterns_partial_coverage(s27_circuit):
+    """A single all-zero pattern detects some but not all faults."""
+    atpg = StuckAtAtpg(s27_circuit)
+    comb = atpg.expansion.comb
+    pattern = {node: 0 for node in comb.inputs}
+    detected = fault_simulate(s27_circuit, [pattern])
+    hits = sum(detected.values())
+    assert 0 < hits < len(detected)
+
+
+def test_dropping_atpg_matches_plain_verdicts(s27_circuit):
+    plain = run_atpg(s27_circuit)
+    dropping = DroppingAtpg(s27_circuit).run()
+    plain_status = {r.fault: r.status for r in plain.results}
+    for result in dropping.report.results:
+        assert result.status == plain_status[result.fault]
+
+
+def test_dropping_atpg_compacts_test_set(s27_circuit):
+    dropping = DroppingAtpg(s27_circuit).run()
+    detected = len(dropping.report.detected)
+    assert len(dropping.patterns) < detected, (
+        "fault dropping should need fewer patterns than faults"
+    )
+    # And the compacted set really covers everything detected.
+    coverage = fault_simulate(
+        s27_circuit, dropping.patterns,
+        [r.fault for r in dropping.report.detected],
+    )
+    assert all(coverage.values())
+
+
+@given(seeds)
+def test_dropping_equals_plain_on_random_circuits(seed):
+    circuit = random_sequential_circuit(seed, max_inputs=2, max_dffs=2,
+                                        max_gates=6)
+    plain = run_atpg(circuit, backtrack_limit=100_000)
+    dropping = DroppingAtpg(circuit, backtrack_limit=100_000).run()
+    for a, b in zip(plain.results, dropping.report.results):
+        assert a.fault == b.fault
+        assert a.status == b.status
+
+
+def test_multi_word_pattern_packing(fig1):
+    """More than 64 patterns exercises the multi-word path."""
+    atpg = StuckAtAtpg(fig1)
+    comb = atpg.expansion.comb
+    patterns = [
+        {node: (index >> position) & 1
+         for position, node in enumerate(comb.inputs)}
+        for index in range(70)
+    ]
+    detected = fault_simulate(fig1, patterns)
+    assert sum(detected.values()) == len(detected)  # 70 patterns cover fig1

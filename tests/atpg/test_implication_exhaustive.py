@@ -1,0 +1,112 @@
+"""Exhaustive per-gate implication strength and soundness.
+
+For every gate type and every three-valued partial assignment of its pins
+(inputs and output), the engine's fixpoint is compared against the ground
+truth computed by enumeration:
+
+* a pin value the engine derives must be FORCED (equal in all consistent
+  binary completions) — soundness;
+* a pin value that is forced and derivable from single-gate reasoning
+  must be derived — per-gate completeness (the textbook forward/backward
+  implication rules are exactly the single-gate-complete ones);
+* the engine reports a contradiction iff no consistent completion exists.
+
+This pins down the implication engine far more tightly than the random
+property tests: every rule branch is hit for every gate type.
+"""
+
+import itertools
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gates import GateType
+from repro.logic.simulator import evaluate_gate
+from repro.logic.values import ONE, X, ZERO
+from repro.atpg.implication import ImplicationEngine
+
+_CASES = [
+    (GateType.AND, 2), (GateType.AND, 3),
+    (GateType.NAND, 2), (GateType.NAND, 3),
+    (GateType.OR, 2), (GateType.OR, 3),
+    (GateType.NOR, 2), (GateType.NOR, 3),
+    (GateType.XOR, 2), (GateType.XOR, 3),
+    (GateType.XNOR, 2),
+    (GateType.NOT, 1), (GateType.BUF, 1),
+    (GateType.MUX, 3),
+]
+
+
+def _single_gate(gate_type, arity):
+    builder = CircuitBuilder("g")
+    inputs = [builder.input(f"i{k}") for k in range(arity)]
+    method = {
+        GateType.AND: builder.and_, GateType.NAND: builder.nand,
+        GateType.OR: builder.or_, GateType.NOR: builder.nor,
+        GateType.XOR: builder.xor, GateType.XNOR: builder.xnor,
+    }.get(gate_type)
+    if method is not None:
+        gate = method(*inputs, name="g")
+    elif gate_type == GateType.NOT:
+        gate = builder.not_(inputs[0], name="g")
+    elif gate_type == GateType.BUF:
+        gate = builder.buf(inputs[0], name="g")
+    else:
+        gate = builder.mux(*inputs, name="g")
+    builder.output("o", gate)
+    return builder.build(), inputs, gate
+
+
+def _consistent_completions(gate_type, arity, pin_values):
+    """All binary (inputs..., output) tuples consistent with the partials."""
+    completions = []
+    for bits in itertools.product((0, 1), repeat=arity):
+        out = evaluate_gate(gate_type, list(bits))
+        candidate = bits + (out,)
+        if all(p == X or p == c for p, c in zip(pin_values, candidate)):
+            completions.append(candidate)
+    return completions
+
+
+def _forced_values(completions, arity):
+    """Per-pin forced value (or X) over the completion set."""
+    forced = []
+    for position in range(arity + 1):
+        values = {c[position] for c in completions}
+        forced.append(values.pop() if len(values) == 1 else X)
+    return forced
+
+
+@pytest.mark.parametrize("gate_type,arity", _CASES)
+def test_fixpoint_is_sound_and_single_gate_complete(gate_type, arity):
+    circuit, inputs, gate = _single_gate(gate_type, arity)
+    pins = list(inputs) + [gate]
+    for pin_values in itertools.product((ZERO, ONE, X), repeat=arity + 1):
+        completions = _consistent_completions(gate_type, arity, pin_values)
+        engine = ImplicationEngine(circuit)
+        ok = engine.assume_all(
+            [(pin, v) for pin, v in zip(pins, pin_values) if v != X]
+        )
+        if not completions:
+            assert not ok, (
+                f"{gate_type.name}: engine accepted inconsistent {pin_values}"
+            )
+            continue
+        assert ok, (
+            f"{gate_type.name}: engine rejected consistent {pin_values}"
+        )
+        forced = _forced_values(completions, arity)
+        for pin, forced_value in zip(pins, forced):
+            derived = engine.value(pin)
+            if derived != X:
+                # Soundness: anything derived must be forced.
+                assert derived == forced_value, (
+                    f"{gate_type.name} {pin_values}: derived "
+                    f"{circuit.names[pin]}={derived}, forced={forced_value}"
+                )
+            else:
+                # Single-gate completeness: anything forced must be derived.
+                assert forced_value == X, (
+                    f"{gate_type.name} {pin_values}: missed forced "
+                    f"{circuit.names[pin]}={forced_value}"
+                )

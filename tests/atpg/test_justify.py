@@ -1,0 +1,168 @@
+"""Correctness of the justification backtrack search.
+
+Differential property: for random combinational circuits and random target
+assignments, the search's SAT/UNSAT verdict must match exhaustive
+enumeration, and every SAT witness must actually produce the assumed
+values when simulated.
+"""
+
+import itertools
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gates import GateType
+from repro.logic.simulator import evaluate_gate
+from repro.logic.values import ONE, X, ZERO
+from repro.atpg.implication import ImplicationEngine
+from repro.atpg.justify import SearchStatus, justify
+
+from tests.strategies import random_combinational_circuit, seeds
+
+
+def _evaluate(circuit, input_values):
+    values = dict(input_values)
+    for node in circuit.topo_order():
+        gate_type = circuit.types[node]
+        if gate_type == GateType.INPUT:
+            values.setdefault(node, 0)
+        elif gate_type == GateType.CONST0:
+            values[node] = 0
+        elif gate_type == GateType.CONST1:
+            values[node] = 1
+        else:
+            values[node] = evaluate_gate(
+                gate_type, [values[f] for f in circuit.fanins[node]]
+            )
+    return values
+
+
+def _exists_model(circuit, targets):
+    for bits in itertools.product((0, 1), repeat=len(circuit.inputs)):
+        values = _evaluate(circuit, dict(zip(circuit.inputs, bits)))
+        if all(values[n] == v for n, v in targets):
+            return True
+    return False
+
+
+@given(seeds, st.integers(min_value=0, max_value=255))
+def test_justify_matches_enumeration(seed, stimulus):
+    circuit = random_combinational_circuit(seed)
+    engine = ImplicationEngine(circuit)
+
+    # Target: one or two internal nodes at random values.
+    internal = [
+        n for n in range(circuit.num_nodes)
+        if circuit.types[n] not in (GateType.INPUT, GateType.CONST0,
+                                    GateType.CONST1, GateType.OUTPUT)
+    ]
+    if not internal:
+        return
+    targets = [(internal[stimulus % len(internal)], (stimulus >> 4) & 1)]
+    if len(internal) > 1 and stimulus & 1:
+        targets.append(
+            (internal[(stimulus >> 2) % len(internal)], (stimulus >> 5) & 1)
+        )
+    targets = list(dict(targets).items())
+
+    exists = _exists_model(circuit, targets)
+
+    if not engine.assume_all(targets):
+        assert not exists, "implication contradicted a satisfiable target"
+        return
+    result = justify(engine, backtrack_limit=10_000)
+    assert result.status in (SearchStatus.SAT, SearchStatus.UNSAT)
+    assert (result.status is SearchStatus.SAT) == exists
+
+    if result.status is SearchStatus.SAT:
+        witness = {n: (0 if v == X else v) for n, v in result.witness.items()}
+        values = _evaluate(circuit, witness)
+        for node, value in targets:
+            assert values[node] == value, "witness does not reproduce target"
+
+
+def test_engine_state_restored_after_search():
+    circuit = random_combinational_circuit(7)
+    engine = ImplicationEngine(circuit)
+    internal = [
+        n for n in range(circuit.num_nodes)
+        if circuit.types[n] not in (GateType.INPUT, GateType.CONST0,
+                                    GateType.CONST1)
+    ]
+    target = internal[-1]
+    assert engine.assume(target, ONE) or True
+    before = list(engine.assignment.values)
+    justify(engine, backtrack_limit=1000)
+    assert engine.assignment.values == before
+
+
+def test_sat_without_search_when_all_justified():
+    builder = CircuitBuilder("t")
+    a, b = builder.input("a"), builder.input("b")
+    g = builder.and_(a, b, name="g")
+    builder.output("o", g)
+    circuit = builder.build()
+    engine = ImplicationEngine(circuit)
+    assert engine.assume(g, ONE)  # backward implication justifies fully
+    result = justify(engine)
+    assert result.status is SearchStatus.SAT
+    assert result.decisions == 0
+    assert result.witness[a] == ONE and result.witness[b] == ONE
+
+
+def test_branching_on_and_frontier():
+    builder = CircuitBuilder("t")
+    a, b, c = builder.input("a"), builder.input("b"), builder.input("c")
+    g = builder.and_(a, b, c, name="g")
+    builder.output("o", g)
+    circuit = builder.build()
+    engine = ImplicationEngine(circuit)
+    assert engine.assume(g, ZERO)
+    result = justify(engine)
+    assert result.status is SearchStatus.SAT
+    assert ZERO in (result.witness[a], result.witness[b], result.witness[c])
+
+
+def test_unsat_on_redundant_conflict():
+    """g = AND(a, NOT(a)) can never be 1."""
+    builder = CircuitBuilder("t")
+    a = builder.input("a")
+    na = builder.not_(a, name="na")
+    g = builder.and_(a, na, name="g")
+    builder.output("o", g)
+    circuit = builder.build()
+    engine = ImplicationEngine(circuit)
+    # Implication alone already contradicts here.
+    assert not engine.assume(g, ONE)
+
+
+def test_unsat_requiring_search():
+    """XOR(a, a) = 1 is unsatisfiable but needs reconvergence reasoning."""
+    builder = CircuitBuilder("t")
+    a = builder.input("a")
+    b1 = builder.buf(a, name="b1")
+    b2 = builder.buf(a, name="b2")
+    g = builder.xor(b1, b2, name="g")
+    builder.output("o", g)
+    circuit = builder.build()
+    engine = ImplicationEngine(circuit)
+    if engine.assume(g, ONE):
+        result = justify(engine)
+        assert result.status is SearchStatus.UNSAT
+        assert result.backtracks >= 1
+
+
+def test_abort_on_tiny_backtrack_limit():
+    """With limit 0 an unavoidable backtrack must abort, not loop."""
+    builder = CircuitBuilder("t")
+    a = builder.input("a")
+    b1 = builder.buf(a, name="b1")
+    b2 = builder.buf(a, name="b2")
+    g = builder.xor(b1, b2, name="g")
+    builder.output("o", g)
+    circuit = builder.build()
+    engine = ImplicationEngine(circuit)
+    if engine.assume(g, ONE):
+        result = justify(engine, backtrack_limit=0)
+        assert result.status is SearchStatus.ABORTED

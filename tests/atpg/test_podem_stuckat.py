@@ -1,0 +1,101 @@
+"""Textbook PODEM vs the miter-based generator: verdicts must agree."""
+
+import itertools
+
+from hypothesis import given
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gates import GateType
+from repro.logic.dvalues import D, DBAR, V0, V1, VX, eval_gate5, is_error, to_symbol
+from repro.logic.simulator import evaluate_gate
+from repro.atpg.podem_stuckat import PodemStuckAtAtpg
+from repro.atpg.stuckat import FaultStatus, StuckAtAtpg, enumerate_faults
+
+from tests.strategies import random_sequential_circuit, seeds
+
+
+def test_dvalue_symbols():
+    assert to_symbol(V0) == "0" and to_symbol(V1) == "1"
+    assert to_symbol(D) == "D" and to_symbol(DBAR) == "D'"
+    assert to_symbol(VX) == "X"
+
+
+def test_dvalue_error_predicate():
+    assert is_error(D) and is_error(DBAR)
+    assert not is_error(V0) and not is_error(VX)
+
+
+def test_eval_gate5_matches_componentwise():
+    for a in (V0, V1, VX, D, DBAR):
+        for b in (V0, V1, VX, D, DBAR):
+            got = eval_gate5(GateType.AND, [a, b])
+            assert got[0] == evaluate_gate(GateType.AND, [a[0], b[0]])
+            assert got[1] == evaluate_gate(GateType.AND, [a[1], b[1]])
+
+
+def test_d_calculus_identities():
+    """The classic table: D AND 1 = D, D OR 1 = 1, D XOR D = 0, etc."""
+    assert eval_gate5(GateType.AND, [D, V1]) == D
+    assert eval_gate5(GateType.AND, [D, V0]) == V0
+    assert eval_gate5(GateType.OR, [D, V1]) == V1
+    assert eval_gate5(GateType.OR, [D, V0]) == D
+    assert eval_gate5(GateType.NOT, [D]) == DBAR
+    assert eval_gate5(GateType.XOR, [D, D]) == V0
+    assert eval_gate5(GateType.XOR, [D, DBAR]) == V1
+    assert eval_gate5(GateType.AND, [D, DBAR]) == V0
+
+
+def test_s27_agrees_with_miter(s27_circuit):
+    miter = StuckAtAtpg(s27_circuit).run()
+    podem = PodemStuckAtAtpg(s27_circuit).run()
+    for a, b in zip(miter.results, podem.results):
+        assert a.fault == b.fault
+        assert a.status == b.status
+
+
+@given(seeds)
+def test_generators_agree_on_random_circuits(seed):
+    circuit = random_sequential_circuit(seed, max_inputs=3, max_dffs=3,
+                                        max_gates=8)
+    miter = StuckAtAtpg(circuit, backtrack_limit=100_000)
+    podem = PodemStuckAtAtpg(circuit, backtrack_limit=100_000)
+    for fault in enumerate_faults(circuit)[:10]:
+        a = miter.generate_test(fault)
+        b = podem.generate_test(fault)
+        assert a.status == b.status, fault.name(circuit)
+
+
+def test_podem_patterns_really_detect(fig1):
+    """Simulate each PODEM pattern against the faulty circuit."""
+    atpg = PodemStuckAtAtpg(fig1)
+    comb = atpg.expansion.comb
+    for fault in enumerate_faults(fig1):
+        result = atpg.generate_test(fault)
+        assert result.status is FaultStatus.DETECTED
+        site = atpg.expansion.node_at[0][fault.node]
+        values = atpg._simulate(result.pattern, site, fault.stuck_value)
+        assert any(is_error(values[o]) for o in atpg._observe)
+
+
+def test_podem_redundant_fault():
+    builder = CircuitBuilder("red")
+    a = builder.input("a")
+    na = builder.not_(a, name="na")
+    g = builder.and_(a, na, name="g")
+    builder.output("o", builder.or_(g, builder.input("b"), name="out"))
+    circuit = builder.build()
+    atpg = PodemStuckAtAtpg(circuit)
+    from repro.atpg.stuckat import Fault
+
+    assert atpg.generate_test(Fault(g, 0)).status is FaultStatus.REDUNDANT
+    assert atpg.generate_test(Fault(g, 1)).status is FaultStatus.DETECTED
+
+
+def test_podem_abort_on_zero_budget(fig1):
+    from repro.atpg.stuckat import Fault
+
+    atpg = PodemStuckAtAtpg(fig1, backtrack_limit=0)
+    # Pick a fault needing at least one flip: stuck value equal to the
+    # easiest assignment... iterate until an ABORT or all detected.
+    statuses = {atpg.generate_test(f).status for f in enumerate_faults(fig1)}
+    assert FaultStatus.DETECTED in statuses  # zero budget still detects easy ones

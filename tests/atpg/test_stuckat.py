@@ -1,0 +1,136 @@
+"""Stuck-at ATPG: detected patterns must really detect; redundancy must
+match SAT-based untestability."""
+
+import itertools
+
+from hypothesis import given
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gates import GateType
+from repro.circuit.library import fig1_circuit, s27
+from repro.circuit.timeframe import expand
+from repro.logic.simulator import evaluate_gate
+from repro.atpg.stuckat import (
+    Fault,
+    FaultStatus,
+    StuckAtAtpg,
+    enumerate_faults,
+    run_atpg,
+)
+
+from tests.strategies import random_sequential_circuit, seeds
+
+
+def _evaluate_with_fault(comb, input_values, fault_site, stuck):
+    """Evaluate a combinational circuit with one node forced."""
+    values = {}
+    for node in comb.topo_order():
+        gate_type = comb.types[node]
+        if node == fault_site:
+            values[node] = stuck
+            continue
+        if gate_type == GateType.INPUT:
+            values[node] = input_values[node]
+        elif gate_type == GateType.CONST0:
+            values[node] = 0
+        elif gate_type == GateType.CONST1:
+            values[node] = 1
+        else:
+            values[node] = evaluate_gate(
+                gate_type, [values[f] for f in comb.fanins[node]]
+            )
+    return values
+
+
+def _observation_values(atpg, values):
+    return tuple(values[n] for n in atpg._observe)
+
+
+def test_s27_full_coverage(s27_circuit):
+    report = run_atpg(s27_circuit)
+    assert report.coverage == 1.0
+    assert not report.aborted
+    assert len(report.results) == 2 * (4 + 3 + 10)  # PIs + FFs + gates
+
+
+def test_detected_patterns_really_detect(fig1):
+    """Simulate good vs faulty circuit under each pattern: they must
+    differ at an observation point."""
+    atpg = StuckAtAtpg(fig1)
+    comb = atpg.expansion.comb
+    report = atpg.run()
+    assert report.detected
+    for result in report.detected:
+        site = atpg.expansion.node_at[0][result.fault.node]
+        good = _evaluate_with_fault(comb, result.pattern, -1, 0)
+        bad = _evaluate_with_fault(
+            comb, result.pattern, site, result.fault.stuck_value
+        )
+        assert _observation_values(atpg, good) != _observation_values(atpg, bad), (
+            result.fault.name(fig1)
+        )
+
+
+def test_redundant_fault_detected_as_such():
+    """x AND !x is constantly 0: its SA0 is textbook-redundant."""
+    builder = CircuitBuilder("red")
+    a = builder.input("a")
+    na = builder.not_(a, name="na")
+    g = builder.and_(a, na, name="g")
+    out = builder.or_(g, builder.input("b"), name="out")
+    builder.output("o", out)
+    circuit = builder.build()
+    atpg = StuckAtAtpg(circuit)
+    result = atpg.generate_test(Fault(g, 0))
+    assert result.status is FaultStatus.REDUNDANT
+    # ... while its SA1 is testable (set b=0, observe the forced 1).
+    result = atpg.generate_test(Fault(g, 1))
+    assert result.status is FaultStatus.DETECTED
+
+
+def test_unobservable_fault_is_redundant():
+    """Logic feeding nothing cannot be tested."""
+    builder = CircuitBuilder("dead")
+    a = builder.input("a")
+    builder.not_(a, name="dangling")
+    builder.output("o", builder.buf(a, name="keep"))
+    circuit = builder.build()
+    atpg = StuckAtAtpg(circuit)
+    result = atpg.generate_test(Fault(circuit.id_of("dangling"), 1))
+    assert result.status is FaultStatus.REDUNDANT
+
+
+@given(seeds)
+def test_redundancy_matches_exhaustive_check(seed):
+    """A fault is redundant iff NO input vector distinguishes it."""
+    circuit = random_sequential_circuit(seed, max_inputs=2, max_dffs=2,
+                                        max_gates=6)
+    atpg = StuckAtAtpg(circuit, backtrack_limit=100_000)
+    comb = atpg.expansion.comb
+    faults = enumerate_faults(circuit)[:8]
+    for fault in faults:
+        result = atpg.generate_test(fault)
+        site = atpg.expansion.node_at[0][fault.node]
+        distinguishable = False
+        free = comb.inputs
+        for bits in itertools.product((0, 1), repeat=len(free)):
+            inputs = dict(zip(free, bits))
+            good = _evaluate_with_fault(comb, inputs, -1, 0)
+            bad = _evaluate_with_fault(comb, inputs, site, fault.stuck_value)
+            if _observation_values(atpg, good) != _observation_values(atpg, bad):
+                distinguishable = True
+                break
+        assert (result.status is FaultStatus.DETECTED) == distinguishable
+
+
+def test_enumerate_faults_excludes_output_markers(fig1):
+    faults = enumerate_faults(fig1)
+    output_nodes = set(fig1.outputs)
+    assert all(f.node not in output_nodes for f in faults)
+
+
+def test_report_accounting(fig1):
+    report = run_atpg(fig1)
+    assert (len(report.detected) + len(report.redundant)
+            + len(report.aborted)) == len(report.results)
+    assert 0.0 <= report.coverage <= 1.0

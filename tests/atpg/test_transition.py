@@ -1,0 +1,126 @@
+"""Transition-fault ATPG and the multi-cycle relaxation link."""
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.library import fig1_circuit, s27, shift_register
+from repro.core.detector import detect_multi_cycle_pairs
+from repro.logic.simulator import Simulator
+from repro.logic.values import X
+from repro.atpg.transition import (
+    TransitionAtpg,
+    TransitionFault,
+    TransitionStatus,
+    enumerate_transition_faults,
+    relaxable_fault_sites,
+    transition_relaxation_summary,
+)
+
+
+def test_fault_naming(fig1):
+    fault = TransitionFault(fig1.id_of("EN2"), rising=True)
+    assert fault.name(fig1) == "EN2/STR"
+    assert fault.initial_value == 0 and fault.final_value == 1
+
+
+def test_shift_register_all_transitions_testable(shift4):
+    report = TransitionAtpg(shift4).run()
+    assert report.coverage == 1.0
+    assert not report.by_status(TransitionStatus.UNTESTABLE)
+
+
+def test_detected_patterns_launch_and_capture(fig1):
+    """Verify each pattern by 2-cycle simulation: the site really takes
+    the initial value in the launch frame and the final value at capture."""
+    atpg = TransitionAtpg(fig1)
+    expansion = atpg.expansion
+    report = atpg.run()
+    checked = 0
+    for result in report.by_status(TransitionStatus.DETECTED):
+        sim = Simulator(fig1)
+        pattern = result.pattern
+        sim.set_all_state([
+            pattern[expansion.ff_at[0][k]] for k in range(len(fig1.dffs))
+        ])
+        sim.set_all_inputs([pattern[n] for n in expansion.pi_at[0]])
+        launch_value = sim.value(result.fault.node)
+        sim.clock()
+        sim.set_all_inputs([pattern[n] for n in expansion.pi_at[1]])
+        capture_value = sim.value(result.fault.node)
+        assert launch_value == result.fault.initial_value
+        assert capture_value == result.fault.final_value
+        checked += 1
+    assert checked > 0
+
+
+def test_constant_node_untestable():
+    """A node tied to a constant can never transition."""
+    builder = CircuitBuilder("const")
+    a = builder.input("a")
+    zero = builder.const0("zero")
+    g = builder.and_(a, zero, name="g")  # g is constant 0
+    ff = builder.dff("ff", d=builder.or_(g, a, name="h"))
+    builder.output("o", ff)
+    circuit = builder.build()
+    atpg = TransitionAtpg(circuit)
+    result = atpg.generate_test(TransitionFault(g, rising=True))
+    assert result.status is TransitionStatus.UNTESTABLE
+
+
+def test_hold_only_register_untestable():
+    """A self-holding FF (D = Q) never toggles between frames."""
+    builder = CircuitBuilder("hold")
+    ff = builder.dff("ff")
+    builder.drive(ff, ff)
+    builder.output("o", ff)
+    circuit = builder.build()
+    atpg = TransitionAtpg(circuit)
+    result = atpg.generate_test(TransitionFault(ff, rising=True))
+    assert result.status is TransitionStatus.UNTESTABLE
+
+
+def test_enumerate_covers_both_polarities(s27_circuit):
+    faults = enumerate_transition_faults(s27_circuit)
+    assert len(faults) == 2 * (4 + 3 + 10)
+
+
+def test_relaxable_sites_definition_on_fig1(fig1):
+    from repro.circuit.gates import GateType
+
+    detection = detect_multi_cycle_pairs(fig1)
+    relaxable = relaxable_fault_sites(fig1, detection)
+    # OUT observes FF2 directly: FF2 is in a PO cone, never relaxable.
+    assert fig1.id_of("FF2") not in relaxable
+    # FF1's only sinks are FF1 and FF2, both multi-cycle: relaxable.
+    assert fig1.id_of("FF1") in relaxable
+    # Definition check: every (source, sink) pair routed through a
+    # relaxable node must be multi-cycle.
+    multi_cycle = set(detection.multi_cycle_pair_names())
+    for node in relaxable:
+        node_sources = {
+            s for s in fig1.transitive_fanin([node])
+            if fig1.types[s] == GateType.DFF
+        }
+        for sink in fig1.dffs:
+            cone = fig1.transitive_fanin([fig1.next_state_node(sink)])
+            if node not in cone:
+                continue
+            for source in node_sources:
+                assert (fig1.names[source], fig1.names[sink]) in multi_cycle
+
+
+def test_relaxation_summary_consistency(fig1):
+    detection = detect_multi_cycle_pairs(fig1)
+    summary = transition_relaxation_summary(fig1, detection)
+    assert summary.total_faults == summary.detected + summary.untestable \
+        + summary.aborted
+    assert 0 <= summary.relaxed <= summary.detected
+
+
+def test_pipeline_has_relaxed_faults():
+    """In a spaced enable pipeline, the inter-bank cloud sites are fully
+    covered by multi-cycle budgets."""
+    from repro.circuit.library import enabled_pipeline
+
+    circuit = enabled_pipeline(2, counter_width=2, spacing=2)
+    detection = detect_multi_cycle_pairs(circuit)
+    summary = transition_relaxation_summary(circuit, detection)
+    assert summary.relaxed > 0

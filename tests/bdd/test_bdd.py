@@ -1,0 +1,154 @@
+"""Differential tests of the ROBDD package against truth tables."""
+
+import itertools
+import random
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.bdd.bdd import FALSE, TRUE, BddManager
+
+
+def _random_expr(rng, depth, num_vars):
+    if depth == 0 or rng.random() < 0.3:
+        return ("var", rng.randrange(num_vars))
+    op = rng.choice(["and", "or", "xor", "not", "ite"])
+    if op == "not":
+        return ("not", _random_expr(rng, depth - 1, num_vars))
+    if op == "ite":
+        return ("ite",
+                _random_expr(rng, depth - 1, num_vars),
+                _random_expr(rng, depth - 1, num_vars),
+                _random_expr(rng, depth - 1, num_vars))
+    return (op,
+            _random_expr(rng, depth - 1, num_vars),
+            _random_expr(rng, depth - 1, num_vars))
+
+
+def _to_bdd(manager, expr):
+    kind = expr[0]
+    if kind == "var":
+        return manager.var(expr[1])
+    if kind == "not":
+        return manager.apply_not(_to_bdd(manager, expr[1]))
+    if kind == "and":
+        return manager.apply_and(_to_bdd(manager, expr[1]), _to_bdd(manager, expr[2]))
+    if kind == "or":
+        return manager.apply_or(_to_bdd(manager, expr[1]), _to_bdd(manager, expr[2]))
+    if kind == "xor":
+        return manager.apply_xor(_to_bdd(manager, expr[1]), _to_bdd(manager, expr[2]))
+    return manager.ite(_to_bdd(manager, expr[1]), _to_bdd(manager, expr[2]),
+                       _to_bdd(manager, expr[3]))
+
+
+def _eval(expr, assignment):
+    kind = expr[0]
+    if kind == "var":
+        return assignment[expr[1]]
+    if kind == "not":
+        return 1 - _eval(expr[1], assignment)
+    if kind == "and":
+        return _eval(expr[1], assignment) & _eval(expr[2], assignment)
+    if kind == "or":
+        return _eval(expr[1], assignment) | _eval(expr[2], assignment)
+    if kind == "xor":
+        return _eval(expr[1], assignment) ^ _eval(expr[2], assignment)
+    return (_eval(expr[2], assignment) if _eval(expr[1], assignment)
+            else _eval(expr[3], assignment))
+
+
+@given(st.integers(min_value=0, max_value=10_000_000))
+def test_operations_match_truth_table(seed):
+    rng = random.Random(seed)
+    num_vars = rng.randint(1, 5)
+    expr = _random_expr(rng, 4, num_vars)
+    manager = BddManager()
+    f = _to_bdd(manager, expr)
+    count = 0
+    for bits in itertools.product((0, 1), repeat=num_vars):
+        assignment = dict(enumerate(bits))
+        expected = _eval(expr, assignment)
+        assert manager.evaluate(f, assignment) == expected
+        count += expected
+    assert manager.count_solutions(f, num_vars) == count
+    # Canonicity: constant functions collapse to the terminals.
+    if count == 0:
+        assert f == FALSE
+    if count == 2 ** num_vars:
+        assert f == TRUE
+
+
+@given(st.integers(min_value=0, max_value=10_000_000))
+def test_quantification(seed):
+    rng = random.Random(seed)
+    num_vars = rng.randint(2, 5)
+    expr = _random_expr(rng, 3, num_vars)
+    manager = BddManager()
+    f = _to_bdd(manager, expr)
+    target = rng.randrange(num_vars)
+    exists = manager.exists(f, [target])
+    forall = manager.forall(f, [target])
+    for bits in itertools.product((0, 1), repeat=num_vars):
+        assignment = dict(enumerate(bits))
+        low = _eval(expr, {**assignment, target: 0})
+        high = _eval(expr, {**assignment, target: 1})
+        assert manager.evaluate(exists, assignment) == (low | high)
+        assert manager.evaluate(forall, assignment) == (low & high)
+
+
+@given(st.integers(min_value=0, max_value=10_000_000))
+def test_restrict_is_cofactor(seed):
+    rng = random.Random(seed)
+    num_vars = rng.randint(1, 5)
+    expr = _random_expr(rng, 3, num_vars)
+    manager = BddManager()
+    f = _to_bdd(manager, expr)
+    target = rng.randrange(num_vars)
+    for value in (0, 1):
+        g = manager.restrict(f, target, value)
+        for bits in itertools.product((0, 1), repeat=num_vars):
+            assignment = dict(enumerate(bits))
+            assert manager.evaluate(g, assignment) == _eval(
+                expr, {**assignment, target: value}
+            )
+
+
+def test_compose_substitutes_functions():
+    manager = BddManager()
+    x0, x1, x2 = manager.var(0), manager.var(1), manager.var(2)
+    f = manager.apply_and(x0, x1)                 # x0 & x1
+    g = manager.apply_or(x1, x2)                  # x1 | x2
+    composed = manager.compose(f, {0: g})         # (x1|x2) & x1 == x1
+    assert composed == x1
+
+
+def test_rename_shifts_variables():
+    manager = BddManager()
+    f = manager.apply_xor(manager.var(3), manager.var(4))
+    renamed = manager.rename(f, {3: 0, 4: 1})
+    assert renamed == manager.apply_xor(manager.var(0), manager.var(1))
+
+
+def test_satisfy_one():
+    manager = BddManager()
+    f = manager.apply_and(manager.var(0), manager.apply_not(manager.var(2)))
+    model = manager.satisfy_one(f)
+    assert model[0] == 1 and model[2] == 0
+    assert manager.satisfy_one(FALSE) is None
+
+
+def test_sharing_keeps_manager_small():
+    manager = BddManager()
+    f = TRUE
+    for i in range(10):
+        f = manager.apply_and(f, manager.var(i))
+    # A 10-variable conjunction is a 10-node chain; sharing keeps it linear.
+    assert manager.size(f) == 10
+
+
+def test_terminals():
+    manager = BddManager()
+    assert manager.is_true(TRUE) and manager.is_false(FALSE)
+    assert manager.apply_not(TRUE) == FALSE
+    assert manager.apply_and(TRUE, FALSE) == FALSE
+    assert manager.count_solutions(TRUE, 3) == 8

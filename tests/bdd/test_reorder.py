@@ -1,0 +1,76 @@
+"""Variable-order heuristics: validity and cost behaviour."""
+
+from repro.bdd.bdd import BddManager
+from repro.bdd.reorder import (
+    choose_order,
+    estimate_bdd_cost,
+    fanin_order,
+    interleave_order,
+)
+from repro.bdd.traversal import build_node_bdds
+from repro.bench_gen.suite import suite
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.library import fig1_circuit
+from repro.circuit.timeframe import expand
+
+
+def _orders_are_permutations(expansion, order):
+    values = sorted(order.values())
+    assert values == list(range(len(expansion.comb.inputs)))
+    assert set(order) == set(expansion.comb.inputs)
+
+
+def test_orders_are_valid_permutations(fig1):
+    expansion = expand(fig1, 2)
+    _orders_are_permutations(expansion, interleave_order(expansion))
+    _orders_are_permutations(expansion, fanin_order(expansion))
+
+
+def test_same_function_any_order(fig1):
+    """Different orders must yield the same functions (canonicity check
+    via solution counting)."""
+    expansion = expand(fig1, 2)
+    counts = []
+    for order in (interleave_order(expansion), fanin_order(expansion)):
+        manager = BddManager()
+        bdds = build_node_bdds(expansion.comb, manager, order)
+        num_vars = len(expansion.comb.inputs)
+        counts.append(
+            [manager.count_solutions(bdds[n], num_vars)
+             for n in expansion.ff_at[2]]
+        )
+    assert counts[0] == counts[1]
+
+
+def test_fanin_order_helps_on_adder_like_chain():
+    """A ripple chain built with interleaved-bad order: x0..xn, y0..yn
+    ordered apart is exponential; the fanin order groups (xi, yi) pairs."""
+    builder = CircuitBuilder("ripple")
+    n = 7
+    xs = [builder.input(f"x{i}") for i in range(n)]
+    ys = [builder.input(f"y{i}") for i in range(n)]
+    acc = builder.xor(xs[0], ys[0], name="s0")
+    for i in range(1, n):
+        acc = builder.xor(builder.and_(xs[i], ys[i], name=f"a{i}"), acc,
+                          name=f"s{i}")
+    builder.dff("ff", d=acc)
+    builder.output("o", acc)
+    circuit = builder.build()
+    expansion = expand(circuit, 1)
+
+    cost_fanin = estimate_bdd_cost(expansion, fanin_order(expansion))
+    # A pessimal order: all x variables, then all y variables.
+    pessimal = {}
+    for i, node in enumerate(expansion.pi_at[0]):
+        pessimal[node] = i
+    for node in expansion.ff_at[0]:
+        pessimal[node] = len(pessimal)
+    cost_split = estimate_bdd_cost(expansion, pessimal)
+    assert cost_fanin <= cost_split
+
+
+def test_choose_order_runs_on_suite():
+    for circuit in suite("tiny")[:3]:
+        expansion = expand(circuit, 2)
+        order = choose_order(expansion)
+        _orders_are_permutations(expansion, order)

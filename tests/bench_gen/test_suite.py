@@ -1,0 +1,50 @@
+"""Suite composition and profile semantics."""
+
+import pytest
+
+from repro.bench_gen.suite import PROFILES, all_specs, spec_by_name, suite
+
+
+def test_profiles_exist():
+    for profile in PROFILES:
+        circuits = suite(profile)
+        assert circuits, profile
+
+
+def test_every_profile_leads_with_real_circuits():
+    for profile in ("tiny", "small", "full"):
+        names = [c.name for c in suite(profile)]
+        assert names[:2] == ["s27", "fig1"]
+
+
+def test_full_contains_everything():
+    full_names = {c.name for c in suite("full")}
+    for spec in all_specs():
+        assert spec.name in full_names
+
+
+def test_sizes_increase_along_ladder():
+    specs = all_specs()
+    gate_heavy = [s.num_banks * s.bank_width + s.logic_per_bank * s.num_banks
+                  for s in specs]
+    assert gate_heavy == sorted(gate_heavy)
+
+
+def test_unknown_profile_rejected():
+    with pytest.raises(ValueError):
+        suite("galactic")
+
+
+def test_spec_lookup():
+    spec = spec_by_name("syn090")
+    assert spec.name == "syn090"
+    with pytest.raises(KeyError):
+        spec_by_name("nope")
+
+
+def test_suite_is_deterministic():
+    from repro.circuit.bench import dumps
+
+    first = suite("tiny")
+    second = suite("tiny")
+    assert [dumps(c) for c in first] == [dumps(c) for c in second]

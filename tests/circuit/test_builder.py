@@ -1,0 +1,87 @@
+"""Tests for the circuit builder API."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import CircuitError
+from repro.logic.simulator import Simulator
+
+
+def test_all_gate_constructors():
+    builder = CircuitBuilder("gates")
+    a = builder.input("a")
+    b = builder.input("b")
+    nodes = {
+        GateType.AND: builder.and_(a, b),
+        GateType.NAND: builder.nand(a, b),
+        GateType.OR: builder.or_(a, b),
+        GateType.NOR: builder.nor(a, b),
+        GateType.XOR: builder.xor(a, b),
+        GateType.XNOR: builder.xnor(a, b),
+        GateType.NOT: builder.not_(a),
+        GateType.BUF: builder.buf(a),
+        GateType.MUX: builder.mux(a, b, a),
+        GateType.CONST0: builder.const0(),
+        GateType.CONST1: builder.const1(),
+    }
+    builder.output("o", nodes[GateType.AND])
+    circuit = builder.build()
+    for gate_type, node in nodes.items():
+        assert circuit.types[node] == gate_type
+
+
+def test_undriven_dff_rejected_at_build():
+    builder = CircuitBuilder("bad")
+    builder.dff("ff")
+    builder.output("o", builder.input("a"))
+    with pytest.raises(CircuitError, match="undriven"):
+        builder.build()
+
+
+def test_drive_requires_dff_target():
+    builder = CircuitBuilder("bad")
+    a = builder.input("a")
+    g = builder.not_(a)
+    with pytest.raises(CircuitError):
+        builder.drive(g, a)
+
+
+def test_dff_with_inline_driver():
+    builder = CircuitBuilder("ok")
+    a = builder.input("a")
+    ff = builder.dff("ff", d=a)
+    builder.output("o", ff)
+    circuit = builder.build()
+    assert circuit.next_state_node(ff) == a
+
+
+def test_enabled_dff_holds_and_loads():
+    builder = CircuitBuilder("en")
+    enable = builder.input("en")
+    data = builder.input("d")
+    ff = builder.enabled_dff("r", enable, data)
+    builder.output("o", ff)
+    circuit = builder.build()
+
+    sim = Simulator(circuit)
+    sim.set_state({"r": 0})
+    sim.set_inputs({"en": 0, "d": 1})
+    sim.clock()
+    assert sim.value("r") == 0  # held
+    sim.set_inputs({"en": 1, "d": 1})
+    sim.clock()
+    assert sim.value("r") == 1  # loaded
+    sim.set_inputs({"en": 0, "d": 0})
+    sim.clock()
+    assert sim.value("r") == 1  # held again
+
+
+def test_generated_names_are_unique():
+    builder = CircuitBuilder("auto")
+    a = builder.input("a")
+    g1 = builder.not_(a)
+    g2 = builder.not_(a)
+    builder.output("o", g2)
+    circuit = builder.build()
+    assert circuit.names[g1] != circuit.names[g2]

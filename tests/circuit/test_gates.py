@@ -1,0 +1,75 @@
+"""Properties of the gate-type metadata."""
+
+import pytest
+
+from repro.circuit.gates import (
+    COMBINATIONAL_TYPES,
+    CONTROLLING,
+    SOURCE_TYPES,
+    GateType,
+    controlled_output,
+    controlling_value,
+    fanin_arity_ok,
+    noncontrolled_output,
+)
+from repro.logic.values import ONE, ZERO
+
+
+def test_controlling_values():
+    assert controlling_value(GateType.AND) == ZERO
+    assert controlling_value(GateType.NAND) == ZERO
+    assert controlling_value(GateType.OR) == ONE
+    assert controlling_value(GateType.NOR) == ONE
+    assert controlling_value(GateType.XOR) is None
+    assert controlling_value(GateType.MUX) is None
+
+
+@pytest.mark.parametrize(
+    "gate_type,controlled,noncontrolled",
+    [
+        (GateType.AND, ZERO, ONE),
+        (GateType.NAND, ONE, ZERO),
+        (GateType.OR, ONE, ZERO),
+        (GateType.NOR, ZERO, ONE),
+    ],
+)
+def test_controlled_outputs(gate_type, controlled, noncontrolled):
+    assert controlled_output(gate_type) == controlled
+    assert noncontrolled_output(gate_type) == noncontrolled
+
+
+def test_controlled_output_none_without_controlling_value():
+    assert controlled_output(GateType.XOR) is None
+    assert noncontrolled_output(GateType.BUF) is None
+
+
+def test_controlled_and_noncontrolled_are_complements():
+    for gate_type in CONTROLLING:
+        assert controlled_output(gate_type) == 1 - noncontrolled_output(gate_type)
+
+
+@pytest.mark.parametrize(
+    "gate_type,count,ok",
+    [
+        (GateType.INPUT, 0, True),
+        (GateType.INPUT, 1, False),
+        (GateType.NOT, 1, True),
+        (GateType.NOT, 2, False),
+        (GateType.AND, 1, True),
+        (GateType.AND, 5, True),
+        (GateType.AND, 0, False),
+        (GateType.MUX, 3, True),
+        (GateType.MUX, 2, False),
+        (GateType.DFF, 1, True),
+        (GateType.DFF, 0, False),
+        (GateType.CONST0, 0, True),
+    ],
+)
+def test_fanin_arity(gate_type, count, ok):
+    assert fanin_arity_ok(gate_type, count) is ok
+
+
+def test_source_and_combinational_partition():
+    assert SOURCE_TYPES.isdisjoint(COMBINATIONAL_TYPES)
+    everything = SOURCE_TYPES | COMBINATIONAL_TYPES
+    assert set(GateType) == everything

@@ -1,0 +1,127 @@
+"""Behavioural checks of the built-in example circuits."""
+
+from repro.circuit.library import (
+    binary_counter,
+    enabled_pipeline,
+    fig1_circuit,
+    fig3_circuit,
+    fig4_fragment,
+    gray_counter,
+    s27,
+    shift_register,
+)
+from repro.logic.simulator import Simulator
+
+
+def test_fig1_counter_is_gray_cycle(fig1):
+    """FF3/FF4 must walk (0,0)->(0,1)->(1,1)->(1,0)->(0,0)."""
+    sim = Simulator(fig1)
+    sim.set_all_state([0, 0, 0, 0])
+    sim.set_inputs({"IN": 0})
+    seen = []
+    for _ in range(5):
+        state = sim.state()
+        seen.append((state["FF3"], state["FF4"]))
+        sim.clock()
+    assert seen == [(0, 0), (0, 1), (1, 1), (1, 0), (0, 0)]
+
+
+def test_fig1_ff1_loads_only_at_state_00(fig1):
+    sim = Simulator(fig1)
+    sim.set_all_state([0, 0, 0, 1])  # counter at (0,1): EN1 inactive
+    sim.set_inputs({"IN": 1})
+    sim.clock()
+    assert sim.value("FF1") == 0  # held
+    sim.set_all_state([0, 0, 0, 0])  # counter at (0,0): EN1 active
+    sim.set_inputs({"IN": 1})
+    sim.clock()
+    assert sim.value("FF1") == 1  # loaded
+
+
+def test_fig1_value_takes_three_cycles_to_ff2(fig1):
+    """The paper's 3-cycle story: launch at (0,0), capture at (1,0)."""
+    sim = Simulator(fig1)
+    sim.set_all_state([0, 0, 0, 0])
+    sim.set_inputs({"IN": 1})
+    sim.clock()  # FF1 loads 1; counter now (0,1)
+    assert sim.value("FF1") == 1 and sim.value("FF2") == 0
+    sim.set_inputs({"IN": 0})
+    sim.clock()  # counter (1,1)
+    assert sim.value("FF2") == 0
+    sim.clock()  # counter (1,0)
+    assert sim.value("FF2") == 0
+    sim.clock()  # capture edge at end of (1,0)
+    assert sim.value("FF2") == 1
+
+
+def test_fig3_is_mapped_fig1(fig3):
+    from repro.circuit.techmap import is_mapped
+
+    assert is_mapped(fig3)
+    sim = Simulator(fig3)
+    sim.set_all_state([0, 0, 0, 0])
+    sim.set_inputs({"IN": 1})
+    for _ in range(4):
+        sim.clock()
+    assert sim.value("FF2") == 1  # same 3-cycle transport as fig1
+
+
+def test_fig4_fragment_shape(fig4):
+    assert {fig4.names[d] for d in fig4.dffs} == {"A", "B", "FF_C"}
+    assert "C" in fig4
+
+
+def test_s27_output_behaviour(s27_circuit):
+    """From the all-zero state with all-zero inputs, G17 = NOT(G11)."""
+    sim = Simulator(s27_circuit)
+    sim.set_all_state([0, 0, 0])
+    sim.set_all_inputs([0, 0, 0, 0])
+    g17 = s27_circuit.id_of("G17")
+    g11 = s27_circuit.id_of("G11")
+    for _ in range(4):
+        sim.clock()
+        assert sim.values[g17] == 1 - sim.values[g11]
+
+
+def test_binary_counter_wraps():
+    circuit = binary_counter(2)
+    sim = Simulator(circuit)
+    sim.set_all_state([1, 1])
+    sim.clock()
+    assert sim.state() == {"q0": 0, "q1": 0}
+
+
+def test_gray_counter_period():
+    circuit = gray_counter(2)
+    sim = Simulator(circuit)
+    sim.set_all_state([0, 0])
+    codes = set()
+    for _ in range(4):
+        outs = sim.output_values()
+        codes.add((outs["gray0"], outs["gray1"]))
+        sim.clock()
+    assert len(codes) == 4
+
+
+def test_shift_register_length():
+    circuit = shift_register(5)
+    assert len(circuit.dffs) == 5
+
+
+def test_enabled_pipeline_spacing_one_is_single_cycle_chain():
+    from repro.core.detector import detect_multi_cycle_pairs
+
+    circuit = enabled_pipeline(3, counter_width=2, spacing=1)
+    result = detect_multi_cycle_pairs(circuit)
+    mc = dict.fromkeys(result.multi_cycle_pair_names())
+    # Consecutive stages load on consecutive counts: 1 cycle apart.
+    assert ("r0", "r1") not in mc
+    assert ("r1", "r2") not in mc
+
+
+def test_enabled_pipeline_spacing_two_is_multi_cycle():
+    from repro.core.detector import detect_multi_cycle_pairs
+
+    circuit = enabled_pipeline(2, counter_width=2, spacing=2)
+    result = detect_multi_cycle_pairs(circuit)
+    assert ("r0", "r1") in result.multi_cycle_pair_names()

@@ -1,0 +1,159 @@
+"""Structural tests for the netlist model and its validation."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, CircuitError, validate
+
+
+def _simple():
+    builder = CircuitBuilder("t")
+    a = builder.input("a")
+    b = builder.input("b")
+    g = builder.and_(a, b, name="g")
+    ff = builder.dff("ff", d=g)
+    builder.output("o", ff)
+    return builder.build()
+
+
+def test_node_accessors():
+    circuit = _simple()
+    node = circuit.node(circuit.id_of("g"))
+    assert node.name == "g"
+    assert node.type == GateType.AND
+    assert len(node.fanins) == 2
+    assert "g" in circuit and "nope" not in circuit
+
+
+def test_id_of_unknown_name_raises():
+    with pytest.raises(CircuitError):
+        _simple().id_of("missing")
+
+
+def test_duplicate_names_rejected():
+    circuit = Circuit("dup")
+    circuit.add_node(GateType.INPUT, (), "a")
+    with pytest.raises(CircuitError):
+        circuit.add_node(GateType.INPUT, (), "a")
+
+
+def test_stats_and_counts():
+    circuit = _simple()
+    stats = circuit.stats()
+    assert stats == {"inputs": 2, "outputs": 1, "dffs": 1, "gates": 1,
+                     "nodes": 5}
+    assert circuit.inputs == [0, 1]
+    assert len(circuit.dffs) == 1
+
+
+def test_topo_order_respects_fanins():
+    circuit = _simple()
+    order = circuit.topo_order()
+    position = {node: i for i, node in enumerate(order)}
+    for node in range(circuit.num_nodes):
+        if circuit.types[node] in (GateType.AND, GateType.OUTPUT):
+            for fanin in circuit.fanins[node]:
+                assert position[fanin] < position[node]
+    assert sorted(order) == list(range(circuit.num_nodes))
+
+
+def test_combinational_cycle_detected():
+    circuit = Circuit("loop")
+    a = circuit.add_node(GateType.INPUT, (), "a")
+    g1 = circuit.add_node(GateType.AND, (), "g1")
+    g2 = circuit.add_node(GateType.AND, (), "g2")
+    circuit.set_fanins(g1, (a, g2))
+    circuit.set_fanins(g2, (a, g1))
+    with pytest.raises(CircuitError, match="cycle"):
+        circuit.topo_order()
+
+
+def test_dff_breaks_cycles():
+    builder = CircuitBuilder("seq")
+    ff = builder.dff("ff")
+    inverted = builder.not_(ff, name="n")
+    builder.drive(ff, inverted)
+    builder.output("o", ff)
+    circuit = builder.build()  # validates: no combinational cycle
+    assert circuit.next_state_node(ff) == inverted
+
+
+def test_validate_rejects_bad_arity():
+    circuit = Circuit("bad")
+    a = circuit.add_node(GateType.INPUT, (), "a")
+    circuit.add_node(GateType.MUX, (a, a), "m")  # MUX needs 3 fanins
+    with pytest.raises(CircuitError, match="fanins"):
+        validate(circuit)
+
+
+def test_validate_rejects_output_as_fanin():
+    circuit = Circuit("bad")
+    a = circuit.add_node(GateType.INPUT, (), "a")
+    po = circuit.add_node(GateType.OUTPUT, (a,), "po")
+    circuit.add_node(GateType.NOT, (po,), "n")
+    with pytest.raises(CircuitError, match="OUTPUT"):
+        validate(circuit)
+
+
+def test_validate_rejects_out_of_range_fanin():
+    circuit = Circuit("bad")
+    circuit.add_node(GateType.NOT, (5,), "n")
+    with pytest.raises(CircuitError, match="missing id"):
+        validate(circuit)
+
+
+def test_next_state_node_requires_dff():
+    circuit = _simple()
+    with pytest.raises(CircuitError):
+        circuit.next_state_node(circuit.id_of("g"))
+
+
+def test_fanouts():
+    circuit = _simple()
+    a = circuit.id_of("a")
+    g = circuit.id_of("g")
+    assert circuit.fanouts(a) == [g]
+    assert circuit.fanouts(g) == [circuit.id_of("ff")]
+
+
+def test_transitive_fanin_stops_at_sources():
+    circuit = _simple()
+    ff = circuit.id_of("ff")
+    cone = circuit.transitive_fanin([circuit.next_state_node(ff)])
+    names = {circuit.names[n] for n in cone}
+    assert names == {"a", "b", "g"}
+
+
+def test_transitive_fanout_stops_at_dffs():
+    circuit = _simple()
+    a = circuit.id_of("a")
+    fanout = circuit.transitive_fanout([a])
+    names = {circuit.names[n] for n in fanout}
+    assert names == {"a", "g", "ff"}  # does not cross the flip-flop
+
+
+def test_levels():
+    circuit = _simple()
+    levels = circuit.levels()
+    assert levels[circuit.id_of("a")] == 0
+    assert levels[circuit.id_of("g")] == 1
+    assert levels[circuit.id_of("ff")] == 0  # FF outputs are sources
+
+
+def test_copy_is_independent():
+    circuit = _simple()
+    duplicate = circuit.copy("t2")
+    duplicate.add_node(GateType.INPUT, (), "extra")
+    assert duplicate.num_nodes == circuit.num_nodes + 1
+    assert "extra" not in circuit
+
+
+def test_deep_linear_chain_topo_order_is_iterative():
+    """A 5000-gate chain must not hit Python's recursion limit."""
+    circuit = Circuit("chain")
+    previous = circuit.add_node(GateType.INPUT, (), "a")
+    for i in range(5000):
+        previous = circuit.add_node(GateType.NOT, (previous,), f"n{i}")
+    order = circuit.topo_order()
+    assert len(order) == circuit.num_nodes

@@ -1,0 +1,102 @@
+"""Path enumeration, counting and per-path delays."""
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.paths import (
+    count_paths,
+    iter_paths,
+    longest_path,
+    path_delay,
+    paths_between,
+)
+from repro.circuit.topology import FFPair, connected_ff_pairs
+from repro.sta.timing import DelayModel, ff_pair_delays
+
+
+def _diamond():
+    """src -> (short | long) -> join -> snk: exactly two paths."""
+    builder = CircuitBuilder("diamond")
+    src = builder.dff("src")
+    short = builder.not_(src, name="short")
+    long1 = builder.not_(src, name="long1")
+    long2 = builder.not_(long1, name="long2")
+    join = builder.and_(short, long2, name="join")
+    snk = builder.dff("snk", d=join)
+    builder.drive(src, snk)
+    builder.output("o", snk)
+    return builder.build()
+
+
+def test_diamond_has_two_paths():
+    circuit = _diamond()
+    pair = FFPair(circuit.id_of("src"), circuit.id_of("snk"))
+    paths = paths_between(circuit, pair)
+    assert len(paths) == 2
+    assert count_paths(circuit, pair) == 2
+    names = sorted(
+        tuple(circuit.names[n] for n in p.nodes) for p in paths
+    )
+    assert names == [
+        ("src", "long1", "long2", "join"),
+        ("src", "short", "join"),
+    ]
+
+
+def test_path_delays_and_longest():
+    circuit = _diamond()
+    pair = FFPair(circuit.id_of("src"), circuit.id_of("snk"))
+    longest = longest_path(circuit, pair)
+    assert path_delay(circuit, longest) == 3.0
+    # The longest enumerated path matches the DP-based pair delay.
+    assert path_delay(circuit, longest) == ff_pair_delays(circuit)[
+        (pair.source, pair.sink)
+    ]
+
+
+def test_direct_wire_pair():
+    circuit = _diamond()
+    pair = FFPair(circuit.id_of("snk"), circuit.id_of("src"))
+    paths = paths_between(circuit, pair)
+    assert len(paths) == 1 and len(paths[0]) == 1
+    assert path_delay(circuit, paths[0]) == 0.0
+
+
+def test_unconnected_pair_has_no_paths():
+    builder = CircuitBuilder("split")
+    a = builder.input("a")
+    ff1 = builder.dff("ff1", d=a)
+    ff2 = builder.dff("ff2", d=a)
+    builder.output("o", ff1)
+    builder.output("p", ff2)
+    circuit = builder.build()
+    assert count_paths(circuit, FFPair(ff1, ff2)) == 0
+    assert paths_between(circuit, FFPair(ff1, ff2)) == []
+
+
+def test_max_paths_bound():
+    circuit = _diamond()
+    pair = FFPair(circuit.id_of("src"), circuit.id_of("snk"))
+    assert len(paths_between(circuit, pair, max_paths=1)) == 1
+
+
+def test_count_matches_enumeration_on_fig1(fig1):
+    for pair in connected_ff_pairs(fig1):
+        assert count_paths(fig1, pair) == len(paths_between(fig1, pair))
+
+
+def test_exponential_counting_stays_fast():
+    """A 20-stage diamond chain has 2^20 paths; counting must not blow up."""
+    builder = CircuitBuilder("expo")
+    src = builder.dff("src")
+    node = src
+    for i in range(20):
+        left = builder.not_(node, name=f"l{i}")
+        right = builder.buf(node, name=f"r{i}")
+        node = builder.and_(left, right, name=f"j{i}")
+    snk = builder.dff("snk", d=node)
+    builder.drive(src, snk)
+    builder.output("o", snk)
+    circuit = builder.build()
+    pair = FFPair(src, snk)
+    assert count_paths(circuit, pair) == 2 ** 20
+    # Enumeration respects its bound.
+    assert len(paths_between(circuit, pair, max_paths=50)) == 50

@@ -1,0 +1,52 @@
+"""Structural statistics."""
+
+from repro.circuit.library import fig1_circuit, shift_register
+from repro.circuit.stats import compute_stats, format_stats
+
+
+def test_fig1_stats(fig1):
+    stats = compute_stats(fig1)
+    assert stats.inputs == 1 and stats.dffs == 4 and stats.gates == 8
+    assert stats.gate_histogram["MUX"] == 2
+    assert stats.gate_histogram["AND"] == 2
+    assert stats.connected_pairs == 9
+    assert stats.pair_density == 9 / 16
+    assert stats.depth == 3  # NOT -> AND -> MUX
+
+
+def test_level_population_sums_to_levelled_nodes(fig1):
+    stats = compute_stats(fig1)
+    assert sum(stats.level_population) > 0
+    assert len(stats.level_population) == stats.depth
+
+
+def test_shift_register_is_flat(shift4):
+    stats = compute_stats(shift4)
+    assert stats.depth <= 1
+    assert stats.pair_density == 3 / 16
+
+
+def test_fanout_statistics(fig1):
+    stats = compute_stats(fig1)
+    assert stats.max_fanout >= 2   # FF3 feeds several gates
+    assert stats.mean_fanout >= 1.0
+
+
+def test_format_stats_mentions_key_numbers(fig1):
+    text = format_stats(compute_stats(fig1))
+    assert "fig1" in text
+    assert "4 FF" in text
+    assert "MUX:2" in text
+    assert "density" in text
+
+
+def test_combinational_only_circuit():
+    from repro.circuit.builder import CircuitBuilder
+
+    builder = CircuitBuilder("comb")
+    a = builder.input("a")
+    builder.output("o", builder.not_(a, name="n"))
+    stats = compute_stats(builder.build())
+    assert stats.dffs == 0
+    assert stats.connected_pairs == 0
+    assert stats.pair_density == 0.0

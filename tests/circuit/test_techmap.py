@@ -1,0 +1,98 @@
+"""The AND/OR/NOT mapping must be a behavioural no-op."""
+
+from hypothesis import given
+
+from repro.circuit.gates import GateType
+from repro.circuit.library import fig1_circuit
+from repro.circuit.techmap import is_mapped, techmap
+from repro.logic.simulator import Simulator
+
+from tests.strategies import random_sequential_circuit, seeds
+
+
+def test_fig1_mapping_removes_muxes(fig1):
+    mapped = techmap(fig1)
+    assert is_mapped(mapped)
+    assert not is_mapped(fig1)
+    assert len(mapped.dffs) == len(fig1.dffs)
+    # Each MUX becomes NOT + 2 AND + OR: 2 muxes -> +6 gates.
+    assert mapped.num_gates == fig1.num_gates + 6
+
+
+def test_mapping_preserves_names(fig1):
+    mapped = techmap(fig1)
+    for name in ("FF1", "FF2", "MUX1", "MUX2", "EN1", "IN"):
+        assert name in mapped
+
+
+@given(seeds)
+def test_mapping_preserves_sequential_behaviour(seed):
+    original = random_sequential_circuit(seed)
+    mapped = techmap(original)
+    assert is_mapped(mapped)
+
+    for pattern in range(4):
+        bits = [(pattern >> i) & 1 for i in range(len(original.inputs))]
+        states = []
+        for circuit in (original, mapped):
+            sim = Simulator(circuit)
+            sim.set_state(
+                {original.names[d]: (pattern >> k) & 1
+                 for k, d in enumerate(original.dffs)}
+            )
+            for _ in range(3):
+                if circuit.inputs:
+                    sim.set_all_inputs(bits)
+                sim.clock()
+            states.append(
+                {original.names[d]: sim.value(original.names[d])
+                 for d in original.dffs}
+            )
+        assert states[0] == states[1]
+
+
+def test_mapping_idempotent_on_mapped_circuits(fig3):
+    remapped = techmap(fig3)
+    assert remapped.num_gates == fig3.num_gates
+
+
+def test_wide_xor_decomposition():
+    from repro.circuit.builder import CircuitBuilder
+
+    builder = CircuitBuilder("x3")
+    ins = [builder.input(f"a{i}") for i in range(3)]
+    builder.output("o", builder.xor(*ins, name="x"))
+    circuit = builder.build()
+    mapped = techmap(circuit)
+    assert is_mapped(mapped)
+    sim_m = Simulator(mapped)
+    for pattern in range(8):
+        bits = [(pattern >> i) & 1 for i in range(3)]
+        sim_m.set_all_inputs(bits)
+        assert sim_m.value("x") == sum(bits) % 2
+
+
+def test_xnor_decomposition():
+    from repro.circuit.builder import CircuitBuilder
+
+    builder = CircuitBuilder("xn")
+    a = builder.input("a")
+    b = builder.input("b")
+    builder.output("o", builder.xnor(a, b, name="x"))
+    mapped = techmap(builder.build())
+    assert is_mapped(mapped)
+    sim = Simulator(mapped)
+    for pattern in range(4):
+        bits = [pattern & 1, (pattern >> 1) & 1]
+        sim.set_all_inputs(bits)
+        assert sim.value("x") == 1 - (bits[0] ^ bits[1])
+
+
+def test_mapped_types_only():
+    mapped = techmap(fig1_circuit())
+    allowed = {
+        GateType.INPUT, GateType.OUTPUT, GateType.DFF, GateType.AND,
+        GateType.NAND, GateType.OR, GateType.NOR, GateType.NOT,
+        GateType.BUF, GateType.CONST0, GateType.CONST1,
+    }
+    assert set(mapped.types) <= allowed

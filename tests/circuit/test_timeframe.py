@@ -1,0 +1,114 @@
+"""The time-frame expansion must agree with sequential simulation."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.circuit.gates import GateType
+from repro.circuit.library import fig1_circuit
+from repro.circuit.netlist import validate
+from repro.circuit.timeframe import expand
+from repro.logic.simulator import Simulator, evaluate_gate
+
+from tests.strategies import random_sequential_circuit, seeds
+
+
+def _eval_expansion(expansion, state_bits, input_frames):
+    """Evaluate the expanded combinational circuit on concrete values."""
+    comb = expansion.comb
+    values = {}
+    for k, node in enumerate(expansion.ff_at[0]):
+        values[node] = state_bits[k]
+    for frame, nodes in enumerate(expansion.pi_at):
+        for k, node in enumerate(nodes):
+            values[node] = input_frames[frame][k]
+    for node in comb.topo_order():
+        gate_type = comb.types[node]
+        if gate_type == GateType.INPUT:
+            continue
+        if gate_type == GateType.CONST0:
+            values[node] = 0
+        elif gate_type == GateType.CONST1:
+            values[node] = 1
+        else:
+            values[node] = evaluate_gate(
+                gate_type, [values[f] for f in comb.fanins[node]]
+            )
+    return values
+
+
+@given(seeds, st.integers(min_value=0, max_value=255))
+def test_expansion_matches_sequential_simulation(seed, stimulus):
+    circuit = random_sequential_circuit(seed)
+    frames = 2
+    expansion = expand(circuit, frames)
+    num_dffs = len(circuit.dffs)
+    num_inputs = len(circuit.inputs)
+
+    state_bits = [(stimulus >> k) & 1 for k in range(num_dffs)]
+    input_frames = [
+        [(stimulus >> (num_dffs + f * num_inputs + k)) & 1 for k in range(num_inputs)]
+        for f in range(frames)
+    ]
+
+    values = _eval_expansion(expansion, state_bits, input_frames)
+
+    sim = Simulator(circuit)
+    sim.set_all_state(state_bits)
+    for frame in range(frames):
+        if circuit.inputs:
+            sim.set_all_inputs(input_frames[frame])
+        # FF values at time t+frame must match the expansion's nodes.
+        for k, dff in enumerate(circuit.dffs):
+            assert sim.values[dff] == values[expansion.ff_at[frame][k]]
+        sim.clock()
+    for k, dff in enumerate(circuit.dffs):
+        assert sim.values[dff] == values[expansion.ff_at[frames][k]]
+
+
+def test_expansion_is_combinational_and_valid(fig1):
+    expansion = expand(fig1, 3)
+    validate(expansion.comb)
+    assert not expansion.comb.dffs
+    assert len(expansion.ff_at) == 4
+    assert len(expansion.pi_at) == 3
+
+
+def test_state_nodes_are_shared_between_frames(fig1):
+    """FF(t+1) is one node: frame-1 output and frame-2 state input."""
+    expansion = expand(fig1, 2)
+    index = expansion.ff_index(fig1.id_of("FF1"))
+    ff1_t1 = expansion.ff_at[1][index]
+    # It must be a fanin of some frame-1 (second frame) gate.
+    fanouts = expansion.comb.fanouts(ff1_t1)
+    assert fanouts, "FF1(t+1) should feed the second frame"
+
+
+def test_ff_index_lookup(fig1):
+    expansion = expand(fig1, 2)
+    for k, dff in enumerate(fig1.dffs):
+        assert expansion.ff_index(dff) == k
+
+
+def test_expand_rejects_zero_frames(fig1):
+    with pytest.raises(ValueError):
+        expand(fig1, 0)
+
+
+def test_direct_ff_to_ff_aliases_to_state_node():
+    """A shift register's FF2(t+1) is literally FF1(t)'s node."""
+    from repro.circuit.library import shift_register
+
+    circuit = shift_register(2)
+    expansion = expand(circuit, 2)
+    s0 = expansion.ff_index(circuit.id_of("s0"))
+    s1 = expansion.ff_index(circuit.id_of("s1"))
+    assert expansion.ff_at[1][s1] == expansion.ff_at[0][s0]
+
+
+def test_po_nodes_per_frame(fig1):
+    expansion = expand(fig1, 2)
+    assert len(expansion.po_at) == 2
+    assert all(len(frame) == 1 for frame in expansion.po_at)

@@ -1,0 +1,68 @@
+"""FF-pair connectivity and cone analyses."""
+
+from repro.circuit.topology import (
+    combinational_depth,
+    connected_ff_pairs,
+    nodes_reachable_from,
+    nodes_reaching,
+    pair_count_matrix,
+    source_ffs_of_sink,
+)
+
+
+def _names(circuit, pairs):
+    return sorted((circuit.names[p.source], circuit.names[p.sink]) for p in pairs)
+
+
+def test_fig1_connected_pairs_match_paper(fig1):
+    """Step 1 of the paper's Section 4.2 example: exactly these 9 pairs."""
+    assert _names(fig1, connected_ff_pairs(fig1)) == [
+        ("FF1", "FF1"), ("FF1", "FF2"), ("FF2", "FF2"),
+        ("FF3", "FF1"), ("FF3", "FF2"), ("FF3", "FF4"),
+        ("FF4", "FF1"), ("FF4", "FF2"), ("FF4", "FF3"),
+    ]
+
+
+def test_self_loops_can_be_excluded(fig1):
+    pairs = connected_ff_pairs(fig1, include_self_loops=False)
+    names = _names(fig1, pairs)
+    assert ("FF1", "FF1") not in names
+    assert ("FF2", "FF2") not in names
+    assert len(names) == 7  # fig1 has exactly two self-loop pairs
+
+
+def test_shift_register_pairs_are_chain(shift4):
+    names = _names(shift4, connected_ff_pairs(shift4))
+    assert names == [("s0", "s1"), ("s1", "s2"), ("s2", "s3")]
+
+
+def test_source_ffs_of_sink(fig1):
+    sink = fig1.id_of("FF2")
+    sources = {fig1.names[s] for s in source_ffs_of_sink(fig1, sink)}
+    assert sources == {"FF1", "FF2", "FF3", "FF4"}
+
+
+def test_pair_count_matrix(fig1):
+    matrix = pair_count_matrix(fig1)
+    assert sum(len(v) for v in matrix.values()) == 9
+
+
+def test_pairs_sorted_and_deterministic(pipeline):
+    pairs1 = connected_ff_pairs(pipeline)
+    pairs2 = connected_ff_pairs(pipeline)
+    assert pairs1 == pairs2
+    keys = [(p.source, p.sink) for p in pairs1]
+    assert keys == sorted(keys)
+
+
+def test_nodes_reaching_and_reachable(fig1):
+    ff2 = fig1.id_of("FF2")
+    mux2 = fig1.id_of("MUX2")
+    assert mux2 in nodes_reaching(fig1, mux2)
+    assert ff2 in nodes_reachable_from(fig1, mux2)
+    assert fig1.id_of("IN") in nodes_reaching(fig1, fig1.id_of("MUX1"))
+
+
+def test_combinational_depth(counter3, shift4):
+    assert combinational_depth(shift4) <= 1
+    assert combinational_depth(counter3) >= 2  # carry chain plus XOR

@@ -1,0 +1,32 @@
+"""CLI interop for Verilog inputs (extension dispatch)."""
+
+from repro.circuit import verilog
+from repro.circuit.library import fig1_circuit
+from repro.cli import main
+
+
+def test_analyze_verilog_file(tmp_path, capsys):
+    path = tmp_path / "fig1.v"
+    verilog.dump(fig1_circuit(), path)
+    assert main(["analyze", str(path)]) == 0
+    out = capsys.readouterr().out
+    assert "multi-cycle pairs:  5" in out
+
+
+def test_kcycle_verilog_file(tmp_path, capsys):
+    path = tmp_path / "fig1.v"
+    verilog.dump(fig1_circuit(), path)
+    assert main(["kcycle", str(path), "--max-k", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "k=3: 3 of 9" in out
+
+
+def test_equiv_bench_vs_verilog(tmp_path, capsys):
+    from repro.circuit.bench import dump as dump_bench
+
+    bench_path = tmp_path / "fig1.bench"
+    verilog_path = tmp_path / "fig1.v"
+    dump_bench(fig1_circuit(), bench_path)
+    verilog.dump(fig1_circuit(), verilog_path)
+    assert main(["equiv", str(bench_path), str(verilog_path)]) == 0
+    assert "EQUIVALENT" in capsys.readouterr().out

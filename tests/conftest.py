@@ -1,0 +1,65 @@
+"""Shared fixtures and hypothesis configuration for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import HealthCheck, settings
+
+from repro.circuit.library import (
+    binary_counter,
+    enabled_pipeline,
+    fig1_circuit,
+    fig3_circuit,
+    fig4_fragment,
+    gray_counter,
+    s27,
+    shift_register,
+)
+
+settings.register_profile(
+    "repro",
+    max_examples=30,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+settings.load_profile("repro")
+
+
+@pytest.fixture
+def fig1():
+    return fig1_circuit()
+
+
+@pytest.fixture
+def fig3():
+    return fig3_circuit()
+
+
+@pytest.fixture
+def fig4():
+    return fig4_fragment()
+
+
+@pytest.fixture
+def s27_circuit():
+    return s27()
+
+
+@pytest.fixture
+def counter3():
+    return binary_counter(3)
+
+
+@pytest.fixture
+def gray3():
+    return gray_counter(3)
+
+
+@pytest.fixture
+def shift4():
+    return shift_register(4)
+
+
+@pytest.fixture
+def pipeline():
+    return enabled_pipeline(4)

@@ -1,0 +1,84 @@
+"""The Condition-2 extension: soundness and the upgrade mechanics."""
+
+from repro.circuit.builder import CircuitBuilder
+from repro.core.detector import detect_multi_cycle_pairs
+from repro.core.extended import condition2_extension
+
+
+def _hidden_sink_circuit():
+    """src -> hidden -> gated-out chain.
+
+    ``hidden`` captures ``src`` every cycle (single-cycle by the MC
+    condition) but is invisible at the primary output, and its only
+    successor pair (hidden, far) is multi-cycle because ``far`` loads on a
+    decoded counter state two counts after... simpler: ``far`` never loads
+    (enable tied to 0) so (hidden, far) holds vacuously.
+    """
+    builder = CircuitBuilder("hidden")
+    a = builder.input("a")
+    src = builder.dff("src", d=a)
+    hidden = builder.dff("hidden", d=src)
+    zero = builder.const0("zero")
+    far = builder.enabled_dff("far", zero, hidden)
+    builder.output("o", far)
+    return builder.build()
+
+
+def test_hidden_sink_is_upgraded():
+    circuit = _hidden_sink_circuit()
+    detection = detect_multi_cycle_pairs(circuit)
+    names = detection.multi_cycle_pair_names()
+    assert ("src", "hidden") not in names  # plain MC condition fails
+    assert ("hidden", "far") in names
+
+    extended = condition2_extension(circuit, detection)
+    assert ("src", "hidden") in extended.upgraded_pair_names()
+    assert extended.total_multi_cycle > len(detection.multi_cycle_pairs)
+
+
+def test_observable_sink_not_upgraded():
+    """Same chain, but the hidden register drives the output: observable,
+    so Condition 2(a) fails and no upgrade happens."""
+    builder = CircuitBuilder("visible")
+    a = builder.input("a")
+    src = builder.dff("src", d=a)
+    mid = builder.dff("mid", d=src)
+    zero = builder.const0("zero")
+    builder.enabled_dff("far", zero, mid)
+    builder.output("o", mid)
+    circuit = builder.build()
+
+    detection = detect_multi_cycle_pairs(circuit)
+    extended = condition2_extension(circuit, detection)
+    assert ("src", "mid") not in extended.upgraded_pair_names()
+
+
+def test_busy_successor_blocks_upgrade():
+    """If the sink's successor pair is single-cycle, 2(b) fails."""
+    builder = CircuitBuilder("busy")
+    a = builder.input("a")
+    src = builder.dff("src", d=a)
+    mid = builder.dff("mid", d=src)
+    builder.dff("tail", d=mid)   # (mid, tail) is single-cycle
+    builder.output("o", builder.buf(a, name="obuf"))
+    circuit = builder.build()
+
+    detection = detect_multi_cycle_pairs(circuit)
+    extended = condition2_extension(circuit, detection)
+    assert ("src", "mid") not in extended.upgraded_pair_names()
+
+
+def test_upgrade_never_removes_pairs(fig1, pipeline):
+    for circuit in (fig1, pipeline):
+        detection = detect_multi_cycle_pairs(circuit)
+        extended = condition2_extension(circuit, detection)
+        assert extended.total_multi_cycle >= len(detection.multi_cycle_pairs)
+        base = set(detection.multi_cycle_pair_names())
+        upgraded = set(extended.upgraded_pair_names())
+        assert not (base & upgraded)  # upgrades come from single-cycle only
+
+
+def test_reports_cover_only_single_cycle_pairs(fig1):
+    detection = detect_multi_cycle_pairs(fig1)
+    extended = condition2_extension(fig1, detection)
+    assert len(extended.reports) == len(detection.single_cycle_pairs)

@@ -1,0 +1,195 @@
+"""Static hazard checking: the paper's Section 5 claims on Fig. 3/Fig. 4."""
+
+from repro.circuit.library import fig3_circuit, fig4_fragment
+from repro.circuit.techmap import techmap
+from repro.circuit.timeframe import expand
+from repro.core.detector import detect_multi_cycle_pairs
+from repro.core.hazard import HazardChecker, check_hazards
+from repro.core.sensitization import (
+    PathSearchOutcome,
+    SensitizationMode,
+    find_sensitizable_path,
+)
+from repro.atpg.implication import ImplicationEngine
+
+from hypothesis import given
+from tests.strategies import random_sequential_circuit, seeds
+
+
+def _pair_names(circuit, pair_results):
+    return sorted(
+        (circuit.names[p.pair.source], circuit.names[p.pair.sink])
+        for p in pair_results
+    )
+
+
+def test_fig3_ff3_ff2_flagged_by_sensitization(fig3):
+    """The paper's Fig. 3 example: the MC pair (FF3, FF2) admits a static
+    hazard through MUX2's AND/OR structure, found by static sensitization."""
+    detection = detect_multi_cycle_pairs(fig3)
+    result = check_hazards(fig3, detection,
+                           SensitizationMode.STATIC_SENSITIZATION)
+    flagged = _pair_names(fig3, result.flagged_pairs)
+    assert ("FF3", "FF2") in flagged
+
+
+def test_fig3_hazard_witness_runs_through_mux2(fig3):
+    detection = detect_multi_cycle_pairs(fig3)
+    checker = HazardChecker(fig3, SensitizationMode.STATIC_SENSITIZATION)
+    target = next(
+        p for p in detection.multi_cycle_pairs
+        if (fig3.names[p.pair.source], fig3.names[p.pair.sink]) == ("FF3", "FF2")
+    )
+    report = checker.check_pair(target)
+    assert report.has_potential_hazard
+    path_names = [checker.expansion.comb.names[n] for n in report.witness_path]
+    assert any("MUX2" in name for name in path_names)
+
+
+def test_cosensitization_flags_superset(fig3):
+    """Every pair flagged by sensitization is flagged by co-sensitization
+    (a statically sensitizable path is statically co-sensitizable)."""
+    detection = detect_multi_cycle_pairs(fig3)
+    sens = check_hazards(fig3, detection,
+                         SensitizationMode.STATIC_SENSITIZATION)
+    cosens = check_hazards(fig3, detection,
+                           SensitizationMode.STATIC_CO_SENSITIZATION)
+    assert set(_pair_names(fig3, sens.flagged_pairs)) <= set(
+        _pair_names(fig3, cosens.flagged_pairs)
+    )
+
+
+@given(seeds)
+def test_table3_ordering_on_random_circuits(seed):
+    """before >= kept(sensitize) >= kept(co-sensitize) must always hold."""
+    circuit = techmap(
+        random_sequential_circuit(seed, max_inputs=2, max_dffs=3, max_gates=8)
+    )
+    detection = detect_multi_cycle_pairs(circuit)
+    before = len(detection.multi_cycle_pairs)
+    kept_sens = len(
+        check_hazards(circuit, detection,
+                      SensitizationMode.STATIC_SENSITIZATION,
+                      backtrack_limit=10_000, max_attempts=50_000).verified_pairs
+    )
+    kept_cosens = len(
+        check_hazards(circuit, detection,
+                      SensitizationMode.STATIC_CO_SENSITIZATION,
+                      backtrack_limit=10_000, max_attempts=50_000).verified_pairs
+    )
+    assert before >= kept_sens >= kept_cosens
+
+
+def test_fig4_path_cosensitizable_but_not_sensitizable(fig4):
+    """The Fig. 4 fragment: with side input B at 0, the A -> C path is
+    statically co-sensitizable but not statically sensitizable."""
+    expansion = expand(fig4, 2)
+    engine = ImplicationEngine(expansion.comb)
+    comb = expansion.comb
+    a_index = expansion.ff_index(fig4.id_of("A"))
+    b_index = expansion.ff_index(fig4.id_of("B"))
+    a_node = expansion.ff_at[1][a_index]  # FF A's value entering frame 2
+    b_node = expansion.ff_at[1][b_index]
+    c_node = comb.id_of("C@1")            # the AND gate inside frame 2
+    allowed = {c_node}
+    assert engine.assume(b_node, 0)  # B presents the controlling value
+
+    sens = find_sensitizable_path(
+        engine, a_node, c_node, allowed,
+        SensitizationMode.STATIC_SENSITIZATION,
+    )
+    assert sens.outcome is PathSearchOutcome.NONE
+
+    cosens = find_sensitizable_path(
+        engine, a_node, c_node, allowed,
+        SensitizationMode.STATIC_CO_SENSITIZATION,
+    )
+    assert cosens.outcome is PathSearchOutcome.FOUND
+
+
+def test_path_search_restores_engine(fig4):
+    expansion = expand(fig4, 2)
+    engine = ImplicationEngine(expansion.comb)
+    comb = expansion.comb
+    a_node = expansion.ff_at[1][expansion.ff_index(fig4.id_of("A"))]
+    before = list(engine.assignment.values)
+    find_sensitizable_path(
+        engine, a_node, comb.id_of("C@1"), {comb.id_of("C@1")},
+        SensitizationMode.STATIC_CO_SENSITIZATION,
+    )
+    assert engine.assignment.values == before
+
+
+def test_unreachable_source_is_none(fig3):
+    checker = HazardChecker(fig3)
+    comb = checker.expansion.comb
+    engine = checker.engine
+    # A frame-2 PI cannot reach a frame-1-only node.
+    result = find_sensitizable_path(
+        engine, comb.id_of("IN@1"), comb.id_of("IN@0"), frozenset(),
+        SensitizationMode.STATIC_SENSITIZATION,
+    )
+    assert result.outcome is PathSearchOutcome.NONE
+
+
+def test_attempt_limit_flags_conservatively(fig3):
+    detection = detect_multi_cycle_pairs(fig3)
+    result = check_hazards(
+        fig3, detection, SensitizationMode.STATIC_SENSITIZATION,
+        max_attempts=0,
+    )
+    # With no search budget everything with a structural path is flagged.
+    assert all(r.has_potential_hazard or r.witness_path is None
+               for r in result.reports)
+
+
+def test_hazard_appears_only_after_mapping(fig1, fig3):
+    """The paper's core Section 5 insight: hazards are a property of the
+    *implementation*.  On the composite-MUX fig1 the select path of the
+    pair (FF3, FF2) is not statically sensitizable (the data inputs are
+    forced equal whenever FF3 toggles), but the Fig. 3 AND/OR mapping of
+    the same function exposes a sensitizable hazard path through
+    MUX2's AND1/OR — hence hazard analysis runs on mapped netlists."""
+    unmapped = check_hazards(
+        fig1, detect_multi_cycle_pairs(fig1),
+        SensitizationMode.STATIC_SENSITIZATION,
+    )
+    assert ("FF3", "FF2") not in _pair_names(fig1, unmapped.flagged_pairs)
+
+    mapped = check_hazards(
+        fig3, detect_multi_cycle_pairs(fig3),
+        SensitizationMode.STATIC_SENSITIZATION,
+    )
+    assert ("FF3", "FF2") in _pair_names(fig3, mapped.flagged_pairs)
+
+
+def test_classify_hazards_partitions_mc_pairs(fig3):
+    from repro.core.hazard import HazardClass, classify_hazards
+
+    detection = detect_multi_cycle_pairs(fig3)
+    classes = classify_hazards(fig3, detection)
+    total = sum(len(v) for v in classes.values())
+    assert total == len(detection.multi_cycle_pairs)
+    # The paper's Fig. 3 pair is outright hazardous.
+    hazardous = _pair_names(fig3, classes[HazardClass.HAZARDOUS])
+    assert ("FF3", "FF2") in hazardous
+    # (FF1, FF2) is clean under sensitization but co-sensitization flags
+    # it: the dependency class of §5.2.
+    dependent = _pair_names(fig3, classes[HazardClass.DEPENDENT])
+    assert ("FF1", "FF2") in dependent
+
+
+@given(seeds)
+def test_classify_hazards_consistent_with_individual_checks(seed):
+    from repro.core.hazard import HazardClass, classify_hazards
+
+    circuit = techmap(
+        random_sequential_circuit(seed, max_inputs=2, max_dffs=3, max_gates=8)
+    )
+    detection = detect_multi_cycle_pairs(circuit)
+    classes = classify_hazards(circuit, detection,
+                               backtrack_limit=10_000, max_attempts=50_000)
+    sens = check_hazards(circuit, detection,
+                         SensitizationMode.STATIC_SENSITIZATION,
+                         backtrack_limit=10_000, max_attempts=50_000)
+    assert len(classes[HazardClass.HAZARDOUS]) == len(sens.flagged_pairs)

@@ -1,0 +1,95 @@
+"""Metamorphic invariances of multi-cycle detection.
+
+The MC condition is a property of the next-state *functions*, so the
+detector's verdicts must be invariant under every function-preserving
+transformation the library offers — and under changes to parts of the
+circuit the condition does not read (primary outputs, disconnected
+logic).  Each test perturbs a circuit and asserts identical pair names.
+"""
+
+from hypothesis import given
+
+from repro.circuit.bench import dumps as bench_dumps, loads as bench_loads
+from repro.circuit.gates import GateType
+from repro.circuit.library import fig1_circuit
+from repro.circuit.netlist import Circuit
+from repro.circuit.techmap import techmap
+from repro.circuit.verilog import dumps as verilog_dumps, loads as verilog_loads
+from repro.core.detector import DetectorOptions, detect_multi_cycle_pairs
+
+from tests.strategies import random_sequential_circuit, seeds
+
+_OPTIONS = DetectorOptions(backtrack_limit=100_000)
+
+
+def _verdicts(circuit):
+    return detect_multi_cycle_pairs(circuit, _OPTIONS).multi_cycle_pair_names()
+
+
+@given(seeds)
+def test_invariant_under_techmap(seed):
+    circuit = random_sequential_circuit(seed)
+    assert _verdicts(circuit) == _verdicts(techmap(circuit))
+
+
+@given(seeds)
+def test_invariant_under_bench_round_trip(seed):
+    circuit = random_sequential_circuit(seed)
+    assert _verdicts(circuit) == _verdicts(bench_loads(bench_dumps(circuit)))
+
+
+@given(seeds)
+def test_invariant_under_verilog_round_trip(seed):
+    circuit = random_sequential_circuit(seed)
+    assert _verdicts(circuit) == _verdicts(verilog_loads(verilog_dumps(circuit)))
+
+
+@given(seeds)
+def test_invariant_under_po_removal(seed):
+    """The MC condition never reads primary outputs."""
+    circuit = random_sequential_circuit(seed)
+    stripped = Circuit(f"{circuit.name}_nopo")
+    keep = [n for n in range(circuit.num_nodes)
+            if circuit.types[n] != GateType.OUTPUT]
+    remap = {}
+    for node in keep:
+        remap[node] = stripped.add_node(circuit.types[node], (),
+                                        circuit.names[node])
+    for node in keep:
+        stripped.set_fanins(
+            remap[node], tuple(remap[f] for f in circuit.fanins[node])
+        )
+    assert _verdicts(circuit) == _verdicts(stripped)
+
+
+@given(seeds)
+def test_invariant_under_disconnected_addition(seed):
+    """Appending an unrelated counter must not disturb existing pairs."""
+    circuit = random_sequential_circuit(seed)
+    extended = circuit.copy(f"{circuit.name}_plus")
+    bit0 = extended.add_node(GateType.DFF, (0,), "__extra0")
+    inverter = extended.add_node(GateType.NOT, (bit0,), "__extra_not")
+    extended.set_fanins(bit0, (inverter,))
+    original = set(_verdicts(circuit))
+    augmented = set(_verdicts(extended))
+    assert original <= augmented
+    extra_only = augmented - original
+    assert all("__extra" in source or "__extra" in sink
+               for source, sink in extra_only)
+
+
+def test_invariant_under_buffer_insertion(fig1):
+    """Buffering every FF's D input is function-preserving."""
+    buffered = fig1.copy("fig1_buf")
+    for dff in list(buffered.dffs):
+        driver = buffered.next_state_node(dff)
+        buffer = buffered.add_node(
+            GateType.BUF, (driver,), f"{buffered.names[dff]}__dbuf"
+        )
+        buffered.set_fanins(dff, (buffer,))
+    assert _verdicts(fig1) == _verdicts(buffered)
+
+
+def test_invariant_under_double_techmap(fig1):
+    mapped = techmap(fig1)
+    assert _verdicts(mapped) == _verdicts(techmap(mapped))

@@ -1,0 +1,124 @@
+"""k-cycle detection: the Fig. 1 story plus differential validation."""
+
+import pytest
+from hypothesis import given
+
+from repro.circuit.library import enabled_pipeline, fig1_circuit
+from repro.circuit.topology import FFPair, connected_ff_pairs
+from repro.core.brute import brute_force_k_cycle_pairs
+from repro.core.kcycle import KCycleAnalyzer, is_k_cycle_pair, max_cycles
+from repro.core.result import Classification
+
+from tests.strategies import random_sequential_circuit, seeds
+
+
+def test_fig1_ff1_ff2_is_exactly_three_cycle(fig1):
+    """The paper: 'the paths from FF1 to FF2 are 3-cycle paths'."""
+    pair = FFPair(fig1.id_of("FF1"), fig1.id_of("FF2"))
+    assert is_k_cycle_pair(fig1, pair, 2)
+    assert is_k_cycle_pair(fig1, pair, 3)
+    assert not is_k_cycle_pair(fig1, pair, 4)
+    assert max_cycles(fig1, pair) == 3
+
+
+def test_k2_matches_mc_condition(fig1):
+    from repro.core.detector import detect_multi_cycle_pairs
+
+    mc = set(detect_multi_cycle_pairs(fig1).multi_cycle_pair_names())
+    k2 = {
+        (fig1.names[p.source], fig1.names[p.sink])
+        for p in connected_ff_pairs(fig1)
+        if is_k_cycle_pair(fig1, p, 2)
+    }
+    assert k2 == mc
+
+
+@given(seeds)
+def test_k3_agrees_with_brute_force(seed):
+    circuit = random_sequential_circuit(seed, max_inputs=2, max_dffs=3,
+                                        max_gates=7)
+    if len(circuit.dffs) + 3 * len(circuit.inputs) > 12:
+        return  # keep enumeration cheap
+    expected = brute_force_k_cycle_pairs(circuit, 3)
+    got = {
+        (p.source, p.sink)
+        for p in connected_ff_pairs(circuit)
+        if is_k_cycle_pair(circuit, p, 3, backtrack_limit=100_000)
+    }
+    assert got == expected
+
+
+@given(seeds)
+def test_k_cycle_is_monotone(seed):
+    """A k-cycle pair is also a (k-1)-cycle pair."""
+    circuit = random_sequential_circuit(seed, max_inputs=2, max_dffs=3,
+                                        max_gates=7)
+    for pair in connected_ff_pairs(circuit)[:3]:
+        if is_k_cycle_pair(circuit, pair, 4, backtrack_limit=100_000):
+            assert is_k_cycle_pair(circuit, pair, 3, backtrack_limit=100_000)
+            assert is_k_cycle_pair(circuit, pair, 2, backtrack_limit=100_000)
+
+
+def test_pipeline_spacing_matches_budget():
+    """Stage spacing s on the counter means consecutive banks are s-cycle."""
+    circuit = enabled_pipeline(2, counter_width=2, spacing=3)
+    pair = FFPair(circuit.id_of("r0"), circuit.id_of("r1"))
+    assert max_cycles(circuit, pair, k_max=6) == 3
+
+
+def test_max_cycles_on_single_cycle_pair():
+    from repro.circuit.library import shift_register
+
+    circuit = shift_register(2)
+    pair = FFPair(circuit.id_of("s0"), circuit.id_of("s1"))
+    assert max_cycles(circuit, pair) == 1
+
+
+def test_rejects_k_below_two(fig1):
+    with pytest.raises(ValueError):
+        KCycleAnalyzer(fig1, 1)
+
+
+def test_analyzer_returns_classification(fig1):
+    analyzer = KCycleAnalyzer(fig1, 3)
+    pair = FFPair(fig1.id_of("FF1"), fig1.id_of("FF2"))
+    result = analyzer.analyze(pair)
+    assert result.classification is Classification.MULTI_CYCLE
+    assert result.k == 3
+
+
+def test_kcycle_detector_pipeline(fig1):
+    """The full k-cycle pipeline matches per-pair analysis and shrinks
+    monotonically with k."""
+    from repro.core.kcycle import KCycleDetector
+
+    previous = None
+    for k in (2, 3, 4):
+        result = KCycleDetector(fig1, k).run()
+        names = set(result.k_cycle_pair_names())
+        if k == 2:
+            from repro.core.detector import detect_multi_cycle_pairs
+
+            assert names == set(
+                detect_multi_cycle_pairs(fig1).multi_cycle_pair_names()
+            )
+        if previous is not None:
+            assert names <= previous
+        previous = names
+
+
+def test_kcycle_detector_counts_sim_drops(fig1):
+    from repro.core.kcycle import KCycleDetector
+
+    result = KCycleDetector(fig1, 3).run()
+    assert result.sim_dropped >= 4  # at least the four 1-cycle pairs
+    assert result.connected_pairs == 9
+
+
+def test_kcycle_detector_rejects_small_k(fig1):
+    import pytest
+
+    from repro.core.kcycle import KCycleDetector
+
+    with pytest.raises(ValueError):
+        KCycleDetector(fig1, 1)

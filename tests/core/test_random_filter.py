@@ -1,0 +1,93 @@
+"""The random-simulation stage: sound drops, determinism, reporting."""
+
+import numpy as np
+from hypothesis import given
+
+from repro.circuit.library import fig1_circuit, shift_register
+from repro.circuit.topology import connected_ff_pairs
+from repro.core.brute import brute_force_mc_pairs
+from repro.core.random_filter import random_filter
+
+from tests.strategies import random_sequential_circuit, seeds
+
+
+@given(seeds)
+def test_dropped_pairs_are_never_multi_cycle(seed):
+    """Random simulation may only drop pairs with real counterexamples."""
+    circuit = random_sequential_circuit(seed, max_inputs=2, max_dffs=3,
+                                        max_gates=8)
+    pairs = connected_ff_pairs(circuit)
+    report = random_filter(circuit, pairs)
+    surviving = {(p.source, p.sink) for p in report.survivors}
+    mc_pairs = brute_force_mc_pairs(circuit)
+    # Every true MC pair must survive (drops are sound).
+    assert mc_pairs <= surviving
+
+
+def test_fig1_drops_the_four_single_cycle_pairs(fig1):
+    """Section 4.2: after Step 2 exactly these 5 pairs remain."""
+    pairs = connected_ff_pairs(fig1)
+    report = random_filter(fig1, pairs)
+    names = sorted(
+        (fig1.names[p.source], fig1.names[p.sink]) for p in report.survivors
+    )
+    assert names == [
+        ("FF1", "FF1"), ("FF1", "FF2"), ("FF2", "FF2"),
+        ("FF3", "FF2"), ("FF4", "FF1"),
+    ]
+    assert report.dropped == 4
+
+
+def test_shift_register_fully_filtered(shift4):
+    pairs = connected_ff_pairs(shift4)
+    report = random_filter(shift4, pairs)
+    assert not report.survivors
+    assert report.dropped == len(pairs)
+
+
+def test_deterministic_per_seed(fig1):
+    pairs = connected_ff_pairs(fig1)
+    first = random_filter(fig1, pairs, seed=5)
+    second = random_filter(fig1, pairs, seed=5)
+    assert [(p.source, p.sink) for p in first.survivors] == [
+        (p.source, p.sink) for p in second.survivors
+    ]
+    assert first.rounds == second.rounds
+
+
+def test_empty_pair_list():
+    report = random_filter(fig1_circuit(), [])
+    assert report.survivors == [] and report.rounds == 0
+
+
+def test_patterns_accounting(fig1):
+    pairs = connected_ff_pairs(fig1)
+    report = random_filter(fig1, pairs, words=2)
+    assert report.patterns == report.rounds * 128
+
+
+def test_max_rounds_cap(fig1):
+    pairs = connected_ff_pairs(fig1)
+    report = random_filter(fig1, pairs, max_rounds=1)
+    assert report.rounds == 1
+
+
+def test_random_filter_k_sound(fig1):
+    """k-frame drops may only remove pairs that truly violate k-cycle."""
+    from repro.core.brute import brute_force_k_cycle_pairs
+    from repro.core.random_filter import random_filter_k
+
+    pairs = connected_ff_pairs(fig1)
+    for k in (2, 3, 4):
+        report = random_filter_k(fig1, pairs, k)
+        surviving = {(p.source, p.sink) for p in report.survivors}
+        assert brute_force_k_cycle_pairs(fig1, k) <= surviving
+
+
+def test_random_filter_k_rejects_small_k(fig1):
+    import pytest
+
+    from repro.core.random_filter import random_filter_k
+
+    with pytest.raises(ValueError):
+        random_filter_k(fig1, connected_ff_pairs(fig1), 1)

@@ -1,0 +1,94 @@
+"""Eichelberger ternary hazard analysis."""
+
+import itertools
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gates import GateType
+from repro.core.detector import detect_multi_cycle_pairs
+from repro.core.ternary_hazard import (
+    TernaryHazardChecker,
+    ternary_check_hazards,
+    ternary_eval,
+)
+from repro.logic.values import ONE, X, ZERO
+
+
+def test_ternary_eval_matches_binary_on_full_inputs():
+    builder = CircuitBuilder("t")
+    a, b = builder.input("a"), builder.input("b")
+    g = builder.xor(builder.and_(a, b, name="g1"), a, name="g2")
+    builder.output("o", g)
+    circuit = builder.build()
+    for bits in itertools.product((0, 1), repeat=2):
+        values = ternary_eval(circuit, dict(zip(circuit.inputs, bits)))
+        assert values[circuit.id_of("g2")] == (bits[0] & bits[1]) ^ bits[0]
+
+
+def test_ternary_eval_x_dominated_by_controlling():
+    builder = CircuitBuilder("t")
+    a, b = builder.input("a"), builder.input("b")
+    builder.output("o", builder.and_(a, b, name="g"))
+    circuit = builder.build()
+    values = ternary_eval(circuit, {a: ZERO, b: X})
+    assert values[circuit.id_of("g")] == ZERO
+    values = ternary_eval(circuit, {a: ONE, b: X})
+    assert values[circuit.id_of("g")] == X
+
+
+def test_fig3_pair_ff3_ff2_glitches(fig3):
+    """The Fig. 3 hazard also shows up under ternary simulation: X-ing the
+    changed counter bit drives MUX2's AND/OR to X."""
+    detection = detect_multi_cycle_pairs(fig3)
+    checker = TernaryHazardChecker(fig3)
+    target = next(
+        p for p in detection.multi_cycle_pairs
+        if (fig3.names[p.pair.source], fig3.names[p.pair.sink]) == ("FF3", "FF2")
+    )
+    report = checker.check_pair(target)
+    assert report.has_potential_hazard
+    assert report.witness_case is not None
+
+
+def test_blocked_pair_does_not_glitch(fig3):
+    """(FF1, FF2): when FF1 toggles, EN2 is held 0 by the *unchanged* FF3
+    bit, so the X from FF1 is blocked — consistent with the static
+    sensitization verdict (and unlike co-sensitization's pessimism)."""
+    detection = detect_multi_cycle_pairs(fig3)
+    checker = TernaryHazardChecker(fig3)
+    target = next(
+        p for p in detection.multi_cycle_pairs
+        if (fig3.names[p.pair.source], fig3.names[p.pair.sink]) == ("FF1", "FF2")
+    )
+    report = checker.check_pair(target)
+    assert not report.has_potential_hazard
+
+
+def test_report_covers_all_mc_pairs(fig3):
+    detection = detect_multi_cycle_pairs(fig3)
+    reports, seconds = ternary_check_hazards(fig3, detection)
+    assert len(reports) == len(detection.multi_cycle_pairs)
+    assert seconds >= 0
+
+
+def test_ternary_flags_subset_of_cosensitization(fig3):
+    """Per-witness ternary X-propagation cannot flag a pair whose every
+    path family is already co-sensitization-clean."""
+    from repro.core.hazard import check_hazards
+    from repro.core.sensitization import SensitizationMode
+
+    detection = detect_multi_cycle_pairs(fig3)
+    ternary_reports, _ = ternary_check_hazards(fig3, detection)
+    ternary_flagged = {
+        (r.pair_result.pair.source, r.pair_result.pair.sink)
+        for r in ternary_reports
+        if r.has_potential_hazard
+    }
+    cosens = check_hazards(
+        fig3, detection, SensitizationMode.STATIC_CO_SENSITIZATION
+    )
+    cosens_flagged = {
+        (r.pair_result.pair.source, r.pair_result.pair.sink)
+        for r in cosens.reports
+        if r.has_potential_hazard
+    }
+    assert ternary_flagged <= cosens_flagged

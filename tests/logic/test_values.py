@@ -1,0 +1,122 @@
+"""Exhaustive checks of the three-valued algebra."""
+
+import itertools
+
+import pytest
+
+from repro.logic.values import (
+    BINARY,
+    ONE,
+    VALUES,
+    X,
+    ZERO,
+    from_char,
+    is_binary,
+    to_char,
+    v_and,
+    v_and_all,
+    v_mux,
+    v_not,
+    v_or,
+    v_or_all,
+    v_xor,
+    v_xor_all,
+)
+
+
+def _lift(op, a, b):
+    """Three-valued semantics by enumeration over the X completions."""
+    candidates = {
+        op(x, y)
+        for x in (BINARY if a == X else (a,))
+        for y in (BINARY if b == X else (b,))
+    }
+    return candidates.pop() if len(candidates) == 1 else X
+
+
+@pytest.mark.parametrize("a", VALUES)
+@pytest.mark.parametrize("b", VALUES)
+def test_and_matches_completion_semantics(a, b):
+    assert v_and(a, b) == _lift(lambda x, y: x & y, a, b)
+
+
+@pytest.mark.parametrize("a", VALUES)
+@pytest.mark.parametrize("b", VALUES)
+def test_or_matches_completion_semantics(a, b):
+    assert v_or(a, b) == _lift(lambda x, y: x | y, a, b)
+
+
+@pytest.mark.parametrize("a", VALUES)
+@pytest.mark.parametrize("b", VALUES)
+def test_xor_matches_completion_semantics(a, b):
+    assert v_xor(a, b) == _lift(lambda x, y: x ^ y, a, b)
+
+
+@pytest.mark.parametrize("a", VALUES)
+def test_not(a):
+    expected = X if a == X else 1 - a
+    assert v_not(a) == expected
+
+
+@pytest.mark.parametrize("a", VALUES)
+@pytest.mark.parametrize("b", VALUES)
+def test_commutativity(a, b):
+    assert v_and(a, b) == v_and(b, a)
+    assert v_or(a, b) == v_or(b, a)
+    assert v_xor(a, b) == v_xor(b, a)
+
+
+@pytest.mark.parametrize("a", VALUES)
+def test_identities(a):
+    assert v_and(a, ONE) == a
+    assert v_or(a, ZERO) == a
+    assert v_xor(a, ZERO) == a
+    assert v_and(a, ZERO) == ZERO
+    assert v_or(a, ONE) == ONE
+
+
+def test_de_morgan_over_all_values():
+    for a, b in itertools.product(VALUES, repeat=2):
+        assert v_not(v_and(a, b)) == v_or(v_not(a), v_not(b))
+        assert v_not(v_or(a, b)) == v_and(v_not(a), v_not(b))
+
+
+def test_reductions_match_pairwise():
+    for values in itertools.product(VALUES, repeat=3):
+        assert v_and_all(values) == v_and(v_and(values[0], values[1]), values[2])
+        assert v_or_all(values) == v_or(v_or(values[0], values[1]), values[2])
+        assert v_xor_all(values) == v_xor(v_xor(values[0], values[1]), values[2])
+
+
+def test_reduction_identities_on_empty():
+    assert v_and_all([]) == ONE
+    assert v_or_all([]) == ZERO
+    assert v_xor_all([]) == ZERO
+
+
+def test_mux_exhaustive():
+    for s, d0, d1 in itertools.product(VALUES, repeat=3):
+        got = v_mux(s, d0, d1)
+        outcomes = {
+            (d1c if sc else d0c)
+            for sc in (BINARY if s == X else (s,))
+            for d0c in (BINARY if d0 == X else (d0,))
+            for d1c in (BINARY if d1 == X else (d1,))
+        }
+        expected = outcomes.pop() if len(outcomes) == 1 else X
+        assert got == expected, (s, d0, d1)
+
+
+def test_is_binary():
+    assert is_binary(ZERO) and is_binary(ONE) and not is_binary(X)
+
+
+def test_char_round_trip():
+    for value in VALUES:
+        assert from_char(to_char(value)) == value
+    assert from_char("x") == X
+
+
+def test_from_char_rejects_garbage():
+    with pytest.raises(ValueError):
+        from_char("2")

@@ -1,0 +1,74 @@
+"""VCD tracing output format and content."""
+
+from repro.circuit.library import binary_counter, fig1_circuit
+from repro.logic.simulator import Simulator
+from repro.logic.vcd import VcdTracer, _identifier, trace_circuit
+
+
+def test_identifiers_unique_and_printable():
+    identifiers = [_identifier(i) for i in range(500)]
+    assert len(set(identifiers)) == 500
+    assert all(all(33 <= ord(c) <= 126 for c in ident) for ident in identifiers)
+
+
+def test_header_declares_signals():
+    circuit = binary_counter(2)
+    tracer = trace_circuit(circuit, 4, initial_state=[0, 0])
+    text = tracer.dumps()
+    assert "$timescale 1ns $end" in text
+    assert "$var wire 1 ! q0 $end" in text
+    assert "$enddefinitions $end" in text
+    assert "$dumpvars" in text
+
+
+def test_counter_trace_records_toggles():
+    circuit = binary_counter(2)
+    tracer = trace_circuit(circuit, 4, initial_state=[0, 0])
+    # q0 toggles every cycle: 0 1 0 1 0 across 5 samples.
+    q0_index = tracer.signals.index("q0")
+    q0_values = [sample[q0_index] for sample in tracer.samples]
+    assert q0_values == [0, 1, 0, 1, 0]
+
+
+def test_only_changes_are_emitted():
+    circuit = binary_counter(2)
+    tracer = trace_circuit(circuit, 4, initial_state=[0, 0])
+    text = tracer.dumps()
+    q1_ident = tracer._ids[tracer.signals.index("q1")]
+    # q1 changes at cycles 2 and 4 only (plus the initial dump).
+    changes = [line for line in text.splitlines()
+               if line.endswith(q1_ident) and line[0] in "01x"]
+    assert len(changes) == 3
+
+
+def test_x_values_rendered():
+    circuit = binary_counter(1)
+    sim = Simulator(circuit)
+    tracer = VcdTracer(sim, signals=["q0"])
+    tracer.sample()  # state never set: X
+    assert "x!" in tracer.dumps()
+
+
+def test_fig1_three_cycle_transport_visible():
+    circuit = fig1_circuit()
+    tracer = trace_circuit(
+        circuit, 5,
+        initial_state=[0, 0, 0, 0],
+        inputs_per_cycle=[{"IN": 1}] + [{"IN": 0}] * 4,
+        signals=["IN", "FF1", "FF2", "FF3", "FF4"],
+    )
+    ff1 = tracer.signals.index("FF1")
+    ff2 = tracer.signals.index("FF2")
+    ff1_values = [s[ff1] for s in tracer.samples]
+    ff2_values = [s[ff2] for s in tracer.samples]
+    assert ff1_values[1] == 1          # loaded at the first edge
+    assert ff2_values[:4] == [0, 0, 0, 0]
+    assert ff2_values[4] == 1          # captured three cycles later
+
+
+def test_write_to_file(tmp_path):
+    circuit = binary_counter(2)
+    tracer = trace_circuit(circuit, 2, initial_state=[0, 0])
+    path = tmp_path / "t.vcd"
+    tracer.write(path)
+    assert path.read_text().startswith("$timescale")

@@ -1,0 +1,74 @@
+"""DIMACS round-trips and parser robustness."""
+
+import pytest
+
+from repro.sat.dimacs import (
+    DimacsFormatError,
+    load_dimacs,
+    parse_dimacs,
+    solver_from_dimacs,
+    write_dimacs,
+)
+from repro.sat.solver import SolveStatus
+
+
+def test_parse_basic():
+    num_vars, clauses = parse_dimacs("p cnf 3 2\n1 -2 0\n2 3 0\n")
+    assert num_vars == 3
+    assert clauses == [[1, -2], [2, 3]]
+
+
+def test_parse_comments_and_trailer():
+    text = "c a comment\np cnf 2 1\nc mid comment\n1 2 0\n%\n0\n"
+    assert parse_dimacs(text)[1] == [[1, 2]]
+
+
+def test_parse_multiline_clause():
+    _, clauses = parse_dimacs("p cnf 3 1\n1\n-2\n3 0\n")
+    assert clauses == [[1, -2, 3]]
+
+
+def test_parse_missing_terminator():
+    _, clauses = parse_dimacs("p cnf 2 1\n1 2")
+    assert clauses == [[1, 2]]
+
+
+def test_parse_grows_num_vars_beyond_header():
+    num_vars, _ = parse_dimacs("p cnf 1 1\n7 0\n")
+    assert num_vars == 7
+
+
+@pytest.mark.parametrize("bad", ["p cnf x y", "p dnf 1 1", "1 two 0"])
+def test_parse_rejects_malformed(bad):
+    with pytest.raises(DimacsFormatError):
+        parse_dimacs(bad)
+
+
+def test_round_trip(tmp_path):
+    clauses = [[1, -2], [2, 3, -4], [-1]]
+    path = tmp_path / "f.cnf"
+    write_dimacs(4, clauses, path, comments=["generated"])
+    num_vars, parsed = load_dimacs(path)
+    assert num_vars == 4
+    assert parsed == clauses
+
+
+def test_solver_from_dimacs():
+    solver = solver_from_dimacs("p cnf 2 2\n1 0\n-1 2 0\n")
+    assert solver.solve() is SolveStatus.SAT
+    assert solver.model_value(2) == 1
+
+
+def test_export_tseitin_encoding(tmp_path):
+    """The MC 2-frame encoding can be shipped to external solvers."""
+    from repro.circuit.library import fig1_circuit
+    from repro.circuit.timeframe import expand
+    from repro.sat.tseitin import encode_circuit
+
+    expansion = expand(fig1_circuit(), 2)
+    encoding = encode_circuit(expansion.comb)
+    solver = encoding.solver
+    clauses = [[solver._ext(l) for l in clause] for clause in solver.clauses]
+    text = write_dimacs(solver.num_vars, clauses)
+    reloaded = solver_from_dimacs(text)
+    assert reloaded.solve() is SolveStatus.SAT

@@ -1,0 +1,115 @@
+"""Miter equivalence checking and FF observability."""
+
+import pytest
+from hypothesis import given
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.library import fig1_circuit, s27
+from repro.circuit.techmap import techmap
+from repro.sat.equivalence import (
+    check_sequential_equivalence_1step,
+    ff_observable_at_outputs,
+)
+
+from tests.strategies import random_sequential_circuit, seeds
+
+
+@given(seeds)
+def test_techmap_is_equivalent(seed):
+    """The technology mapper must be a behavioural no-op — proven by SAT."""
+    circuit = random_sequential_circuit(seed)
+    result = check_sequential_equivalence_1step(circuit, techmap(circuit))
+    assert result.equivalent, result.differing_signal
+
+
+def test_fig1_fig3_equivalent(fig1, fig3):
+    assert check_sequential_equivalence_1step(fig1, fig3).equivalent
+
+
+def test_detects_functional_difference():
+    def build(flip):
+        builder = CircuitBuilder("c")
+        a, b = builder.input("a"), builder.input("b")
+        gate = builder.nand(a, b, name="g") if flip else builder.and_(a, b, name="g")
+        builder.dff("ff", d=gate)
+        builder.output("o", gate)
+        return builder.build()
+
+    result = check_sequential_equivalence_1step(build(False), build(True))
+    assert not result.equivalent
+    assert result.differing_signal in ("g", "ff.next")
+    assert result.counterexample is not None
+
+
+def test_detects_interface_mismatch(fig1, s27_circuit):
+    result = check_sequential_equivalence_1step(fig1, s27_circuit)
+    assert not result.equivalent
+
+
+def test_counterexample_distinguishes():
+    """The returned assignment must actually produce different outputs."""
+    from repro.logic.simulator import Simulator
+
+    def build(flip):
+        builder = CircuitBuilder("c")
+        a, b = builder.input("a"), builder.input("b")
+        ff = builder.dff("ff", d=a)
+        gate = builder.or_(ff, b, name="g") if flip else builder.xor(ff, b, name="g")
+        builder.output("o", gate)
+        return builder.build()
+
+    golden, revised = build(False), build(True)
+    result = check_sequential_equivalence_1step(golden, revised)
+    assert not result.equivalent
+    cex = result.counterexample
+    values = []
+    for circuit in (golden, revised):
+        sim = Simulator(circuit)
+        sim.set_state({"ff": cex["ff@0"]})
+        sim.set_inputs({"a": cex["a@0"], "b": cex["b@0"]})
+        outs = sim.output_values()
+        nexts = {d: sim.values[circuit.next_state_node(d)] for d in circuit.dffs}
+        values.append((outs, nexts))
+    assert values[0] != values[1]
+
+
+def test_observability_fig1(fig1):
+    """Only FF2 drives fig1's primary output directly; FF3/FF4 steer the
+    MUX2 select whose effect shows one cycle later, FF1 via MUX2 data."""
+    assert ff_observable_at_outputs(fig1, fig1.id_of("FF2"))
+    # FF1 feeds OUT only through FF2 (a flip-flop boundary): unobservable
+    # within the same cycle.
+    assert not ff_observable_at_outputs(fig1, fig1.id_of("FF1"))
+
+
+def test_observability_direct_wire():
+    builder = CircuitBuilder("c")
+    a = builder.input("a")
+    ff = builder.dff("ff", d=a)
+    builder.output("o", ff)
+    circuit = builder.build()
+    assert ff_observable_at_outputs(circuit, ff)
+
+
+def test_observability_masked_ff():
+    """A flip-flop ANDed with constant 0 can never reach the output."""
+    builder = CircuitBuilder("c")
+    a = builder.input("a")
+    ff = builder.dff("ff", d=a)
+    zero = builder.const0("zero")
+    builder.output("o", builder.and_(ff, zero, name="g"))
+    circuit = builder.build()
+    assert not ff_observable_at_outputs(circuit, ff)
+
+
+def test_observability_without_outputs():
+    builder = CircuitBuilder("c")
+    ff = builder.dff("ff")
+    builder.drive(ff, builder.not_(ff, name="n"))
+    circuit = builder.build(validate_result=True)
+    assert not ff_observable_at_outputs(circuit, ff)
+
+
+def test_observability_rejects_non_dff(fig1):
+    with pytest.raises(ValueError):
+        ff_observable_at_outputs(fig1, fig1.id_of("EN1"))

@@ -1,0 +1,101 @@
+"""Tseitin encoding: SAT models must agree with circuit simulation."""
+
+import itertools
+
+import pytest
+from hypothesis import given
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gates import GateType
+from repro.circuit.library import fig1_circuit
+from repro.circuit.timeframe import expand
+from repro.logic.simulator import evaluate_gate
+from repro.sat.solver import CdclSolver, SolveStatus
+from repro.sat.tseitin import encode_circuit
+
+from tests.strategies import random_combinational_circuit, seeds
+
+
+def _simulate(circuit, input_bits):
+    values = dict(zip(circuit.inputs, input_bits))
+    for node in circuit.topo_order():
+        gate_type = circuit.types[node]
+        if gate_type == GateType.INPUT:
+            continue
+        if gate_type == GateType.CONST0:
+            values[node] = 0
+        elif gate_type == GateType.CONST1:
+            values[node] = 1
+        else:
+            values[node] = evaluate_gate(
+                gate_type, [values[f] for f in circuit.fanins[node]]
+            )
+    return values
+
+
+@given(seeds)
+def test_every_input_vector_is_a_model(seed):
+    """Forcing the PIs to a vector must yield exactly the simulated values."""
+    circuit = random_combinational_circuit(seed, max_inputs=4, max_gates=10)
+    encoding = encode_circuit(circuit)
+    solver = encoding.solver
+    for bits in itertools.product((0, 1), repeat=len(circuit.inputs)):
+        assumptions = [
+            encoding.lit(node, bit) for node, bit in zip(circuit.inputs, bits)
+        ]
+        assert solver.solve(assumptions) is SolveStatus.SAT
+        expected = _simulate(circuit, bits)
+        for node in range(circuit.num_nodes):
+            got = solver.model_value(encoding.var_of[node])
+            assert got == expected[node], (
+                f"node {circuit.names[node]} mismatch on input {bits}"
+            )
+
+
+def test_impossible_internal_value_is_unsat():
+    builder = CircuitBuilder("t")
+    a = builder.input("a")
+    na = builder.not_(a, name="na")
+    g = builder.and_(a, na, name="g")
+    builder.output("o", g)
+    circuit = builder.build()
+    encoding = encode_circuit(circuit)
+    assert encoding.solver.solve([encoding.lit(g, 1)]) is SolveStatus.UNSAT
+    assert encoding.solver.solve([encoding.lit(g, 0)]) is SolveStatus.SAT
+
+
+def test_constants_are_fixed():
+    builder = CircuitBuilder("t")
+    one = builder.const1("one")
+    builder.output("o", builder.buf(one, name="b"))
+    circuit = builder.build()
+    encoding = encode_circuit(circuit)
+    assert encoding.solver.solve([encoding.lit(one, 0)]) is SolveStatus.UNSAT
+
+
+def test_wide_gates_and_mux():
+    builder = CircuitBuilder("t")
+    ins = [builder.input(f"a{i}") for i in range(3)]
+    wide_and = builder.and_(*ins, name="wa")
+    wide_xor = builder.xor(*ins, name="wx")
+    mux = builder.mux(ins[0], wide_and, wide_xor, name="m")
+    builder.output("o", mux)
+    circuit = builder.build()
+    encoding = encode_circuit(circuit)
+    solver = encoding.solver
+    for bits in itertools.product((0, 1), repeat=3):
+        assumptions = [encoding.lit(n, b) for n, b in zip(circuit.inputs, bits)]
+        assert solver.solve(assumptions) is SolveStatus.SAT
+        expected = _simulate(circuit, bits)
+        assert solver.model_value(encoding.var_of[mux]) == expected[mux]
+
+
+def test_rejects_sequential_circuits(fig1):
+    with pytest.raises(ValueError):
+        encode_circuit(fig1)
+
+
+def test_expansion_encodes_cleanly(fig1):
+    expansion = expand(fig1, 2)
+    encoding = encode_circuit(expansion.comb)
+    assert encoding.solver.solve() is SolveStatus.SAT

@@ -1,0 +1,79 @@
+"""Multi-cycle relaxation accounting."""
+
+from repro.circuit.library import enabled_pipeline, fig1_circuit, shift_register
+from repro.core.detector import detect_multi_cycle_pairs
+from repro.sta.constraints import relaxation_report
+
+
+def test_relaxed_period_never_worse(fig1, shift4, pipeline):
+    for circuit in (fig1, shift4, pipeline):
+        detection = detect_multi_cycle_pairs(circuit)
+        report = relaxation_report(circuit, detection)
+        assert report.min_period_relaxed <= report.min_period_baseline
+        assert report.speedup >= 1.0
+
+
+def test_speedup_when_critical_path_is_multi_cycle():
+    """A deep logic cloud between two spaced enable-gated registers is the
+    critical path; proving it 2-cycle halves the feasible clock period."""
+    from repro.circuit.builder import CircuitBuilder
+
+    builder = CircuitBuilder("deep")
+    counter = [builder.dff(f"c{i}") for i in range(2)]
+    builder.drive(counter[0], builder.not_(counter[0], name="c0n"))
+    builder.drive(counter[1], builder.xor(counter[1], counter[0], name="c1n"))
+    en0 = builder.and_(builder.not_(counter[0], name="n0"),
+                       builder.not_(counter[1], name="n1"), name="en0")
+    en1 = builder.and_(counter[0], builder.not_(counter[1], name="n1b"),
+                       name="en1")  # decodes count 1... spaced 2 from 0? no:
+    # decode states 0 and 2 (two counts apart):
+    en1b = builder.and_(builder.not_(counter[0], name="n0c"), counter[1],
+                        name="en2dec")
+    data = builder.input("din")
+    src = builder.enabled_dff("src", en0, data)
+    node = src
+    for i in range(6):
+        node = builder.not_(node, name=f"inv{i}")
+    dst = builder.enabled_dff("dst", en1b, node)
+    builder.output("o", dst)
+    circuit = builder.build()
+
+    detection = detect_multi_cycle_pairs(circuit)
+    assert ("src", "dst") in detection.multi_cycle_pair_names()
+    report = relaxation_report(circuit, detection)
+    assert report.speedup > 1.0
+
+
+def test_shift_register_gets_no_relaxation(shift4):
+    detection = detect_multi_cycle_pairs(shift4)
+    report = relaxation_report(shift4, detection)
+    assert report.min_period_relaxed == report.min_period_baseline
+
+
+def test_budget_applied_only_to_mc_pairs(fig1):
+    detection = detect_multi_cycle_pairs(fig1)
+    report = relaxation_report(fig1, detection, multi_cycle_budget=3)
+    mc = {
+        (p.pair.source, p.pair.sink) for p in detection.multi_cycle_pairs
+    }
+    for timing in report.pair_timings:
+        expected = 3 if (timing.source, timing.sink) in mc else 1
+        assert timing.allowed_cycles == expected
+
+
+def test_violations_and_slack(fig1):
+    detection = detect_multi_cycle_pairs(fig1)
+    report = relaxation_report(fig1, detection)
+    period = report.min_period_relaxed
+    assert report.violations_at(period, relaxed=True) == 0
+    assert report.worst_slack(period, relaxed=True) >= 0
+    if report.min_period_relaxed < report.min_period_baseline:
+        assert report.violations_at(period, relaxed=False) > 0
+
+
+def test_pair_timing_slack():
+    from repro.sta.constraints import PairTiming
+
+    timing = PairTiming(source=0, sink=1, delay=6.0, allowed_cycles=2)
+    assert timing.slack(4.0) == 2.0
+    assert timing.slack(2.5) == -1.0

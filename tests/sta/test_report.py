@@ -1,0 +1,52 @@
+"""Slack tables and critical-path listings."""
+
+from repro.circuit.library import fig1_circuit
+from repro.circuit.topology import FFPair
+from repro.core.detector import detect_multi_cycle_pairs
+from repro.sta.report import (
+    critical_path_report,
+    format_slack_table,
+    worst_slack_table,
+)
+
+
+def test_slack_lines_sorted_worst_first(fig1):
+    detection = detect_multi_cycle_pairs(fig1)
+    lines = worst_slack_table(fig1, detection, period=2.0)
+    slacks = [line.slack for line in lines]
+    assert slacks == sorted(slacks)
+
+
+def test_multi_cycle_pairs_get_double_budget(fig1):
+    detection = detect_multi_cycle_pairs(fig1)
+    lines = worst_slack_table(fig1, detection, period=2.0, limit=100)
+    mc = dict.fromkeys(detection.multi_cycle_pair_names())
+    for line in lines:
+        expected = 2 if (line.source, line.sink) in mc else 1
+        assert line.allowed_cycles == expected
+
+
+def test_violations_marked(fig1):
+    detection = detect_multi_cycle_pairs(fig1)
+    lines = worst_slack_table(fig1, detection, period=1.0, limit=100)
+    text = format_slack_table(lines, period=1.0)
+    # At period 1 the three-level decode paths violate.
+    assert "VIOLATED" in text
+    assert "slack report at clock period 1" in text
+
+
+def test_limit_respected(fig1):
+    detection = detect_multi_cycle_pairs(fig1)
+    assert len(worst_slack_table(fig1, detection, period=4.0, limit=3)) == 3
+
+
+def test_critical_path_report_names_the_route(fig1):
+    pair = FFPair(fig1.id_of("FF4"), fig1.id_of("FF1"))
+    text = critical_path_report(fig1, pair)
+    assert "FF4 -> nFF4 -> EN1 -> MUX1" in text
+    assert "delay 3" in text
+
+
+def test_critical_path_report_no_path(fig1):
+    pair = FFPair(fig1.id_of("FF1"), fig1.id_of("FF3"))
+    assert "no combinational path" in critical_path_report(fig1, pair)

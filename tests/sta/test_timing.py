@@ -1,0 +1,93 @@
+"""Topological timing: arrival times and FF-to-FF path delays."""
+
+import pytest
+
+from repro.circuit.builder import CircuitBuilder
+from repro.circuit.gates import GateType
+from repro.sta.timing import (
+    DelayModel,
+    arrival_times,
+    critical_ff_delay,
+    ff_pair_delays,
+)
+
+
+def _chain(depth):
+    builder = CircuitBuilder("chain")
+    src = builder.dff("src")
+    node = src
+    for i in range(depth):
+        node = builder.not_(node, name=f"n{i}")
+    snk = builder.dff("snk", d=node)
+    builder.drive(src, snk)
+    builder.output("o", snk)
+    return builder.build()
+
+
+def test_unit_delay_chain():
+    circuit = _chain(5)
+    delays = ff_pair_delays(circuit)
+    assert delays[(circuit.id_of("src"), circuit.id_of("snk"))] == 5.0
+
+
+def test_direct_ff_to_ff_is_zero_delay():
+    circuit = _chain(3)
+    delays = ff_pair_delays(circuit)
+    assert delays[(circuit.id_of("snk"), circuit.id_of("src"))] == 0.0
+
+
+def test_max_over_reconvergent_paths():
+    builder = CircuitBuilder("reconv")
+    src = builder.dff("src")
+    short = builder.not_(src, name="s1")
+    long = builder.not_(builder.not_(builder.not_(src, name="l1"), name="l2"),
+                        name="l3")
+    join = builder.and_(short, long, name="join")
+    snk = builder.dff("snk", d=join)
+    builder.drive(src, snk)
+    builder.output("o", snk)
+    circuit = builder.build()
+    delays = ff_pair_delays(circuit)
+    assert delays[(src, snk)] == 4.0  # 3 NOTs + the AND
+
+
+def test_per_type_delays():
+    builder = CircuitBuilder("t")
+    src = builder.dff("src")
+    x = builder.xor(src, src, name="x")
+    snk = builder.dff("snk", d=x)
+    builder.drive(src, snk)
+    builder.output("o", snk)
+    circuit = builder.build()
+    model = DelayModel(default=1.0, per_type={GateType.XOR: 2.5})
+    assert ff_pair_delays(circuit, model)[(src, snk)] == 2.5
+
+
+def test_buffers_are_free():
+    builder = CircuitBuilder("t")
+    src = builder.dff("src")
+    b = builder.buf(src, name="b")
+    snk = builder.dff("snk", d=b)
+    builder.drive(src, snk)
+    builder.output("o", snk)
+    circuit = builder.build()
+    assert ff_pair_delays(circuit)[(src, snk)] == 0.0
+
+
+def test_arrival_times_fig1(fig1):
+    arrivals = arrival_times(fig1)
+    assert arrivals[fig1.id_of("EN1")] == 2.0  # NOT then AND
+    assert arrivals[fig1.id_of("MUX1")] == 3.0
+
+
+def test_unconnected_pairs_absent():
+    circuit = _chain(2)
+    delays = ff_pair_delays(circuit)
+    assert set(delays) == {
+        (circuit.id_of("src"), circuit.id_of("snk")),
+        (circuit.id_of("snk"), circuit.id_of("src")),
+    }
+
+
+def test_critical_delay(fig1):
+    assert critical_ff_delay(fig1) == max(ff_pair_delays(fig1).values())

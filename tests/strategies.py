@@ -1,0 +1,110 @@
+"""Shared hypothesis strategies and random-circuit builders for the tests.
+
+The cornerstone of the suite is *differential testing*: tiny random
+sequential circuits on which the implication-based detector, the SAT-based
+baseline, the BDD-based baseline and the brute-force oracle must all agree.
+:func:`random_sequential_circuit` builds such circuits deterministically
+from an integer seed so hypothesis can shrink failures.
+"""
+
+from __future__ import annotations
+
+import random
+
+from hypothesis import strategies as st
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, validate
+
+_GATE_CHOICES = [
+    GateType.AND,
+    GateType.NAND,
+    GateType.OR,
+    GateType.NOR,
+    GateType.XOR,
+    GateType.XNOR,
+    GateType.NOT,
+    GateType.BUF,
+    GateType.MUX,
+]
+
+
+def random_sequential_circuit(
+    seed: int,
+    max_inputs: int = 3,
+    max_dffs: int = 4,
+    max_gates: int = 12,
+    name: str | None = None,
+) -> Circuit:
+    """A small random synchronous circuit, deterministic per seed.
+
+    Gates draw fanins from everything created before them (PIs, DFF
+    outputs, earlier gates); each DFF's D input is drawn from the final
+    signal pool, and one primary output observes the last signal.
+    """
+    rng = random.Random(seed)
+    circuit = Circuit(name or f"rand{seed}")
+    num_inputs = rng.randint(1, max_inputs)
+    num_dffs = rng.randint(1, max_dffs)
+    num_gates = rng.randint(1, max_gates)
+
+    pool = [
+        circuit.add_node(GateType.INPUT, (), f"pi{i}") for i in range(num_inputs)
+    ]
+    dffs = [
+        circuit.add_node(GateType.DFF, (0,), f"ff{i}") for i in range(num_dffs)
+    ]
+    pool.extend(dffs)
+    if rng.random() < 0.3:
+        pool.append(circuit.add_node(GateType.CONST0, (), "zero"))
+    if rng.random() < 0.3:
+        pool.append(circuit.add_node(GateType.CONST1, (), "one"))
+
+    for g in range(num_gates):
+        gate_type = rng.choice(_GATE_CHOICES)
+        if gate_type in (GateType.NOT, GateType.BUF):
+            fanins = (rng.choice(pool),)
+        elif gate_type == GateType.MUX:
+            fanins = (rng.choice(pool), rng.choice(pool), rng.choice(pool))
+        else:
+            width = rng.randint(2, 3)
+            fanins = tuple(rng.choice(pool) for _ in range(width))
+        pool.append(circuit.add_node(gate_type, fanins, f"g{g}"))
+
+    for dff in dffs:
+        circuit.set_fanins(dff, (rng.choice(pool),))
+    circuit.add_node(GateType.OUTPUT, (pool[-1],), "po0")
+    validate(circuit)
+    return circuit
+
+
+def random_combinational_circuit(
+    seed: int,
+    max_inputs: int = 5,
+    max_gates: int = 14,
+    name: str | None = None,
+) -> Circuit:
+    """A small random combinational circuit (no flip-flops)."""
+    rng = random.Random(seed)
+    circuit = Circuit(name or f"comb{seed}")
+    num_inputs = rng.randint(1, max_inputs)
+    num_gates = rng.randint(1, max_gates)
+    pool = [
+        circuit.add_node(GateType.INPUT, (), f"pi{i}") for i in range(num_inputs)
+    ]
+    for g in range(num_gates):
+        gate_type = rng.choice(_GATE_CHOICES)
+        if gate_type in (GateType.NOT, GateType.BUF):
+            fanins = (rng.choice(pool),)
+        elif gate_type == GateType.MUX:
+            fanins = (rng.choice(pool), rng.choice(pool), rng.choice(pool))
+        else:
+            fanins = tuple(rng.choice(pool) for _ in range(rng.randint(2, 3)))
+        pool.append(circuit.add_node(gate_type, fanins, f"g{g}"))
+    circuit.add_node(GateType.OUTPUT, (pool[-1],), "po0")
+    validate(circuit)
+    return circuit
+
+
+#: hypothesis strategy: seeds for the random-circuit builders
+seeds = st.integers(min_value=0, max_value=10_000_000)

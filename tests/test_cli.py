@@ -1,0 +1,120 @@
+"""CLI smoke tests through the argparse entry point."""
+
+import pytest
+
+from repro.circuit.bench import dump
+from repro.circuit.library import fig1_circuit
+from repro.cli import main
+
+
+@pytest.fixture
+def fig1_file(tmp_path):
+    path = tmp_path / "fig1.bench"
+    dump(fig1_circuit(), path)
+    return str(path)
+
+
+def test_analyze(fig1_file, capsys):
+    assert main(["analyze", fig1_file, "--list-pairs"]) == 0
+    out = capsys.readouterr().out
+    assert "multi-cycle pairs:  5" in out
+    assert "multicycle FF1 -> FF2" in out
+
+
+def test_analyze_without_self_loops(fig1_file, capsys):
+    assert main(["analyze", fig1_file, "--no-self-loops"]) == 0
+    out = capsys.readouterr().out
+    assert "connected FF pairs: 7" in out
+
+
+def test_hazard(fig1_file, capsys):
+    assert main(["hazard", fig1_file]) == 0
+    out = capsys.readouterr().out
+    assert "before hazard checking" in out
+    assert "co-sensitize" in out
+
+
+def test_sta(fig1_file, capsys):
+    assert main(["sta", fig1_file]) == 0
+    out = capsys.readouterr().out
+    assert "clock speedup" in out
+    assert "min period" in out
+
+
+def test_generate_and_reanalyze(tmp_path, capsys):
+    out_dir = tmp_path / "suite"
+    assert main(["generate", str(out_dir), "--profile", "tiny"]) == 0
+    generated = sorted(p.name for p in out_dir.glob("*.bench"))
+    assert "s27.bench" in generated and "syn040.bench" in generated
+    assert main(["analyze", str(out_dir / "s27.bench")]) == 0
+    out = capsys.readouterr().out
+    assert "connected FF pairs: 7" in out
+
+
+def test_table1(capsys):
+    assert main(["table1", "--profile", "tiny", "--no-sat"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out and "fig1" in out
+
+
+def test_table2(capsys):
+    assert main(["table2", "--profile", "tiny"]) == 0
+    assert "Table 2" in capsys.readouterr().out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_static_learning_flag(fig1_file, capsys):
+    assert main(["analyze", fig1_file, "--static-learning"]) == 0
+    assert "multi-cycle pairs:  5" in capsys.readouterr().out
+
+
+def test_kcycle_command(fig1_file, capsys):
+    assert main(["kcycle", fig1_file, "--max-k", "3", "--list-pairs"]) == 0
+    out = capsys.readouterr().out
+    assert "k=2: 5 of 9" in out
+    assert "k=3: 3 of 9" in out
+
+
+def test_extended_command(fig1_file, capsys):
+    assert main(["extended", fig1_file]) == 0
+    out = capsys.readouterr().out
+    assert "MC-condition multi-cycle pairs: 5" in out
+
+
+def test_equiv_command(tmp_path, capsys):
+    from repro.circuit.techmap import techmap
+
+    golden = tmp_path / "g.bench"
+    revised = tmp_path / "r.bench"
+    dump(fig1_circuit(), golden)
+    dump(techmap(fig1_circuit()), revised)
+    assert main(["equiv", str(golden), str(revised)]) == 0
+    assert "EQUIVALENT" in capsys.readouterr().out
+
+
+def test_equiv_command_detects_difference(tmp_path, capsys):
+    from repro.circuit.library import s27
+
+    golden = tmp_path / "g.bench"
+    revised = tmp_path / "r.bench"
+    dump(fig1_circuit(), golden)
+    dump(s27(), revised)
+    assert main(["equiv", str(golden), str(revised)]) == 1
+    assert "NOT equivalent" in capsys.readouterr().out
+
+
+def test_stats_command(fig1_file, capsys):
+    assert main(["stats", fig1_file]) == 0
+    out = capsys.readouterr().out
+    assert "4 FF" in out and "gate mix" in out
+
+
+def test_sta_slack_table(fig1_file, capsys):
+    assert main(["sta", fig1_file, "--period", "2", "--worst", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "slack report at clock period 2" in out
+    assert "VIOLATED" in out

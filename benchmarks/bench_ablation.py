@@ -12,7 +12,6 @@ backtrack limit.  Each ablation here quantifies one choice:
 
 from __future__ import annotations
 
-import time
 
 import pytest
 

@@ -11,7 +11,6 @@ from __future__ import annotations
 import random
 
 import numpy as np
-import pytest
 
 from repro.bdd.bdd import BddManager
 from repro.bdd.traversal import build_node_bdds

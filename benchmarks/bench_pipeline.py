@@ -1,0 +1,102 @@
+"""Experiment P1 — pipeline executor: serial vs parallel decision stage.
+
+Times the full detection pipeline at ``workers=1`` against ``workers=N``
+(N = CPU count, capped at 4) on the selected suite profile, asserts the
+classifications are byte-identical (``pair_records``), and records the
+wall times to ``BENCH_pipeline.json`` next to this file.
+
+On one core the parallel run is expected to *lose* (process spawn plus
+expansion pickling with no concurrency to amortise them); the point of
+the record is the crossover on multi-core machines and the invariance
+check that sharding never changes a verdict.
+
+``pytest benchmarks/bench_pipeline.py --benchmark-only`` runs it alone.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core.detector import DetectorOptions, MultiCycleDetector
+
+from conftest import PROFILE, record_report
+from repro.bench_gen.suite import suite
+
+_RESULT_PATH = Path(__file__).parent.parent / "BENCH_pipeline.json"
+#: at least 2 so the sharded path is exercised even on one core.
+_WORKERS = max(2, min(4, os.cpu_count() or 1))
+
+_CIRCUITS = suite(PROFILE)
+_IDS = [c.name for c in _CIRCUITS]
+
+
+def _run(circuit, workers: int):
+    options = DetectorOptions(workers=workers)
+    started = time.perf_counter()
+    result = MultiCycleDetector(circuit, options).run()
+    return result, time.perf_counter() - started
+
+
+@pytest.mark.parametrize("circuit", _CIRCUITS, ids=_IDS)
+def test_pipeline_serial(benchmark, circuit):
+    result = benchmark(lambda: _run(circuit, workers=1)[0])
+    assert result.connected_pairs >= len(result.multi_cycle_pairs)
+
+
+@pytest.mark.parametrize("circuit", _CIRCUITS, ids=_IDS)
+def test_pipeline_parallel(benchmark, circuit):
+    result = benchmark.pedantic(
+        lambda: _run(circuit, workers=_WORKERS)[0], rounds=1, iterations=1
+    )
+    assert result.connected_pairs >= len(result.multi_cycle_pairs)
+
+
+def test_pipeline_report(bench_circuits):
+    """Serial vs parallel wall time per circuit, written to JSON."""
+    entries = []
+    lines = [
+        "Pipeline executor: serial vs parallel decision stage",
+        f"{'circuit':>10}  {'pairs':>6}  {'serial(s)':>10}  "
+        f"{'workers=' + str(_WORKERS) + '(s)':>14}  {'speedup':>8}",
+    ]
+    for circuit in bench_circuits:
+        serial, serial_seconds = _run(circuit, workers=1)
+        parallel, parallel_seconds = _run(circuit, workers=_WORKERS)
+        assert serial.pair_records() == parallel.pair_records(), (
+            f"parallel run changed a verdict on {circuit.name}"
+        )
+        speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+        entries.append(
+            {
+                "circuit": circuit.name,
+                "connected_pairs": serial.connected_pairs,
+                "multi_cycle_pairs": len(serial.multi_cycle_pairs),
+                "serial_seconds": round(serial_seconds, 6),
+                "parallel_seconds": round(parallel_seconds, 6),
+                "speedup": round(speedup, 3),
+            }
+        )
+        lines.append(
+            f"{circuit.name:>10}  {serial.connected_pairs:>6}  "
+            f"{serial_seconds:>10.3f}  {parallel_seconds:>14.3f}  "
+            f"{speedup:>8.2f}"
+        )
+    _RESULT_PATH.write_text(
+        json.dumps(
+            {
+                "profile": PROFILE,
+                "workers": _WORKERS,
+                "cpu_count": os.cpu_count(),
+                "results": entries,
+            },
+            indent=2,
+        )
+        + "\n"
+    )
+    lines.append(f"  written to {_RESULT_PATH.name}")
+    record_report("\n".join(lines))

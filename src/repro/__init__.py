@@ -22,6 +22,12 @@ paper-to-module map.
 from repro.circuit.builder import CircuitBuilder
 from repro.circuit.netlist import Circuit, CircuitError, validate
 from repro.circuit.topology import FFPair, connected_ff_pairs
+from repro.core.deciders import (
+    PairDecider,
+    available_engines,
+    create_decider,
+    register_decider,
+)
 from repro.core.detector import (
     DetectorOptions,
     MultiCycleDetector,
@@ -35,16 +41,27 @@ from repro.core.kcycle import (
     is_k_cycle_pair,
     max_cycles,
 )
+from repro.core.pipeline import (
+    AnalysisContext,
+    DecisionStage,
+    Pipeline,
+    RandomFilterStage,
+    TopologyStage,
+    default_pipeline,
+)
 from repro.core.result import Classification, DetectionResult, PairResult, Stage
 from repro.core.sensitization import SensitizationMode
+from repro.core.trace import Tracer, open_trace, read_trace
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "AnalysisContext",
     "Circuit",
     "CircuitBuilder",
     "CircuitError",
     "Classification",
+    "DecisionStage",
     "DetectionResult",
     "DetectorOptions",
     "FFPair",
@@ -52,14 +69,25 @@ __all__ = [
     "KCycleAnalyzer",
     "KCycleDetector",
     "MultiCycleDetector",
+    "PairDecider",
     "PairResult",
+    "Pipeline",
+    "RandomFilterStage",
     "SensitizationMode",
     "Stage",
+    "TopologyStage",
+    "Tracer",
+    "available_engines",
     "check_hazards",
     "condition2_extension",
     "connected_ff_pairs",
+    "create_decider",
+    "default_pipeline",
     "detect_multi_cycle_pairs",
     "is_k_cycle_pair",
     "max_cycles",
+    "open_trace",
+    "read_trace",
+    "register_decider",
     "validate",
 ]

@@ -17,7 +17,7 @@ the bound yields :attr:`SearchStatus.ABORTED` and the pair is reported
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 
 from repro.circuit.gates import CONTROLLING, GateType

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit
-from repro.logic.values import BINARY, X
+from repro.logic.values import BINARY
 from repro.atpg.implication import ImplicationEngine
 
 

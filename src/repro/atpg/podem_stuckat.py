@@ -22,7 +22,6 @@ from repro.circuit.netlist import Circuit
 from repro.circuit.timeframe import TimeFrameExpansion, expand
 from repro.logic.dvalues import (
     D,
-    DBAR,
     DValue,
     V0,
     V1,

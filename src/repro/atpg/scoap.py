@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.circuit.gates import CONTROLLING, GateType
+from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit
 
 _INF = 10 ** 9

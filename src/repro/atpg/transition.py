@@ -30,7 +30,6 @@ from enum import Enum
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit
 from repro.circuit.timeframe import TimeFrameExpansion, expand
-from repro.circuit.topology import source_ffs_of_sink
 from repro.logic.values import ONE, X, ZERO
 from repro.atpg.implication import ImplicationEngine
 from repro.atpg.justify import SearchStatus, justify

@@ -13,7 +13,7 @@ reachability analysis need.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping
+from typing import Iterable, Mapping
 
 FALSE = 0
 TRUE = 1

@@ -22,7 +22,6 @@ from __future__ import annotations
 from repro.bdd.bdd import BddManager
 from repro.bdd.traversal import build_node_bdds
 from repro.circuit.gates import GateType
-from repro.circuit.netlist import Circuit
 from repro.circuit.timeframe import TimeFrameExpansion
 
 

@@ -122,56 +122,73 @@ class BddMcDetector:
         self.use_reachability = use_reachability
         self.node_limit = node_limit
 
-    def run(self) -> BddDetectionResult:
-        started = time.perf_counter()
+    def prepare(self, expansion=None) -> None:
+        """Build the node BDDs (and, optionally, the reachable set) once.
+
+        Separated from :meth:`run` so per-pair callers — the pipeline's
+        ``bdd`` decider — can amortise the symbolic construction and then
+        call :meth:`analyze` pair by pair.  ``expansion`` may supply a
+        shared 2-frame expansion to avoid re-expanding the circuit.
+        """
         circuit = self.circuit
-        pairs = connected_ff_pairs(circuit)
-        expansion = expand(circuit, frames=2)
+        self._expansion = expansion if expansion is not None else expand(
+            circuit, frames=2
+        )
         manager = BddManager()
 
         # Variable order: frame-0 state first, then frame-0 and frame-1 PIs.
         var_of_input: dict[int, int] = {}
         next_var = 0
-        for node in expansion.ff_at[0]:
+        for node in self._expansion.ff_at[0]:
             var_of_input[node] = next_var
             next_var += 1
         self._state_vars = list(range(next_var))
-        for frame_pis in expansion.pi_at:
+        for frame_pis in self._expansion.pi_at:
             for node in frame_pis:
                 var_of_input[node] = next_var
                 next_var += 1
 
-        bdds = build_node_bdds(
-            expansion.comb, manager, var_of_input, node_limit=self.node_limit
+        self._bdds = build_node_bdds(
+            self._expansion.comb, manager, var_of_input,
+            node_limit=self.node_limit,
         )
 
-        reachable = TRUE
-        reachable_states: int | None = None
+        self._reachable = TRUE
+        self.reachable_states: int | None = None
         if self.use_reachability:
-            reachable = self._reachable_set(manager)
-            reachable_states = manager.count_solutions(
-                reachable, num_vars=len(circuit.dffs)
+            self._reachable = self._reachable_set(manager)
+            self.reachable_states = manager.count_solutions(
+                self._reachable, num_vars=len(circuit.dffs)
             )
+        self._manager = manager
 
-        results = []
-        for pair in pairs:
-            source = expansion.ff_index(pair.source)
-            sink = expansion.ff_index(pair.sink)
-            toggle = manager.apply_xor(
-                bdds[expansion.ff_at[0][source]], bdds[expansion.ff_at[1][source]]
-            )
-            changes = manager.apply_xor(
-                bdds[expansion.ff_at[1][sink]], bdds[expansion.ff_at[2][sink]]
-            )
-            violation = manager.and_all([reachable, toggle, changes])
-            results.append(BddPairResult(pair, violation == FALSE))
+    def analyze(self, pair: FFPair) -> BddPairResult:
+        """One symbolic MC check (requires :meth:`prepare` first)."""
+        expansion = self._expansion
+        manager = self._manager
+        bdds = self._bdds
+        source = expansion.ff_index(pair.source)
+        sink = expansion.ff_index(pair.sink)
+        toggle = manager.apply_xor(
+            bdds[expansion.ff_at[0][source]], bdds[expansion.ff_at[1][source]]
+        )
+        changes = manager.apply_xor(
+            bdds[expansion.ff_at[1][sink]], bdds[expansion.ff_at[2][sink]]
+        )
+        violation = manager.and_all([self._reachable, toggle, changes])
+        return BddPairResult(pair, violation == FALSE)
 
+    def run(self) -> BddDetectionResult:
+        started = time.perf_counter()
+        pairs = connected_ff_pairs(self.circuit)
+        self.prepare()
+        results = [self.analyze(pair) for pair in pairs]
         return BddDetectionResult(
-            circuit=circuit,
+            circuit=self.circuit,
             connected_pairs=len(pairs),
             pair_results=results,
             total_seconds=time.perf_counter() - started,
-            reachable_states=reachable_states,
+            reachable_states=self.reachable_states,
         )
 
     def _reachable_set(self, manager: BddManager) -> int:

@@ -59,6 +59,9 @@ class Circuit:
     names: list[str] = field(default_factory=list)
     _name_to_id: dict[str, int] = field(default_factory=dict)
     _fanouts: list[list[int]] | None = None
+    #: structural revision counter; bumped on every mutation so derived
+    #: caches (e.g. the time-frame expansion cache) can detect staleness.
+    _version: int = field(default=0, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Construction primitives (used by the builder and parsers).
@@ -82,12 +85,14 @@ class Circuit:
         self.names.append(name)
         self._name_to_id[name] = node_id
         self._fanouts = None
+        self._version += 1
         return node_id
 
     def set_fanins(self, node_id: int, fanins: Sequence[int]) -> None:
         """Replace the fanins of ``node_id`` (used to close DFF feedback)."""
         self.fanins[node_id] = tuple(fanins)
         self._fanouts = None
+        self._version += 1
 
     # ------------------------------------------------------------------
     # Basic queries.
@@ -95,6 +100,11 @@ class Circuit:
     @property
     def num_nodes(self) -> int:
         return len(self.types)
+
+    @property
+    def version(self) -> int:
+        """Structural revision; changes whenever the netlist is mutated."""
+        return self._version
 
     def node(self, node_id: int) -> Node:
         return Node(node_id, self.names[node_id], self.types[node_id], self.fanins[node_id])

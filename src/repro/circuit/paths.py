@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator
 
-from repro.circuit.gates import COMBINATIONAL_TYPES, GateType
+from repro.circuit.gates import COMBINATIONAL_TYPES
 from repro.circuit.netlist import Circuit
 from repro.circuit.topology import FFPair
 from repro.sta.timing import DelayModel

@@ -19,6 +19,7 @@ the frame-``f-1`` copies of the D-input drivers.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
 
 from repro.circuit.gates import GateType
@@ -100,3 +101,39 @@ def expand(circuit: Circuit, frames: int = 2) -> TimeFrameExpansion:
         ff_at.append(list(state_nodes))
 
     return TimeFrameExpansion(circuit, comb, frames, ff_at, pi_at, po_at, node_at)
+
+
+# ----------------------------------------------------------------------
+# Expansion cache.
+#
+# Expanding a large circuit is pure but not free, and nearly every
+# analysis (MC detection, k-cycle, the SAT/BDD deciders, hazard checks)
+# asks for the *same* expansion of the same circuit.  The cache is keyed
+# by circuit identity and invalidated through the circuit's structural
+# ``version`` counter; entries die with the circuit (weakref finalizer),
+# so holding a suite of circuits never leaks expansions of dead ones.
+# ----------------------------------------------------------------------
+_EXPANSION_CACHE: dict[int, tuple[int, dict[int, TimeFrameExpansion]]] = {}
+
+
+def expand_cached(circuit: Circuit, frames: int = 2) -> TimeFrameExpansion:
+    """Memoised :func:`expand`; safe to share (expansions are read-only).
+
+    Callers must treat the returned expansion — including its ``comb``
+    circuit — as immutable; mutate a copy instead.
+    """
+    key = id(circuit)
+    entry = _EXPANSION_CACHE.get(key)
+    if entry is None or entry[0] != circuit.version:
+        entry = (circuit.version, {})
+        _EXPANSION_CACHE[key] = entry
+        weakref.finalize(circuit, _EXPANSION_CACHE.pop, key, None)
+    by_frames = entry[1]
+    if frames not in by_frames:
+        by_frames[frames] = expand(circuit, frames)
+    return by_frames[frames]
+
+
+def clear_expansion_cache() -> None:
+    """Drop every cached expansion (mainly for tests and benchmarks)."""
+    _EXPANSION_CACHE.clear()

@@ -17,13 +17,16 @@ from __future__ import annotations
 
 import argparse
 import sys
+from contextlib import contextmanager
 from pathlib import Path
 
 from repro.circuit.bench import dump, load as load_bench
+from repro.core.deciders import available_engines
 from repro.core.detector import DetectorOptions, detect_multi_cycle_pairs
 from repro.core.hazard import check_hazards
 from repro.core.sensitization import SensitizationMode
 from repro.core.result import Stage
+from repro.core.trace import open_trace
 
 
 def load(path: str):
@@ -40,7 +43,23 @@ def _detector_options(args: argparse.Namespace) -> DetectorOptions:
         backtrack_limit=args.backtrack_limit,
         static_learning=args.static_learning,
         include_self_loops=not args.no_self_loops,
+        search_engine=args.engine,
+        scoap_guidance=args.scoap,
+        sim_seed=args.seed,
+        sim_words=args.sim_words,
+        workers=args.workers,
     )
+
+
+@contextmanager
+def _tracer_for(args: argparse.Namespace):
+    """Yield a JSONL tracer when ``--trace FILE`` was given, else None."""
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        with open_trace(trace_path) as tracer:
+            yield tracer
+    else:
+        yield None
 
 
 def _add_detector_args(parser: argparse.ArgumentParser) -> None:
@@ -50,15 +69,36 @@ def _add_detector_args(parser: argparse.ArgumentParser) -> None:
                         help="pre-compute SOCRATES-style global implications")
     parser.add_argument("--no-self-loops", action="store_true",
                         help="skip (FF, FF) self pairs, as [9] did")
+    parser.add_argument("--engine", default="dalg",
+                        choices=available_engines(),
+                        help="pair-decision engine (default: dalg, the "
+                             "paper's implication+ATPG flow; the kcycle "
+                             "command always uses the implication engine)")
+    parser.add_argument("--scoap", action="store_true",
+                        help="SCOAP-guided decision ordering (dalg engine)")
+    parser.add_argument("--seed", type=int, default=2002,
+                        help="random-simulation seed (default: 2002)")
+    parser.add_argument("--sim-words", type=int, default=4,
+                        help="64-bit words per simulation round (default: 4)")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for the decision stage "
+                             "(default: 1 = serial)")
+    parser.add_argument("--trace", metavar="FILE", default=None,
+                        help="write per-stage/per-pair JSONL trace events "
+                             "to FILE")
 
 
 def cmd_analyze(args: argparse.Namespace) -> int:
     """Detect and summarise multi-cycle FF pairs of one netlist."""
     circuit = load(args.file)
-    result = detect_multi_cycle_pairs(circuit, _detector_options(args))
+    with _tracer_for(args) as tracer:
+        result = detect_multi_cycle_pairs(
+            circuit, _detector_options(args), tracer=tracer
+        )
     stats = circuit.stats()
     print(f"{circuit.name}: {stats['inputs']} inputs, {stats['dffs']} FFs, "
           f"{stats['gates']} gates")
+    print(f"engine:             {result.engine}")
     print(f"connected FF pairs: {result.connected_pairs}")
     print(f"multi-cycle pairs:  {len(result.multi_cycle_pairs)}")
     print(f"undecided pairs:    {len(result.undecided_pairs)}")
@@ -67,10 +107,16 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         s = result.stats[stage]
         print(f"  {stage.value:12s} single={s.single_cycle:6d} "
               f"multi={s.multi_cycle:6d} cpu={s.cpu_seconds:.2f}s")
+    for disagreement in result.disagreements:
+        source, sink = (circuit.names[disagreement.pair.source],
+                        circuit.names[disagreement.pair.sink])
+        print(f"  DISAGREEMENT {source} -> {sink}: "
+              f"{disagreement.primary_engine}={disagreement.primary.value} "
+              f"{disagreement.secondary_engine}={disagreement.secondary.value}")
     if args.list_pairs:
         for source, sink in result.multi_cycle_pair_names():
             print(f"  multicycle {source} -> {sink}")
-    return 0
+    return 1 if result.disagreements else 0
 
 
 def cmd_hazard(args: argparse.Namespace) -> int:
@@ -78,7 +124,10 @@ def cmd_hazard(args: argparse.Namespace) -> int:
     from repro.circuit.techmap import techmap
 
     circuit = techmap(load(args.file))
-    result = detect_multi_cycle_pairs(circuit, _detector_options(args))
+    with _tracer_for(args) as tracer:
+        result = detect_multi_cycle_pairs(
+            circuit, _detector_options(args), tracer=tracer
+        )
     print(f"multi-cycle pairs before hazard checking: "
           f"{len(result.multi_cycle_pairs)}")
     for mode in SensitizationMode:
@@ -103,7 +152,8 @@ def cmd_table(args: argparse.Namespace) -> int:
     circuits = suite(args.profile)
     if args.table == "table1":
         table, _ = run_table1(circuits, sat_mode=args.sat_mode,
-                              run_sat=not args.no_sat)
+                              run_sat=not args.no_sat,
+                              engine=args.engine, workers=args.workers)
     elif args.table == "table2":
         table = run_table2(circuits)
     else:
@@ -130,17 +180,20 @@ def cmd_kcycle(args: argparse.Namespace) -> int:
     from repro.core.kcycle import KCycleDetector
 
     circuit = load(args.file)
-    for k in range(2, args.max_k + 1):
-        result = KCycleDetector(
-            circuit, k, backtrack_limit=args.backtrack_limit,
-            include_self_loops=not args.no_self_loops,
-        ).run()
-        print(f"k={k}: {len(result.k_cycle_pairs)} of "
-              f"{result.connected_pairs} pairs are {k}-cycle "
-              f"({result.total_seconds:.2f}s)")
-        if args.list_pairs:
-            for source, sink in result.k_cycle_pair_names():
-                print(f"  {source} -> {sink}")
+    with _tracer_for(args) as tracer:
+        for k in range(2, args.max_k + 1):
+            result = KCycleDetector(
+                circuit, k, backtrack_limit=args.backtrack_limit,
+                sim_words=args.sim_words, sim_seed=args.seed,
+                include_self_loops=not args.no_self_loops,
+                workers=args.workers, tracer=tracer,
+            ).run()
+            print(f"k={k}: {len(result.k_cycle_pairs)} of "
+                  f"{result.connected_pairs} pairs are {k}-cycle "
+                  f"({result.total_seconds:.2f}s)")
+            if args.list_pairs:
+                for source, sink in result.k_cycle_pair_names():
+                    print(f"  {source} -> {sink}")
     return 0
 
 
@@ -149,8 +202,11 @@ def cmd_extended(args: argparse.Namespace) -> int:
     from repro.core.extended import condition2_extension
 
     circuit = load(args.file)
-    detection = detect_multi_cycle_pairs(circuit, _detector_options(args))
-    extended = condition2_extension(circuit, detection)
+    with _tracer_for(args) as tracer:
+        detection = detect_multi_cycle_pairs(
+            circuit, _detector_options(args), tracer=tracer
+        )
+        extended = condition2_extension(circuit, detection, tracer=tracer)
     print(f"MC-condition multi-cycle pairs: {len(detection.multi_cycle_pairs)}")
     print(f"Condition-2 upgraded pairs:     {len(extended.upgraded_pairs)}")
     print(f"total multi-cycle pairs:        {extended.total_multi_cycle}")
@@ -206,7 +262,10 @@ def cmd_sta(args: argparse.Namespace) -> int:
     from repro.sta.report import format_slack_table, worst_slack_table
 
     circuit = load(args.file)
-    detection = detect_multi_cycle_pairs(circuit, _detector_options(args))
+    with _tracer_for(args) as tracer:
+        detection = detect_multi_cycle_pairs(
+            circuit, _detector_options(args), tracer=tracer
+        )
     report = relaxation_report(circuit, detection)
     print(f"FF-to-FF paths analysed:     {len(report.pair_timings)}")
     print(f"min period (all 1-cycle):    {report.min_period_baseline:.2f}")
@@ -249,6 +308,11 @@ def build_parser() -> argparse.ArgumentParser:
                            choices=("per-pair", "incremental"))
             p.add_argument("--no-sat", action="store_true",
                            help="skip the SAT baseline column")
+            p.add_argument("--engine", default="dalg",
+                           choices=available_engines(),
+                           help="decision engine for the 'ours' column")
+            p.add_argument("--workers", type=int, default=1,
+                           help="worker processes for the decision stage")
         p.set_defaults(func=cmd_table, table=name)
 
     p = sub.add_parser("generate", help="write suite circuits as .bench")

@@ -5,8 +5,16 @@ Ties the stages together exactly as the paper's overall flow:
 1. keep only topologically connected FF pairs;
 2. random-pattern simulation drops pairs with a simulated MC violation;
 3. the logic is expanded into two time frames;
-4. each remaining pair is settled by implication, falling back to the
-   ATPG backtrack search.
+4. each remaining pair is settled by a decision engine — by default the
+   paper's implication procedure with the ATPG backtrack fallback.
+
+Since the pipeline refactor this module is a thin shell: the staged flow
+lives in :mod:`repro.core.pipeline`, the decision engines (implication/
+ATPG, SAT, BDD, cross-check) in :mod:`repro.core.deciders`, and the
+structured trace layer in :mod:`repro.core.trace`.  Select the engine
+with ``DetectorOptions(search_engine=...)``, parallelise with
+``DetectorOptions(workers=N)``, and observe with a tracer or progress
+callback.
 
 Usage::
 
@@ -17,141 +25,54 @@ Usage::
 
 from __future__ import annotations
 
-import time
-from dataclasses import dataclass, field
-
 from repro.circuit.netlist import Circuit, validate
-from repro.circuit.timeframe import expand
-from repro.circuit.topology import connected_ff_pairs
-from repro.atpg.learning import count_learned, learn_static_implications
-from repro.core.pair_analysis import PairAnalyzer
-from repro.core.random_filter import random_filter
-from repro.core.result import (
-    Classification,
-    DetectionResult,
-    PairResult,
-    Stage,
-    StageStats,
+from repro.core.pipeline import (
+    AnalysisContext,
+    DetectorOptions,
+    default_pipeline,
 )
+from repro.core.result import DetectionResult
+from repro.core.trace import ProgressFn, Tracer
 
-
-@dataclass
-class DetectorOptions:
-    """Tuning knobs for the pipeline (paper defaults)."""
-
-    #: 64-bit words per random-simulation round (64*words patterns).
-    sim_words: int = 4
-    #: hard cap on simulation rounds.
-    sim_max_rounds: int = 256
-    #: random seed for the simulation stage (results are deterministic).
-    sim_seed: int = 2002
-    #: skip the random-simulation stage entirely (ablation).
-    use_random_sim: bool = True
-    #: ATPG backtrack limit; the paper used 50 (more for a few circuits).
-    backtrack_limit: int = 50
-    #: pre-compute SOCRATES-style global implications before ATPG.
-    static_learning: bool = False
-    #: analyse (FF, FF) self-loop pairs (the SAT baseline of [9] skipped them).
-    include_self_loops: bool = True
-    #: backtrack-search engine: "dalg" (paper's choice) or "podem".
-    search_engine: str = "dalg"
-    #: SCOAP-guided decision ordering in the dalg search (ablation).
-    scoap_guidance: bool = False
+__all__ = [
+    "DetectorOptions",
+    "MultiCycleDetector",
+    "detect_multi_cycle_pairs",
+]
 
 
 class MultiCycleDetector:
     """Detects all multi-cycle FF pairs of a synchronous sequential circuit."""
 
-    def __init__(self, circuit: Circuit, options: DetectorOptions | None = None) -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        options: DetectorOptions | None = None,
+        tracer: Tracer | None = None,
+        progress: ProgressFn | None = None,
+    ) -> None:
         validate(circuit)
         self.circuit = circuit
         self.options = options or DetectorOptions()
+        self.tracer = tracer
+        self.progress = progress
 
     def run(self) -> DetectionResult:
         """Run the pipeline and classify every connected FF pair."""
-        options = self.options
-        stats = {stage: StageStats() for stage in Stage}
-        started = time.perf_counter()
-
-        # Step 1: topologically connected pairs only.
-        pairs = connected_ff_pairs(
-            self.circuit, include_self_loops=options.include_self_loops
+        ctx = AnalysisContext(
+            self.circuit,
+            self.options,
+            tracer=self.tracer,
+            progress=self.progress,
         )
-        results: list[PairResult] = []
-
-        # Step 2: random-pattern simulation.
-        sim_started = time.perf_counter()
-        if options.use_random_sim:
-            report = random_filter(
-                self.circuit,
-                pairs,
-                words=options.sim_words,
-                max_rounds=options.sim_max_rounds,
-                seed=options.sim_seed,
-            )
-            survivors = report.survivors
-            surviving_keys = {(p.source, p.sink) for p in survivors}
-            for pair in pairs:
-                if (pair.source, pair.sink) not in surviving_keys:
-                    results.append(
-                        PairResult(pair, Classification.SINGLE_CYCLE, Stage.SIMULATION)
-                    )
-            stats[Stage.SIMULATION].single_cycle = report.dropped
-        else:
-            survivors = pairs
-        stats[Stage.SIMULATION].cpu_seconds = time.perf_counter() - sim_started
-
-        # Step 3: two-time-frame expansion (shared across all pairs).
-        expansion = expand(self.circuit, frames=2)
-
-        learned = None
-        learned_count = 0
-        if options.static_learning:
-            learned = learn_static_implications(expansion.comb)
-            learned_count = count_learned(learned)
-
-        # Step 4: implication + ATPG per surviving pair.
-        analyzer = PairAnalyzer(
-            expansion,
-            backtrack_limit=options.backtrack_limit,
-            learned=learned,
-            search_engine=options.search_engine,
-            scoap_guidance=options.scoap_guidance,
-        )
-        impl_seconds = 0.0
-        atpg_seconds = 0.0
-        for pair in survivors:
-            pair_started = time.perf_counter()
-            result = analyzer.analyze(pair)
-            elapsed = time.perf_counter() - pair_started
-            results.append(result)
-            stage_stats = stats[result.stage]
-            if result.classification is Classification.MULTI_CYCLE:
-                stage_stats.multi_cycle += 1
-            elif result.classification is Classification.SINGLE_CYCLE:
-                stage_stats.single_cycle += 1
-            else:
-                stage_stats.undecided += 1
-            if result.stage is Stage.ATPG:
-                atpg_seconds += elapsed
-            else:
-                impl_seconds += elapsed
-        stats[Stage.IMPLICATION].cpu_seconds = impl_seconds
-        stats[Stage.ATPG].cpu_seconds = atpg_seconds
-
-        results.sort(key=lambda r: (r.pair.source, r.pair.sink))
-        return DetectionResult(
-            circuit=self.circuit,
-            connected_pairs=len(pairs),
-            pair_results=results,
-            stats=stats,
-            total_seconds=time.perf_counter() - started,
-            learned_implications=learned_count,
-        )
+        return default_pipeline().run(ctx)
 
 
 def detect_multi_cycle_pairs(
-    circuit: Circuit, options: DetectorOptions | None = None
+    circuit: Circuit,
+    options: DetectorOptions | None = None,
+    tracer: Tracer | None = None,
+    progress: ProgressFn | None = None,
 ) -> DetectionResult:
     """Convenience wrapper: ``MultiCycleDetector(circuit, options).run()``."""
-    return MultiCycleDetector(circuit, options).run()
+    return MultiCycleDetector(circuit, options, tracer, progress).run()

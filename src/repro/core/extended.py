@@ -38,6 +38,7 @@ from repro.circuit.netlist import Circuit
 from repro.circuit.topology import source_ffs_of_sink
 from repro.core.detector import DetectionResult
 from repro.core.result import Classification, PairResult
+from repro.core.trace import ProgressFn, Tracer
 from repro.sat.equivalence import ff_observable_at_outputs
 
 
@@ -80,15 +81,27 @@ class ExtendedDetectionResult:
 
 
 def condition2_extension(
-    circuit: Circuit, detection: DetectionResult
+    circuit: Circuit,
+    detection: DetectionResult,
+    tracer: Tracer | None = None,
+    progress: ProgressFn | None = None,
 ) -> ExtendedDetectionResult:
     """Apply the one-step Condition-2 approximation to ``detection``.
 
     Only pairs the MC condition classified single-cycle are examined; the
     upgrade never removes a multi-cycle verdict, so
     ``total_multi_cycle >= len(detection.multi_cycle_pairs)`` always holds.
+
+    The pass runs as one pipeline stage on the trace layer: a
+    ``stage_start``/``stage_end`` pair bracketing one ``pair`` event per
+    examined single-cycle pair.
     """
     started = time.perf_counter()
+
+    def emit(event: str, **fields) -> dict:
+        if tracer is not None:
+            return tracer.emit(event, **fields)
+        return {"event": event, **fields}
     multi_cycle_keys = {
         (p.pair.source, p.pair.sink) for p in detection.multi_cycle_pairs
     }
@@ -112,19 +125,44 @@ def condition2_extension(
             observable_cache[dff] = ff_observable_at_outputs(circuit, dff)
         return observable_cache[dff]
 
+    candidates = [
+        p
+        for p in detection.pair_results
+        if p.classification is Classification.SINGLE_CYCLE
+    ]
+    emit("stage_start", stage="condition2", pairs_in=len(candidates))
     reports: list[ExtendedPairResult] = []
-    for pair_result in detection.pair_results:
-        if pair_result.classification is not Classification.SINGLE_CYCLE:
-            continue
+    upgraded = 0
+    for pair_result in candidates:
+        pair_started = time.perf_counter()
         sink = pair_result.pair.sink
         succ_ok = all(
             (sink, follower) in multi_cycle_keys for follower in successors(sink)
         )
         # Check observability second: the SAT miter is the expensive part.
         unobservable = not observable(sink) if succ_ok else False
-        reports.append(
-            ExtendedPairResult(pair_result, unobservable, succ_ok)
+        report = ExtendedPairResult(pair_result, unobservable, succ_ok)
+        reports.append(report)
+        upgraded += report.upgraded
+        record = emit(
+            "pair",
+            stage="condition2",
+            source=circuit.names[pair_result.pair.source],
+            sink=circuit.names[sink],
+            classification="extended-multi-cycle"
+            if report.upgraded
+            else pair_result.classification.value,
+            seconds=round(time.perf_counter() - pair_started, 6),
         )
+        if progress is not None:
+            progress(len(reports), len(candidates), record)
+    emit(
+        "stage_end",
+        stage="condition2",
+        pairs_in=len(candidates),
+        pairs_out=upgraded,
+        seconds=round(time.perf_counter() - started, 6),
+    )
 
     return ExtendedDetectionResult(
         base=detection,

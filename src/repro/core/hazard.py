@@ -25,9 +25,9 @@ and survivors may depend on one another — Section 5.2).
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
-from repro.circuit.gates import COMBINATIONAL_TYPES, GateType
+from repro.circuit.gates import COMBINATIONAL_TYPES
 from repro.circuit.netlist import Circuit
 from repro.circuit.timeframe import TimeFrameExpansion, expand
 from repro.logic.values import BINARY

@@ -21,15 +21,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-import time
-
 from repro.circuit.netlist import Circuit, validate
-from repro.circuit.timeframe import expand
-from repro.circuit.topology import FFPair, connected_ff_pairs
+from repro.circuit.timeframe import expand_cached
+from repro.circuit.topology import FFPair
 from repro.logic.values import BINARY
 from repro.atpg.implication import ImplicationEngine
 from repro.atpg.justify import SearchStatus, justify
-from repro.core.result import Classification
+from repro.core.result import Classification, PairResult, Stage
+from repro.core.trace import ProgressFn, Tracer
 
 
 @dataclass
@@ -42,14 +41,24 @@ class KCycleResult:
 class KCycleAnalyzer:
     """Decides the k-cycle property on a shared k-frame expansion."""
 
-    def __init__(self, circuit: Circuit, k: int, backtrack_limit: int = 50) -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        k: int,
+        backtrack_limit: int = 50,
+        expansion=None,
+    ) -> None:
         if k < 2:
             raise ValueError("k must be >= 2")
         validate(circuit)
+        if expansion is not None and expansion.frames < k:
+            raise ValueError(f"k-cycle analysis needs a {k}-frame expansion")
         self.circuit = circuit
         self.k = k
         self.backtrack_limit = backtrack_limit
-        self.expansion = expand(circuit, frames=k)
+        self.expansion = (
+            expansion if expansion is not None else expand_cached(circuit, frames=k)
+        )
         self.engine = ImplicationEngine(self.expansion.comb)
 
     def analyze(self, pair: FFPair) -> KCycleResult:
@@ -158,10 +167,39 @@ class KCycleDetectionResult:
         )
 
 
+class KCycleDecider:
+    """Pipeline decider wrapping :class:`KCycleAnalyzer`.
+
+    Not in the global registry (it is parameterised by ``k``); the
+    k-cycle detector passes an instance straight to its decision stage,
+    which also makes it shardable across worker processes.
+    """
+
+    def __init__(self, k: int, backtrack_limit: int = 50) -> None:
+        self.name = f"kcycle-{k}"
+        self.k = k
+        self.frames = k
+        self.backtrack_limit = backtrack_limit
+
+    def prepare(self, ctx) -> None:
+        self._analyzer = KCycleAnalyzer(
+            ctx.circuit, self.k, self.backtrack_limit,
+            expansion=ctx.expansion(self.frames),
+        )
+
+    def decide(self, pair: FFPair) -> PairResult:
+        result = self._analyzer.analyze(pair)
+        return PairResult(pair, result.classification, Stage.DECISION)
+
+
 class KCycleDetector:
     """Full pipeline for k-cycle pairs: structural filter, k-frame random
     simulation, then implication/ATPG on a shared k-frame expansion —
-    the paper's Step-3 extension applied to the whole flow."""
+    the paper's Step-3 extension applied to the whole flow.
+
+    Runs on the staged pipeline of :mod:`repro.core.pipeline`, so it
+    inherits the parallel executor (``workers``) and the structured
+    trace layer for free."""
 
     def __init__(
         self,
@@ -172,6 +210,9 @@ class KCycleDetector:
         sim_max_rounds: int = 256,
         sim_seed: int = 2002,
         include_self_loops: bool = True,
+        workers: int = 1,
+        tracer: Tracer | None = None,
+        progress: ProgressFn | None = None,
     ) -> None:
         if k < 2:
             raise ValueError("k must be >= 2")
@@ -183,37 +224,46 @@ class KCycleDetector:
         self.sim_max_rounds = sim_max_rounds
         self.sim_seed = sim_seed
         self.include_self_loops = include_self_loops
+        self.workers = workers
+        self.tracer = tracer
+        self.progress = progress
 
     def run(self) -> KCycleDetectionResult:
-        from repro.core.random_filter import random_filter_k
+        from repro.core.pipeline import (
+            AnalysisContext,
+            DecisionStage,
+            DetectorOptions,
+            Pipeline,
+            RandomFilterStage,
+            TopologyStage,
+        )
 
-        started = time.perf_counter()
-        pairs = connected_ff_pairs(
-            self.circuit, include_self_loops=self.include_self_loops
+        options = DetectorOptions(
+            sim_words=self.sim_words,
+            sim_max_rounds=self.sim_max_rounds,
+            sim_seed=self.sim_seed,
+            backtrack_limit=self.backtrack_limit,
+            include_self_loops=self.include_self_loops,
+            workers=self.workers,
         )
-        report = random_filter_k(
-            self.circuit,
-            pairs,
-            self.k,
-            words=self.sim_words,
-            max_rounds=self.sim_max_rounds,
-            seed=self.sim_seed,
+        ctx = AnalysisContext(
+            self.circuit, options, tracer=self.tracer, progress=self.progress
         )
-        surviving = {(p.source, p.sink) for p in report.survivors}
-        analyzer = KCycleAnalyzer(self.circuit, self.k, self.backtrack_limit)
-        results = []
-        for pair in pairs:
-            if (pair.source, pair.sink) in surviving:
-                results.append(analyzer.analyze(pair))
-            else:
-                results.append(
-                    KCycleResult(pair, self.k, Classification.SINGLE_CYCLE)
-                )
+        pipeline = Pipeline([
+            TopologyStage(),
+            RandomFilterStage(frames=self.k),
+            DecisionStage(KCycleDecider(self.k, self.backtrack_limit)),
+        ])
+        detection = pipeline.run(ctx)
+        results = [
+            KCycleResult(r.pair, self.k, r.classification)
+            for r in detection.pair_results
+        ]
         return KCycleDetectionResult(
             circuit=self.circuit,
             k=self.k,
-            connected_pairs=len(pairs),
+            connected_pairs=detection.connected_pairs,
             pair_results=results,
-            sim_dropped=report.dropped,
-            total_seconds=time.perf_counter() - started,
+            sim_dropped=detection.stats[Stage.SIMULATION].single_cycle,
+            total_seconds=detection.total_seconds,
         )

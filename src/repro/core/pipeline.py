@@ -1,0 +1,414 @@
+"""Staged pair-analysis pipeline: the paper's flow as composable parts.
+
+The paper's Section 4.1 flow — topology → random simulation → per-pair
+decision — used to be hard-coded inside ``MultiCycleDetector.run()``.
+Here it is a :class:`Pipeline` of :class:`PipelineStage` objects running
+over an :class:`AnalysisContext`, so that
+
+* the decision procedure is pluggable (:mod:`repro.core.deciders` —
+  implication/ATPG, SAT, BDD, or a cross-checking pair of engines),
+* surviving pairs can be sharded across ``workers`` processes, each
+  worker rebuilding its engines from the shared time-frame expansion,
+  with results merged deterministically (byte-identical to serial),
+* every stage boundary and every analyzed pair emits a structured
+  trace event (:mod:`repro.core.trace`) instead of ad-hoc timing code.
+
+The detector, k-cycle detector and reporting layers all build their
+pipelines from these stages; ``MultiCycleDetector`` is now a thin shell
+around :func:`default_pipeline`.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable, Protocol, Sequence
+
+from repro.circuit.netlist import Circuit
+from repro.circuit.timeframe import TimeFrameExpansion, expand_cached
+from repro.circuit.topology import FFPair, connected_ff_pairs
+from repro.core.deciders import PairDecider, create_decider
+from repro.core.random_filter import random_filter, random_filter_k
+from repro.core.result import (
+    Classification,
+    DetectionResult,
+    Disagreement,
+    PairResult,
+    Stage,
+    StageStats,
+)
+from repro.core.trace import ProgressFn, Tracer
+
+
+@dataclass
+class DetectorOptions:
+    """Tuning knobs for the pipeline (paper defaults)."""
+
+    #: 64-bit words per random-simulation round (64*words patterns).
+    sim_words: int = 4
+    #: hard cap on simulation rounds.
+    sim_max_rounds: int = 256
+    #: random seed for the simulation stage (results are deterministic).
+    sim_seed: int = 2002
+    #: skip the random-simulation stage entirely (ablation).
+    use_random_sim: bool = True
+    #: ATPG backtrack limit; the paper used 50 (more for a few circuits).
+    backtrack_limit: int = 50
+    #: pre-compute SOCRATES-style global implications before ATPG.
+    static_learning: bool = False
+    #: analyse (FF, FF) self-loop pairs (the SAT baseline of [9] skipped them).
+    include_self_loops: bool = True
+    #: decision engine, by registry name (``repro.core.deciders``):
+    #: "dalg" (paper's choice), "podem", "scoap", "sat", "bdd",
+    #: "cross-check".
+    search_engine: str = "dalg"
+    #: SCOAP-guided decision ordering in the dalg search (ablation).
+    scoap_guidance: bool = False
+    #: worker processes for the decision stage (1 = in-process serial).
+    workers: int = 1
+
+
+@dataclass
+class AnalysisContext:
+    """Everything a pipeline run needs: circuit, options, caches, clock.
+
+    The context memoises k-frame expansions (via the circuit-level cache
+    in :mod:`repro.circuit.timeframe`) and carries the optional tracer
+    and progress callback.  ``clock`` is injectable so tests can produce
+    fully deterministic traces.
+    """
+
+    circuit: Circuit
+    options: DetectorOptions = field(default_factory=DetectorOptions)
+    clock: Callable[[], float] = time.perf_counter
+    tracer: Tracer | None = None
+    progress: ProgressFn | None = None
+    #: expansions adopted from a parent process (parallel workers).
+    _adopted: dict[int, TimeFrameExpansion] = field(
+        default_factory=dict, repr=False
+    )
+
+    def expansion(self, frames: int = 2) -> TimeFrameExpansion:
+        """The shared ``frames``-frame expansion of the circuit (cached)."""
+        adopted = self._adopted.get(frames)
+        if adopted is not None:
+            return adopted
+        return expand_cached(self.circuit, frames)
+
+    def adopt_expansion(self, expansion: TimeFrameExpansion) -> None:
+        """Install an expansion computed elsewhere (worker processes)."""
+        self._adopted[expansion.frames] = expansion
+
+    def emit(self, event: str, **fields) -> None:
+        """Forward one trace event to the tracer, if any."""
+        if self.tracer is not None:
+            self.tracer.emit(event, **fields)
+
+
+@dataclass
+class PipelineState:
+    """Mutable run state threaded through the stages."""
+
+    pairs: list[FFPair] = field(default_factory=list)
+    results: list[PairResult] = field(default_factory=list)
+    stats: dict[Stage, StageStats] = field(
+        default_factory=lambda: {stage: StageStats() for stage in Stage}
+    )
+    connected_pairs: int = 0
+    learned_implications: int = 0
+    engine: str = "dalg"
+    disagreements: list[Disagreement] = field(default_factory=list)
+
+
+class PipelineStage(Protocol):
+    """One step of the pipeline; reads and mutates the run state."""
+
+    name: str
+
+    def run(self, ctx: AnalysisContext, state: PipelineState) -> None: ...
+
+
+def _emit_pair(
+    ctx: AnalysisContext,
+    state: PipelineState,
+    result: PairResult,
+    seconds: float,
+    engine: str | None,
+) -> None:
+    """Emit the per-pair trace event and progress callback."""
+    names = ctx.circuit.names
+    record = {
+        "stage": result.stage.value,
+        "source": names[result.pair.source],
+        "sink": names[result.pair.sink],
+        "classification": result.classification.value,
+        "seconds": round(seconds, 6),
+    }
+    if engine is not None:
+        record["engine"] = engine
+    if result.cases:
+        record["cases"] = len(result.cases)
+        record["decisions"] = sum(c.decisions for c in result.cases)
+        record["backtracks"] = sum(c.backtracks for c in result.cases)
+    ctx.emit("pair", **record)
+    if ctx.progress is not None:
+        ctx.progress(len(state.results), state.connected_pairs, record)
+
+
+class TopologyStage:
+    """Step 1: keep only topologically connected FF pairs."""
+
+    name = "topology"
+
+    def run(self, ctx: AnalysisContext, state: PipelineState) -> None:
+        state.pairs = connected_ff_pairs(
+            ctx.circuit, include_self_loops=ctx.options.include_self_loops
+        )
+        state.connected_pairs = len(state.pairs)
+
+
+class RandomFilterStage:
+    """Step 2: drop pairs whose MC condition is refuted by simulation.
+
+    ``frames=2`` is the paper's MC condition (:func:`random_filter`);
+    larger values select the k-cycle variant (:func:`random_filter_k`).
+    The filter's dropped pairs are recorded directly — no key-set
+    reconstruction — as guaranteed single-cycle results.
+    """
+
+    name = "random-sim"
+
+    def __init__(self, frames: int = 2) -> None:
+        if frames < 2:
+            raise ValueError("random filtering needs at least 2 frames")
+        self.frames = frames
+
+    def run(self, ctx: AnalysisContext, state: PipelineState) -> None:
+        options = ctx.options
+        if not options.use_random_sim or not state.pairs:
+            return
+        started = ctx.clock()
+        if self.frames == 2:
+            report = random_filter(
+                ctx.circuit,
+                state.pairs,
+                words=options.sim_words,
+                max_rounds=options.sim_max_rounds,
+                seed=options.sim_seed,
+            )
+        else:
+            report = random_filter_k(
+                ctx.circuit,
+                state.pairs,
+                self.frames,
+                words=options.sim_words,
+                max_rounds=options.sim_max_rounds,
+                seed=options.sim_seed,
+            )
+        stats = state.stats[Stage.SIMULATION]
+        for pair in report.dropped_pairs:
+            result = PairResult(pair, Classification.SINGLE_CYCLE, Stage.SIMULATION)
+            state.results.append(result)
+            stats.single_cycle += 1
+            _emit_pair(ctx, state, result, 0.0, engine=None)
+        state.pairs = report.survivors
+        stats.cpu_seconds += ctx.clock() - started
+
+
+def _split_chunks(pairs: Sequence[FFPair], workers: int) -> list[list[FFPair]]:
+    """Contiguous, deterministic shards — at most ``workers``, none empty."""
+    workers = max(1, min(workers, len(pairs)))
+    size, extra = divmod(len(pairs), workers)
+    chunks: list[list[FFPair]] = []
+    start = 0
+    for index in range(workers):
+        end = start + size + (1 if index < extra else 0)
+        if end > start:
+            chunks.append(list(pairs[start:end]))
+        start = end
+    return chunks
+
+
+def _decide_chunk(payload):
+    """Worker entry point: rebuild the decider, settle one shard.
+
+    Runs in a separate process.  The decider arrives unprepared; it
+    rebuilds its engines (implication engine, SAT encoding, BDDs) from
+    the shared expansion shipped in the payload.  Returns per-pair
+    results with wall seconds, plus the worker's learned-implication
+    count and any cross-check disagreements.
+    """
+    circuit, options, decider, expansion, pairs = payload
+    ctx = AnalysisContext(circuit, options)
+    ctx.adopt_expansion(expansion)
+    decider.prepare(ctx)
+    decided: list[tuple[PairResult, float]] = []
+    for pair in pairs:
+        started = time.perf_counter()
+        result = decider.decide(pair)
+        decided.append((result, time.perf_counter() - started))
+    return (
+        decided,
+        getattr(decider, "learned_implications", 0),
+        list(getattr(decider, "disagreements", [])),
+    )
+
+
+class DecisionStage:
+    """Steps 3+4: settle every surviving pair with a decision engine.
+
+    The engine is either given explicitly (a registry name or an
+    unprepared decider instance) or taken from
+    ``options.search_engine``.  With ``options.workers > 1`` the pairs
+    are sharded across processes; each worker rebuilds the decider from
+    the shared expansion and the shards are merged in input order, so
+    the classification outcome is byte-identical to a serial run.
+    """
+
+    name = "decide"
+
+    def __init__(self, decider: str | PairDecider | None = None) -> None:
+        self._decider_spec = decider
+
+    def _resolve(self, ctx: AnalysisContext) -> PairDecider:
+        spec = self._decider_spec
+        if spec is None:
+            spec = ctx.options.search_engine
+        if isinstance(spec, str):
+            return create_decider(spec)
+        return spec
+
+    def run(self, ctx: AnalysisContext, state: PipelineState) -> None:
+        decider = self._resolve(ctx)
+        state.engine = decider.name
+        pairs = state.pairs
+        workers = max(1, ctx.options.workers)
+        if not pairs:
+            state.pairs = []
+            return
+
+        if workers > 1 and len(pairs) > 1:
+            decided, learned, disagreements = self._run_parallel(
+                ctx, decider, pairs, workers
+            )
+        else:
+            decider.prepare(ctx)
+            decided = []
+            for pair in pairs:
+                started = ctx.clock()
+                result = decider.decide(pair)
+                decided.append((result, ctx.clock() - started))
+            learned = getattr(decider, "learned_implications", 0)
+            disagreements = list(getattr(decider, "disagreements", []))
+
+        for result, seconds in decided:
+            state.results.append(result)
+            stats = state.stats[result.stage]
+            if result.classification is Classification.MULTI_CYCLE:
+                stats.multi_cycle += 1
+            elif result.classification is Classification.SINGLE_CYCLE:
+                stats.single_cycle += 1
+            else:
+                stats.undecided += 1
+            stats.cpu_seconds += seconds
+            _emit_pair(ctx, state, result, seconds, engine=decider.name)
+        state.learned_implications = learned
+        state.disagreements.extend(disagreements)
+        for disagreement in disagreements:
+            names = ctx.circuit.names
+            ctx.emit(
+                "disagreement",
+                source=names[disagreement.pair.source],
+                sink=names[disagreement.pair.sink],
+                **{
+                    disagreement.primary_engine: disagreement.primary.value,
+                    disagreement.secondary_engine: disagreement.secondary.value,
+                },
+            )
+        state.pairs = []
+
+    def _run_parallel(
+        self,
+        ctx: AnalysisContext,
+        decider: PairDecider,
+        pairs: Sequence[FFPair],
+        workers: int,
+    ):
+        expansion = ctx.expansion(getattr(decider, "frames", 2))
+        worker_options = replace(ctx.options, workers=1)
+        chunks = _split_chunks(pairs, workers)
+        payloads = [
+            (ctx.circuit, worker_options, decider, expansion, chunk)
+            for chunk in chunks
+        ]
+        decided: list[tuple[PairResult, float]] = []
+        learned = 0
+        disagreements: list[Disagreement] = []
+        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
+            for chunk_decided, chunk_learned, chunk_flags in pool.map(
+                _decide_chunk, payloads
+            ):
+                decided.extend(chunk_decided)
+                learned = max(learned, chunk_learned)
+                disagreements.extend(chunk_flags)
+        return decided, learned, disagreements
+
+
+class Pipeline:
+    """A staged run over one circuit, producing a :class:`DetectionResult`."""
+
+    def __init__(self, stages: Sequence[PipelineStage]) -> None:
+        self.stages = list(stages)
+
+    def run(self, ctx: AnalysisContext) -> DetectionResult:
+        started = ctx.clock()
+        state = PipelineState()
+        ctx.emit(
+            "run_start",
+            circuit=ctx.circuit.name,
+            engine=ctx.options.search_engine,
+            workers=ctx.options.workers,
+            stages=[stage.name for stage in self.stages],
+        )
+        for stage in self.stages:
+            stage_started = ctx.clock()
+            pairs_in = len(state.pairs)
+            ctx.emit("stage_start", stage=stage.name, pairs_in=pairs_in)
+            stage.run(ctx, state)
+            ctx.emit(
+                "stage_end",
+                stage=stage.name,
+                pairs_in=pairs_in,
+                pairs_out=len(state.pairs),
+                results=len(state.results),
+                seconds=round(ctx.clock() - stage_started, 6),
+            )
+        state.results.sort(key=lambda r: (r.pair.source, r.pair.sink))
+        result = DetectionResult(
+            circuit=ctx.circuit,
+            connected_pairs=state.connected_pairs,
+            pair_results=state.results,
+            stats=state.stats,
+            total_seconds=ctx.clock() - started,
+            learned_implications=state.learned_implications,
+            engine=state.engine,
+            disagreements=state.disagreements,
+        )
+        ctx.emit(
+            "run_end",
+            circuit=ctx.circuit.name,
+            engine=state.engine,
+            connected_pairs=state.connected_pairs,
+            multi_cycle=len(result.multi_cycle_pairs),
+            single_cycle=len(result.single_cycle_pairs),
+            undecided=len(result.undecided_pairs),
+            disagreements=len(state.disagreements),
+            seconds=round(result.total_seconds, 6),
+        )
+        return result
+
+
+def default_pipeline(decider: str | PairDecider | None = None) -> Pipeline:
+    """The paper's three-stage flow with a pluggable decision engine."""
+    return Pipeline([TopologyStage(), RandomFilterStage(), DecisionStage(decider)])

@@ -30,12 +30,22 @@ from repro.logic.bitsim import simulate_frames, simulate_three_frames
 
 @dataclass
 class RandomFilterReport:
-    """What the random-simulation stage did."""
+    """What the random-simulation stage did.
+
+    ``survivors`` and ``dropped_pairs`` partition the input pair list, so
+    downstream stages can attribute each dropped pair directly instead of
+    reconstructing the partition from a ``(source, sink)`` key set.
+    """
 
     survivors: list[FFPair]
-    dropped: int
+    dropped_pairs: list[FFPair]
     rounds: int
     patterns: int
+
+    @property
+    def dropped(self) -> int:
+        """Number of pairs refuted by simulation."""
+        return len(self.dropped_pairs)
 
 
 def random_filter(
@@ -51,7 +61,7 @@ def random_filter(
     simulated counterexample); survivors go on to implication/ATPG.
     """
     if not pairs:
-        return RandomFilterReport([], 0, 0, 0)
+        return RandomFilterReport([], [], 0, 0)
 
     rng = np.random.default_rng(seed)
     dff_index = {dff: k for k, dff in enumerate(circuit.dffs)}
@@ -78,9 +88,10 @@ def random_filter(
             break
 
     survivors = [p for p, live in zip(pairs, alive) if live]
+    dropped_pairs = [p for p, live in zip(pairs, alive) if not live]
     return RandomFilterReport(
         survivors=survivors,
-        dropped=len(pairs) - len(survivors),
+        dropped_pairs=dropped_pairs,
         rounds=rounds,
         patterns=patterns,
     )
@@ -104,7 +115,7 @@ def random_filter_k(
     if k < 2:
         raise ValueError("k must be >= 2")
     if not pairs:
-        return RandomFilterReport([], 0, 0, 0)
+        return RandomFilterReport([], [], 0, 0)
 
     rng = np.random.default_rng(seed)
     dff_index = {dff: i for i, dff in enumerate(circuit.dffs)}
@@ -133,9 +144,10 @@ def random_filter_k(
             break
 
     survivors = [p for p, live in zip(pairs, alive) if live]
+    dropped_pairs = [p for p, live in zip(pairs, alive) if not live]
     return RandomFilterReport(
         survivors=survivors,
-        dropped=len(pairs) - len(survivors),
+        dropped_pairs=dropped_pairs,
         rounds=rounds,
         patterns=patterns,
     )

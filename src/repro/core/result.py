@@ -29,6 +29,9 @@ class Stage(Enum):
     SIMULATION = "sim"
     IMPLICATION = "implication"
     ATPG = "atpg"
+    #: settled by a non-implication decision engine (SAT / BDD deciders);
+    #: the paper's three-stage attribution does not apply to those.
+    DECISION = "decision"
 
 
 class CaseOutcome(Enum):
@@ -84,6 +87,17 @@ class StageStats:
 
 
 @dataclass
+class Disagreement:
+    """Two decision engines classified the same pair differently."""
+
+    pair: FFPair
+    primary_engine: str
+    primary: Classification
+    secondary_engine: str
+    secondary: Classification
+
+
+@dataclass
 class DetectionResult:
     """Everything the detector learned about one circuit."""
 
@@ -93,6 +107,10 @@ class DetectionResult:
     stats: dict[Stage, StageStats]
     total_seconds: float
     learned_implications: int = 0
+    #: decision engine that settled the post-simulation pairs.
+    engine: str = "dalg"
+    #: cross-check decider only: pairs where the two engines disagreed.
+    disagreements: list[Disagreement] = field(default_factory=list)
 
     @property
     def multi_cycle_pairs(self) -> list[PairResult]:
@@ -119,6 +137,35 @@ class DetectionResult:
     def multi_cycle_pair_names(self) -> list[tuple[str, str]]:
         """Readable ``(source, sink)`` names of all multi-cycle pairs."""
         return sorted(self.pair_names(p) for p in self.multi_cycle_pairs)
+
+    def pair_records(self) -> list[dict[str, object]]:
+        """Deterministic per-pair records, timing excluded.
+
+        Two runs of the same circuit with the same options must produce
+        byte-identical JSON for this list regardless of worker count —
+        the invariant the parallel executor is tested against.
+        """
+        names = self.circuit.names
+        records: list[dict[str, object]] = []
+        for result in self.pair_results:
+            records.append({
+                "source": names[result.pair.source],
+                "sink": names[result.pair.sink],
+                "classification": result.classification.value,
+                "stage": result.stage.value,
+                "cases": [
+                    {
+                        "a": case.a,
+                        "b": case.b,
+                        "outcome": case.outcome.value,
+                        "decisions": case.decisions,
+                        "backtracks": case.backtracks,
+                        "witness": case.witness,
+                    }
+                    for case in result.cases
+                ],
+            })
+        return records
 
     def summary(self) -> dict[str, float | int]:
         return {

@@ -60,6 +60,25 @@ def format_table(
     return "\n".join(lines)
 
 
+def _apply_pipeline_options(
+    options: DetectorOptions | None,
+    engine: str | None,
+    workers: int | None,
+) -> DetectorOptions | None:
+    """Fold ``engine``/``workers`` overrides into the detector options."""
+    if engine is None and workers is None:
+        return options
+    from dataclasses import replace
+
+    base = options or DetectorOptions()
+    updates: dict[str, object] = {}
+    if engine is not None:
+        updates["search_engine"] = engine
+    if workers is not None:
+        updates["workers"] = workers
+    return replace(base, **updates)
+
+
 # ----------------------------------------------------------------------
 # Table 1: MC pairs + CPU, implication-based vs SAT-based.
 # ----------------------------------------------------------------------
@@ -68,12 +87,17 @@ def run_table1(
     options: DetectorOptions | None = None,
     sat_mode: str = "per-pair",
     run_sat: bool = True,
+    engine: str | None = None,
+    workers: int | None = None,
 ) -> tuple[Table, list[DetectionResult]]:
     """Per-circuit MC-pair counts and CPU seconds, ours vs SAT baseline.
 
     Mirrors the paper's Table 1 (their SAT column is ref. [9]; ours is the
-    from-scratch CDCL baseline in the requested ``sat_mode``).
+    from-scratch CDCL baseline in the requested ``sat_mode``).  ``engine``
+    and ``workers`` select the pipeline's decision engine and worker count
+    for the "ours" column without the caller building options by hand.
     """
+    options = _apply_pipeline_options(options, engine, workers)
     headers = ["circuit", "In", "FF", "FF-pair", "MC-pair", "CPU(s)",
                "SAT MC-pair", "SAT CPU(s)"]
     rows: list[list[object]] = []
@@ -139,7 +163,15 @@ def run_table2(
 
     total_single = sum(single.values())
     total_multi = sum(multi.values())
-    headers = ["", "Sim.", "Implication", "ATPG"]
+    # The paper's three columns, plus one per extra pipeline stage (the
+    # "decision" column only carries counts for non-implication engines).
+    labels = {
+        Stage.SIMULATION: "Sim.",
+        Stage.IMPLICATION: "Implication",
+        Stage.ATPG: "ATPG",
+        Stage.DECISION: "Decision",
+    }
+    headers = [""] + [labels.get(s, s.value) for s in Stage]
     rows = [
         ["single cycle"] + [percent(single[s], total_single) for s in Stage],
         ["multi cycle"] + [percent(multi[s], total_multi) for s in Stage],

@@ -20,7 +20,7 @@ import time
 from dataclasses import dataclass
 
 from repro.circuit.netlist import Circuit, validate
-from repro.circuit.timeframe import expand
+from repro.circuit.timeframe import TimeFrameExpansion, expand
 from repro.circuit.topology import FFPair, connected_ff_pairs
 from repro.sat.solver import CdclSolver, SolveStatus
 from repro.sat.tseitin import encode_circuit
@@ -71,18 +71,27 @@ class SatMcDetector:
         include_self_loops: bool = True,
         conflict_limit: int | None = None,
         mode: str = "incremental",
+        expansion: TimeFrameExpansion | None = None,
     ) -> None:
         if mode not in ("incremental", "per-pair"):
             raise ValueError(f"unknown mode {mode!r}")
         validate(circuit)
+        if expansion is not None and expansion.frames < 2:
+            raise ValueError("SAT MC detection needs a 2-frame expansion")
         self.circuit = circuit
         self.include_self_loops = include_self_loops
         self.conflict_limit = conflict_limit
         self.mode = mode
+        self._shared_expansion = expansion
         self._prepare()
 
     def _prepare(self) -> None:
-        self.expansion = expand(self.circuit, frames=2)
+        # The expansion is pure and may be shared across pairs and even
+        # detectors; only the solver + encoding are per-pair in [9] mode.
+        if self._shared_expansion is not None:
+            self.expansion = self._shared_expansion
+        else:
+            self.expansion = expand(self.circuit, frames=2)
         self.encoding = encode_circuit(self.expansion.comb)
         solver = self.encoding.solver
         exp = self.expansion

@@ -14,7 +14,7 @@ from repro.circuit.netlist import Circuit
 from repro.circuit.paths import longest_path, path_delay
 from repro.circuit.topology import FFPair
 from repro.core.result import DetectionResult
-from repro.sta.constraints import RelaxationReport, relaxation_report
+from repro.sta.constraints import relaxation_report
 from repro.sta.timing import DelayModel
 
 

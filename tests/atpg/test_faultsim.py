@@ -2,10 +2,8 @@
 
 from hypothesis import given
 
-from repro.circuit.library import fig1_circuit, s27
 from repro.atpg.faultsim import DroppingAtpg, fault_simulate
 from repro.atpg.stuckat import (
-    FaultStatus,
     StuckAtAtpg,
     enumerate_faults,
     run_atpg,

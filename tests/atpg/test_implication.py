@@ -9,7 +9,6 @@ combinational circuits.
 
 import itertools
 
-import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 

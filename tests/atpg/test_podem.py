@@ -5,7 +5,6 @@ order, so on every random target the two engines must agree — only their
 decision/backtrack counts may differ (which is the paper's §4.5 point).
 """
 
-import itertools
 
 from hypothesis import given
 from hypothesis import strategies as st

@@ -1,6 +1,5 @@
 """Textbook PODEM vs the miter-based generator: verdicts must agree."""
 
-import itertools
 
 from hypothesis import given
 

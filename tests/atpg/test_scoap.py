@@ -1,7 +1,6 @@
 """SCOAP measures: textbook values and guidance invariance."""
 
 from repro.circuit.builder import CircuitBuilder
-from repro.circuit.library import fig1_circuit
 from repro.atpg.scoap import compute_scoap, make_choice_sorter, scoap_report
 
 

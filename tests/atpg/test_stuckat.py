@@ -7,8 +7,6 @@ from hypothesis import given
 
 from repro.circuit.builder import CircuitBuilder
 from repro.circuit.gates import GateType
-from repro.circuit.library import fig1_circuit, s27
-from repro.circuit.timeframe import expand
 from repro.logic.simulator import evaluate_gate
 from repro.atpg.stuckat import (
     Fault,

@@ -1,10 +1,8 @@
 """Transition-fault ATPG and the multi-cycle relaxation link."""
 
 from repro.circuit.builder import CircuitBuilder
-from repro.circuit.library import fig1_circuit, s27, shift_register
 from repro.core.detector import detect_multi_cycle_pairs
 from repro.logic.simulator import Simulator
-from repro.logic.values import X
 from repro.atpg.transition import (
     TransitionAtpg,
     TransitionFault,

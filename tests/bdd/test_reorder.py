@@ -10,7 +10,6 @@ from repro.bdd.reorder import (
 from repro.bdd.traversal import build_node_bdds
 from repro.bench_gen.suite import suite
 from repro.circuit.builder import CircuitBuilder
-from repro.circuit.library import fig1_circuit
 from repro.circuit.timeframe import expand
 
 

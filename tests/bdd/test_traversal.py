@@ -9,7 +9,7 @@ from repro.bdd.traversal import (
     bdd_detect_multi_cycle_pairs,
     build_node_bdds,
 )
-from repro.circuit.library import binary_counter, fig1_circuit, gray_counter, s27
+from repro.circuit.library import binary_counter, gray_counter
 from repro.core.brute import brute_force_mc_pairs
 
 from tests.strategies import random_sequential_circuit, seeds

@@ -5,7 +5,6 @@ import pytest
 from repro.bench_gen.synth import CircuitSpec, generate
 from repro.circuit.bench import dumps, loads
 from repro.circuit.netlist import validate
-from repro.circuit.topology import connected_ff_pairs
 from repro.core.detector import detect_multi_cycle_pairs
 
 

@@ -1,6 +1,5 @@
 """Round-trip and error tests for the .bench reader/writer."""
 
-import itertools
 
 import pytest
 from hypothesis import given

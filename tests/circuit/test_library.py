@@ -3,11 +3,7 @@
 from repro.circuit.library import (
     binary_counter,
     enabled_pipeline,
-    fig1_circuit,
-    fig3_circuit,
-    fig4_fragment,
     gray_counter,
-    s27,
     shift_register,
 )
 from repro.logic.simulator import Simulator

@@ -3,13 +3,12 @@
 from repro.circuit.builder import CircuitBuilder
 from repro.circuit.paths import (
     count_paths,
-    iter_paths,
     longest_path,
     path_delay,
     paths_between,
 )
 from repro.circuit.topology import FFPair, connected_ff_pairs
-from repro.sta.timing import DelayModel, ff_pair_delays
+from repro.sta.timing import ff_pair_delays
 
 
 def _diamond():

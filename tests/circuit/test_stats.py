@@ -1,6 +1,5 @@
 """Structural statistics."""
 
-from repro.circuit.library import fig1_circuit, shift_register
 from repro.circuit.stats import compute_stats, format_stats
 
 

@@ -1,13 +1,11 @@
 """The time-frame expansion must agree with sequential simulation."""
 
-import itertools
 
 import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.circuit.gates import GateType
-from repro.circuit.library import fig1_circuit
 from repro.circuit.netlist import validate
 from repro.circuit.timeframe import expand
 from repro.logic.simulator import Simulator, evaluate_gate

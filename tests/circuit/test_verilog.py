@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 
 from repro.circuit import verilog
-from repro.circuit.library import fig1_circuit, s27
+from repro.circuit.library import s27
 from repro.circuit.verilog import VerilogFormatError, dumps, loads
 from repro.sat.equivalence import check_sequential_equivalence_1step
 

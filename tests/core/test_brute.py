@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.circuit.library import fig1_circuit, shift_register
+from repro.circuit.library import shift_register
 from repro.circuit.topology import FFPair
 from repro.core.brute import (
     brute_force_is_multi_cycle,

@@ -9,7 +9,7 @@ strongest evidence the reproduction is faithful.
 from hypothesis import given
 
 from repro.bdd.traversal import bdd_detect_multi_cycle_pairs
-from repro.circuit.library import enabled_pipeline, fig1_circuit, s27, shift_register
+from repro.circuit.library import enabled_pipeline
 from repro.core.brute import brute_force_mc_pairs
 from repro.core.detector import (
     DetectorOptions,

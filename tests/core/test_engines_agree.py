@@ -1,0 +1,97 @@
+"""Cross-engine agreement: every registered decider is a drop-in oracle.
+
+The acceptance property of the pluggable-decider refactor: the
+implication/ATPG engines (dalg, podem, scoap), the CDCL SAT baseline and
+— where tractable — the ROBDD baseline must classify *every* connected
+FF pair identically, across the benchmark suite and random circuits.
+Counts agreeing is not enough; the per-pair classification maps must
+match (undecided pairs excepted, since the backtrack limit only binds
+the search-based engines).
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench_gen.suite import suite
+from repro.core.detector import DetectorOptions, MultiCycleDetector
+from repro.core.result import Classification
+from tests.strategies import random_sequential_circuit
+
+SEARCH_ENGINES = ("dalg", "podem", "scoap", "sat")
+#: BDD is exact but blows up on the larger synthetics; keep it to circuits
+#: small enough for the suite to stay fast.
+BDD_FF_LIMIT = 16
+
+
+def classification_map(circuit, engine, workers=1):
+    """(source, sink) -> Classification under the given engine."""
+    options = DetectorOptions(search_engine=engine, workers=workers)
+    result = MultiCycleDetector(circuit, options).run()
+    names = circuit.names
+    return {
+        (names[r.pair.source], names[r.pair.sink]): r.classification
+        for r in result.pair_results
+    }
+
+
+def assert_engines_agree(circuit, engines):
+    reference_engine = engines[0]
+    reference = classification_map(circuit, reference_engine)
+    for engine in engines[1:]:
+        candidate = classification_map(circuit, engine)
+        assert candidate.keys() == reference.keys()
+        for key, expected in reference.items():
+            got = candidate[key]
+            # The backtrack limit may leave a pair undecided in one engine
+            # and settled in another; definite verdicts must never clash.
+            if (
+                Classification.UNDECIDED in (expected, got)
+            ):
+                continue
+            assert got is expected, (
+                f"{circuit.name}: pair {key} is {expected.value} under "
+                f"{reference_engine} but {got.value} under {engine}"
+            )
+
+
+@pytest.mark.parametrize("circuit", suite("tiny"), ids=lambda c: c.name)
+def test_all_engines_agree_on_tiny_suite(circuit):
+    engines = list(SEARCH_ENGINES)
+    if len(circuit.dffs) <= BDD_FF_LIMIT:
+        engines.append("bdd")
+    assert_engines_agree(circuit, engines)
+
+
+@pytest.mark.parametrize(
+    "circuit",
+    [c for c in suite("small") if c.name in ("syn170", "syn330")],
+    ids=lambda c: c.name,
+)
+def test_search_engines_agree_on_small_suite(circuit):
+    assert_engines_agree(circuit, list(SEARCH_ENGINES))
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_engines_agree_on_random_circuits(seed):
+    circuit = random_sequential_circuit(seed, max_dffs=4, max_gates=10)
+    assert_engines_agree(circuit, ["dalg", "sat", "bdd"])
+
+
+@pytest.mark.parametrize("circuit", suite("tiny"), ids=lambda c: c.name)
+def test_parallel_matches_serial_byte_identical(circuit):
+    """workers=4 must reproduce the serial classification exactly."""
+    serial = MultiCycleDetector(circuit).run()
+    parallel = MultiCycleDetector(circuit, DetectorOptions(workers=4)).run()
+    assert serial.pair_records() == parallel.pair_records()
+
+
+def test_cross_check_runs_clean_on_tiny_suite():
+    for circuit in suite("tiny"):
+        result = MultiCycleDetector(
+            circuit, DetectorOptions(search_engine="cross-check")
+        ).run()
+        assert result.disagreements == []

@@ -4,7 +4,7 @@ import itertools
 
 from repro.circuit.builder import CircuitBuilder
 from repro.circuit.gates import GateType
-from repro.circuit.paths import Path, paths_between
+from repro.circuit.paths import Path
 from repro.circuit.topology import FFPair
 from repro.core.falsepath import (
     PathClass,

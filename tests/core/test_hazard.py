@@ -1,6 +1,5 @@
 """Static hazard checking: the paper's Section 5 claims on Fig. 3/Fig. 4."""
 
-from repro.circuit.library import fig3_circuit, fig4_fragment
 from repro.circuit.techmap import techmap
 from repro.circuit.timeframe import expand
 from repro.core.detector import detect_multi_cycle_pairs

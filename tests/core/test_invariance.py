@@ -11,7 +11,6 @@ from hypothesis import given
 
 from repro.circuit.bench import dumps as bench_dumps, loads as bench_loads
 from repro.circuit.gates import GateType
-from repro.circuit.library import fig1_circuit
 from repro.circuit.netlist import Circuit
 from repro.circuit.techmap import techmap
 from repro.circuit.verilog import dumps as verilog_dumps, loads as verilog_loads

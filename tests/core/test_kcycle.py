@@ -3,7 +3,7 @@
 import pytest
 from hypothesis import given
 
-from repro.circuit.library import enabled_pipeline, fig1_circuit
+from repro.circuit.library import enabled_pipeline
 from repro.circuit.topology import FFPair, connected_ff_pairs
 from repro.core.brute import brute_force_k_cycle_pairs
 from repro.core.kcycle import KCycleAnalyzer, is_k_cycle_pair, max_cycles

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.circuit.library import fig1_circuit, shift_register
 from repro.circuit.timeframe import expand
 from repro.circuit.topology import FFPair
 from repro.core.pair_analysis import PairAnalyzer

@@ -1,0 +1,276 @@
+"""Tests for the staged pipeline: stages, trace layer, parallel executor.
+
+The pipeline is the refactored detection core (`repro.core.pipeline`):
+`MultiCycleDetector` is now a thin shell over
+``default_pipeline().run(AnalysisContext(...))``, so these tests exercise
+the machinery every detector rides on — the stage protocol, the decider
+registry, the JSONL trace schema, and the worker-sharded decision stage
+whose results must be byte-identical to a serial run.
+"""
+
+from __future__ import annotations
+
+import json
+from itertools import count
+
+import pytest
+
+from repro.circuit.timeframe import clear_expansion_cache, expand_cached
+from repro.core.deciders import (
+    DECIDER_REGISTRY,
+    available_engines,
+    create_decider,
+)
+from repro.core.detector import DetectorOptions, MultiCycleDetector
+from repro.core.pipeline import (
+    AnalysisContext,
+    DecisionStage,
+    Pipeline,
+    TopologyStage,
+    _split_chunks,
+    default_pipeline,
+)
+from repro.core.result import Classification, Stage
+from repro.core.trace import TRACE_SCHEMA_VERSION, Tracer, open_trace, read_trace
+from tests.strategies import random_sequential_circuit
+
+
+# ----------------------------------------------------------------------
+# Tracer / trace schema
+# ----------------------------------------------------------------------
+class TestTracer:
+    def test_records_carry_schema_version_and_time(self):
+        ticks = count()
+        tracer = Tracer(clock=lambda: float(next(ticks)))
+        record = tracer.emit("pair", source="ff0", sink="ff1")
+        assert record["v"] == TRACE_SCHEMA_VERSION
+        assert record["event"] == "pair"
+        assert record["source"] == "ff0"
+        # First emit at clock tick 1, t0 captured at tick 0.
+        assert record["t"] == 1.0
+
+    def test_select_filters_by_event(self):
+        tracer = Tracer()
+        tracer.emit("stage_start", stage="topology")
+        tracer.emit("pair", source="a", sink="b")
+        tracer.emit("stage_end", stage="topology")
+        assert [r["stage"] for r in tracer.select("stage_start")] == ["topology"]
+        assert len(tracer.select("pair")) == 1
+
+    def test_file_roundtrip(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        with open_trace(path) as tracer:
+            tracer.emit("run_start", circuit="c")
+            tracer.emit("run_end", multi_cycle=3)
+        records = read_trace(path)
+        assert [r["event"] for r in records] == ["run_start", "run_end"]
+        assert all(r["v"] == TRACE_SCHEMA_VERSION for r in records)
+        # Every line is standalone JSON (the JSONL contract).
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            json.loads(line)
+
+
+# ----------------------------------------------------------------------
+# Decider registry
+# ----------------------------------------------------------------------
+class TestDeciderRegistry:
+    def test_known_engines_registered(self):
+        engines = available_engines()
+        for name in ("dalg", "podem", "scoap", "sat", "bdd", "cross-check"):
+            assert name in engines
+
+    def test_create_unknown_engine_raises(self):
+        with pytest.raises(ValueError, match="unknown"):
+            create_decider("no-such-engine")
+
+    def test_created_decider_carries_name(self):
+        for name in available_engines():
+            assert create_decider(name).name == name
+
+    def test_registry_is_sorted_view(self):
+        assert list(available_engines()) == sorted(DECIDER_REGISTRY)
+
+
+# ----------------------------------------------------------------------
+# Pipeline stages and trace events
+# ----------------------------------------------------------------------
+class TestPipelineStages:
+    def test_stage_sequence_on_fig1(self, fig1):
+        tracer = Tracer()
+        result = MultiCycleDetector(fig1, tracer=tracer).run()
+        events = [r["event"] for r in tracer.events]
+        assert events[0] == "run_start"
+        assert events[-1] == "run_end"
+        starts = [r["stage"] for r in tracer.select("stage_start")]
+        ends = [r["stage"] for r in tracer.select("stage_end")]
+        assert starts == ["topology", "random-sim", "decide"]
+        assert ends == starts
+        # One pair event per connected pair, across all stages.
+        assert len(tracer.select("pair")) == result.connected_pairs
+
+    def test_run_end_summary_matches_result(self, fig1):
+        tracer = Tracer()
+        result = MultiCycleDetector(fig1, tracer=tracer).run()
+        (end,) = tracer.select("run_end")
+        assert end["multi_cycle"] == len(result.multi_cycle_pairs)
+        assert end["connected_pairs"] == result.connected_pairs
+
+    def test_injected_clock_makes_times_deterministic(self, fig1):
+        def run_with_fake_clock():
+            ticks = count()
+            tracer = Tracer(clock=lambda: float(next(ticks)))
+            ctx = AnalysisContext(
+                fig1,
+                DetectorOptions(),
+                clock=lambda: 0.0,
+                tracer=tracer,
+            )
+            default_pipeline().run(ctx)
+            return [(r["event"], r["t"]) for r in tracer.events]
+
+        assert run_with_fake_clock() == run_with_fake_clock()
+
+    def test_progress_callback_counts_pairs(self, fig1):
+        seen = []
+        result = MultiCycleDetector(
+            fig1, progress=lambda done, total, record: seen.append((done, total))
+        ).run()
+        assert len(seen) == result.connected_pairs
+        assert seen[-1][0] == result.connected_pairs
+        totals = {total for _done, total in seen}
+        assert totals == {result.connected_pairs}
+
+    def test_skipping_random_sim_stage(self, fig1):
+        options = DetectorOptions(use_random_sim=False)
+        result = MultiCycleDetector(fig1, options).run()
+        assert result.stats[Stage.SIMULATION].single_cycle == 0
+        baseline = MultiCycleDetector(fig1).run()
+        assert result.multi_cycle_pair_names() == baseline.multi_cycle_pair_names()
+
+    def test_custom_stage_composition(self, fig1):
+        # A pipeline without the random filter still classifies correctly.
+        pipeline = Pipeline([TopologyStage(), DecisionStage()])
+        ctx = AnalysisContext(fig1, DetectorOptions())
+        result = pipeline.run(ctx)
+        baseline = MultiCycleDetector(fig1).run()
+        assert result.multi_cycle_pair_names() == baseline.multi_cycle_pair_names()
+
+    def test_decision_stage_engine_override(self, fig1):
+        pipeline = Pipeline([TopologyStage(), DecisionStage("sat")])
+        result = pipeline.run(AnalysisContext(fig1, DetectorOptions()))
+        assert result.engine == "sat"
+        baseline = MultiCycleDetector(fig1).run()
+        assert result.multi_cycle_pair_names() == baseline.multi_cycle_pair_names()
+
+
+# ----------------------------------------------------------------------
+# Expansion cache
+# ----------------------------------------------------------------------
+class TestExpansionCache:
+    def test_cache_hit_returns_same_object(self, fig1):
+        clear_expansion_cache()
+        first = expand_cached(fig1, frames=2)
+        assert expand_cached(fig1, frames=2) is first
+        assert expand_cached(fig1, frames=3) is not first
+
+    def test_cache_invalidated_by_circuit_mutation(self, fig1):
+        from repro.circuit.gates import GateType
+
+        clear_expansion_cache()
+        first = expand_cached(fig1, frames=2)
+        fig1.add_node(GateType.INPUT, (), "late_pi")
+        assert expand_cached(fig1, frames=2) is not first
+
+    def test_context_expansion_is_cached(self, fig1):
+        ctx = AnalysisContext(fig1, DetectorOptions())
+        assert ctx.expansion(2) is ctx.expansion(2)
+
+
+# ----------------------------------------------------------------------
+# Parallel executor
+# ----------------------------------------------------------------------
+class TestParallelExecutor:
+    def test_split_chunks_partition(self):
+        pairs = list(range(10))
+        chunks = _split_chunks(pairs, 4)
+        assert [x for chunk in chunks for x in chunk] == pairs
+        assert all(chunk for chunk in chunks)
+        assert len(chunks) <= 4
+
+    def test_split_chunks_more_workers_than_pairs(self):
+        chunks = _split_chunks([1, 2], 8)
+        assert [x for chunk in chunks for x in chunk] == [1, 2]
+
+    @pytest.mark.parametrize("engine", ["dalg", "sat"])
+    def test_workers_match_serial_byte_for_byte(self, fig1, engine):
+        options = DetectorOptions(search_engine=engine)
+        serial = MultiCycleDetector(fig1, options).run()
+        parallel = MultiCycleDetector(
+            fig1, DetectorOptions(search_engine=engine, workers=4)
+        ).run()
+        assert json.dumps(serial.pair_records(), sort_keys=True) == json.dumps(
+            parallel.pair_records(), sort_keys=True
+        )
+
+    def test_workers_match_serial_on_random_circuits(self):
+        for seed in (3, 17, 91):
+            circuit = random_sequential_circuit(seed, max_dffs=5, max_gates=14)
+            serial = MultiCycleDetector(circuit).run()
+            parallel = MultiCycleDetector(
+                circuit, DetectorOptions(workers=3)
+            ).run()
+            assert serial.pair_records() == parallel.pair_records()
+
+    def test_parallel_stats_match_serial_counts(self, fig1):
+        serial = MultiCycleDetector(fig1).run()
+        parallel = MultiCycleDetector(fig1, DetectorOptions(workers=2)).run()
+        for stage in Stage:
+            assert (
+                serial.stats[stage].single_cycle
+                == parallel.stats[stage].single_cycle
+            )
+            assert (
+                serial.stats[stage].multi_cycle
+                == parallel.stats[stage].multi_cycle
+            )
+
+
+# ----------------------------------------------------------------------
+# Cross-check decider
+# ----------------------------------------------------------------------
+class TestCrossCheck:
+    def test_cross_check_agrees_on_fig1(self, fig1):
+        result = MultiCycleDetector(
+            fig1, DetectorOptions(search_engine="cross-check")
+        ).run()
+        assert result.disagreements == []
+        baseline = MultiCycleDetector(fig1).run()
+        assert result.multi_cycle_pair_names() == baseline.multi_cycle_pair_names()
+
+    def test_cross_check_emits_no_disagreement_events(self, fig1):
+        tracer = Tracer()
+        MultiCycleDetector(
+            fig1, DetectorOptions(search_engine="cross-check"), tracer=tracer
+        ).run()
+        assert tracer.select("disagreement") == []
+
+
+# ----------------------------------------------------------------------
+# pair_records determinism contract
+# ----------------------------------------------------------------------
+class TestPairRecords:
+    def test_records_sorted_and_complete(self, fig1):
+        result = MultiCycleDetector(fig1).run()
+        records = result.pair_records()
+        assert len(records) == result.connected_pairs
+        keys = [(r["source"], r["sink"]) for r in records]
+        assert keys == sorted(keys)
+        for record in records:
+            assert record["classification"] in {c.value for c in Classification}
+            assert record["stage"] in {s.value for s in Stage}
+
+    def test_records_json_serialisable(self, fig1):
+        result = MultiCycleDetector(fig1).run()
+        json.dumps(result.pair_records())

@@ -1,9 +1,8 @@
 """The random-simulation stage: sound drops, determinism, reporting."""
 
-import numpy as np
 from hypothesis import given
 
-from repro.circuit.library import fig1_circuit, shift_register
+from repro.circuit.library import fig1_circuit
 from repro.circuit.topology import connected_ff_pairs
 from repro.core.brute import brute_force_mc_pairs
 from repro.core.random_filter import random_filter

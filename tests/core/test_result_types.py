@@ -1,6 +1,5 @@
 """Result-type accessors and stage accounting."""
 
-from repro.circuit.library import fig1_circuit
 from repro.circuit.topology import FFPair
 from repro.core.detector import detect_multi_cycle_pairs
 from repro.core.result import (

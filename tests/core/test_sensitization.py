@@ -1,6 +1,5 @@
 """Unit tests for the per-gate sensitization extension options."""
 
-import pytest
 
 from repro.circuit.builder import CircuitBuilder
 from repro.core.sensitization import (

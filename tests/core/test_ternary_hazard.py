@@ -3,7 +3,6 @@
 import itertools
 
 from repro.circuit.builder import CircuitBuilder
-from repro.circuit.gates import GateType
 from repro.core.detector import detect_multi_cycle_pairs
 from repro.core.ternary_hazard import (
     TernaryHazardChecker,

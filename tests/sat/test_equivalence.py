@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given
 
 from repro.circuit.builder import CircuitBuilder
-from repro.circuit.library import fig1_circuit, s27
 from repro.circuit.techmap import techmap
 from repro.sat.equivalence import (
     check_sequential_equivalence_1step,

@@ -3,7 +3,6 @@
 import pytest
 from hypothesis import given
 
-from repro.circuit.library import enabled_pipeline, fig1_circuit, s27
 from repro.core.brute import brute_force_mc_pairs
 from repro.sat.mc_sat import SatMcDetector, sat_detect_multi_cycle_pairs
 

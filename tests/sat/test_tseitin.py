@@ -7,10 +7,9 @@ from hypothesis import given
 
 from repro.circuit.builder import CircuitBuilder
 from repro.circuit.gates import GateType
-from repro.circuit.library import fig1_circuit
 from repro.circuit.timeframe import expand
 from repro.logic.simulator import evaluate_gate
-from repro.sat.solver import CdclSolver, SolveStatus
+from repro.sat.solver import SolveStatus
 from repro.sat.tseitin import encode_circuit
 
 from tests.strategies import random_combinational_circuit, seeds

@@ -1,6 +1,5 @@
 """Multi-cycle relaxation accounting."""
 
-from repro.circuit.library import enabled_pipeline, fig1_circuit, shift_register
 from repro.core.detector import detect_multi_cycle_pairs
 from repro.sta.constraints import relaxation_report
 

@@ -1,6 +1,5 @@
 """Slack tables and critical-path listings."""
 
-from repro.circuit.library import fig1_circuit
 from repro.circuit.topology import FFPair
 from repro.core.detector import detect_multi_cycle_pairs
 from repro.sta.report import (

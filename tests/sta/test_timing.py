@@ -1,6 +1,5 @@
 """Topological timing: arrival times and FF-to-FF path delays."""
 
-import pytest
 
 from repro.circuit.builder import CircuitBuilder
 from repro.circuit.gates import GateType

@@ -1,14 +1,26 @@
-"""Experiment P1 — pipeline executor: serial vs parallel decision stage.
+"""Experiment P1 — pipeline executor and stage-1 simulation throughput.
 
-Times the full detection pipeline at ``workers=1`` against ``workers=N``
-(N = CPU count, capped at 4) on the selected suite profile, asserts the
-classifications are byte-identical (``pair_records``), and records the
-wall times to ``BENCH_pipeline.json`` next to this file.
+Two measurements per circuit of the selected suite profile, recorded to
+``BENCH_pipeline.json`` next to the repo root:
 
-On one core the parallel run is expected to *lose* (process spawn plus
-expansion pickling with no concurrency to amortise them); the point of
-the record is the crossover on multi-core machines and the invariance
-check that sharding never changes a verdict.
+* **Executor**: the full detection pipeline at ``workers=1`` against
+  ``workers=N`` (N = CPU count, capped at 4), with the classifications
+  asserted byte-identical (``pair_records``).  Below
+  ``parallel_threshold`` surviving pairs the decision stage falls back
+  to in-process serial automatically; the ``auto_serial`` flag records
+  whether that happened, since a fallback run measures dispatch
+  avoidance rather than concurrency.
+* **Stage-1 engine**: sustained random-simulation throughput
+  (``patterns_per_sec``) over a fixed round budget using the shipping
+  engine — compiled plan, reused simulators, round batching — against
+  the pre-optimisation engine (``patterns_per_sec_python_fresh``): the
+  per-node python loop with a fresh simulator every round.  Their ratio
+  (``sim_speedup``) is what the CI regression gate falls back to when
+  the baseline was recorded on different hardware.
+
+Every timed section runs one warmup iteration first and is clocked with
+``time.perf_counter``.  Per-stage wall times come from the structured
+trace (``stage_end`` events), not ad-hoc timers.
 
 ``pytest benchmarks/bench_pipeline.py --benchmark-only`` runs it alone.
 """
@@ -20,9 +32,12 @@ import os
 import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
 from repro.core.detector import DetectorOptions, MultiCycleDetector
+from repro.core.trace import Tracer
+from repro.logic.bitsim import BitSimulator, simulate_three_frames
 
 from conftest import PROFILE, record_report
 from repro.bench_gen.suite import suite
@@ -30,16 +45,74 @@ from repro.bench_gen.suite import suite
 _RESULT_PATH = Path(__file__).parent.parent / "BENCH_pipeline.json"
 #: at least 2 so the sharded path is exercised even on one core.
 _WORKERS = max(2, min(4, os.cpu_count() or 1))
+#: fixed round budget for the sustained stage-1 throughput measurement.
+_SIM_ROUNDS = 128
+_SIM_WORDS = 4
+_ROUND_BATCH = 8
 
 _CIRCUITS = suite(PROFILE)
 _IDS = [c.name for c in _CIRCUITS]
 
 
-def _run(circuit, workers: int):
+def _run(circuit, workers: int, tracer: Tracer | None = None):
     options = DetectorOptions(workers=workers)
     started = time.perf_counter()
-    result = MultiCycleDetector(circuit, options).run()
+    result = MultiCycleDetector(circuit, options, tracer=tracer).run()
     return result, time.perf_counter() - started
+
+
+def _sustained_compiled(circuit) -> float:
+    """Seconds for ``_SIM_ROUNDS`` rounds on the shipping stage-1 engine:
+    compiled plan, width-cached simulators, round batching."""
+    rng = np.random.default_rng(2002)
+    sources = circuit.inputs + circuit.dffs
+    pis = circuit.inputs
+    sims: dict[int, BitSimulator] = {}
+    started = time.perf_counter()
+    done = 0
+    batch = 1
+    while done < _SIM_ROUNDS:
+        k = min(batch, _SIM_ROUNDS - done)
+        width = k * _SIM_WORDS
+        sim = sims.get(width)
+        if sim is None:
+            sim = BitSimulator(circuit, width, plan="compiled")
+            sims[width] = sim
+        if sources:
+            sim.values[sources] = rng.integers(
+                0, 1 << 64, size=(len(sources), width), dtype=np.uint64
+            )
+        sim.comb_eval()
+        sim.clock()
+        sim.state_matrix()
+        if pis:
+            sim.values[pis] = rng.integers(
+                0, 1 << 64, size=(len(pis), width), dtype=np.uint64
+            )
+        sim.comb_eval()
+        sim.clock()
+        sim.state_matrix()
+        done += k
+        batch = min(batch * 2, _ROUND_BATCH)
+    return time.perf_counter() - started
+
+
+def _sustained_python_fresh(circuit) -> float:
+    """Seconds for ``_SIM_ROUNDS`` rounds on the pre-optimisation engine:
+    per-node python loop, fresh simulator every round, no batching."""
+    rng = np.random.default_rng(2002)
+    started = time.perf_counter()
+    for _ in range(_SIM_ROUNDS):
+        sim = BitSimulator(circuit, _SIM_WORDS, plan="python")
+        simulate_three_frames(circuit, rng, _SIM_WORDS, sim=sim)
+    return time.perf_counter() - started
+
+
+def _stage_seconds(tracer: Tracer) -> dict[str, float]:
+    return {
+        record["stage"]: record["seconds"]
+        for record in tracer.select("stage_end")
+    }
 
 
 @pytest.mark.parametrize("circuit", _CIRCUITS, ids=_IDS)
@@ -56,21 +129,49 @@ def test_pipeline_parallel(benchmark, circuit):
     assert result.connected_pairs >= len(result.multi_cycle_pairs)
 
 
+@pytest.mark.parametrize("circuit", _CIRCUITS, ids=_IDS)
+def test_sim_engine_speedup(circuit):
+    """The shipping stage-1 engine must beat the pre-optimisation one."""
+    _sustained_compiled(circuit)  # warmup
+    _sustained_python_fresh(circuit)
+    assert _sustained_python_fresh(circuit) > _sustained_compiled(circuit)
+
+
 def test_pipeline_report(bench_circuits):
-    """Serial vs parallel wall time per circuit, written to JSON."""
+    """Executor + stage-1 throughput per circuit, written to JSON."""
     entries = []
     lines = [
-        "Pipeline executor: serial vs parallel decision stage",
+        "Pipeline executor and stage-1 simulation throughput",
         f"{'circuit':>10}  {'pairs':>6}  {'serial(s)':>10}  "
-        f"{'workers=' + str(_WORKERS) + '(s)':>14}  {'speedup':>8}",
+        f"{'workers=' + str(_WORKERS) + '(s)':>14}  {'speedup':>8}  "
+        f"{'Mpat/s':>8}  {'simx':>6}",
     ]
     for circuit in bench_circuits:
-        serial, serial_seconds = _run(circuit, workers=1)
-        parallel, parallel_seconds = _run(circuit, workers=_WORKERS)
+        _run(circuit, workers=1)  # warmup (plan + expansion caches)
+        serial_tracer = Tracer()
+        serial, serial_seconds = _run(circuit, workers=1, tracer=serial_tracer)
+        parallel_tracer = Tracer()
+        parallel, parallel_seconds = _run(
+            circuit, workers=_WORKERS, tracer=parallel_tracer
+        )
         assert serial.pair_records() == parallel.pair_records(), (
             f"parallel run changed a verdict on {circuit.name}"
         )
+        # True when the workers>1 run never actually sharded: either the
+        # threshold fallback engaged or no pairs reached the decision stage.
+        execs = parallel_tracer.select("decision_exec")
+        auto_serial = not any(e["mode"] == "parallel" for e in execs)
         speedup = serial_seconds / parallel_seconds if parallel_seconds else 0.0
+
+        _sustained_compiled(circuit)  # warmup
+        _sustained_python_fresh(circuit)
+        compiled_seconds = _sustained_compiled(circuit)
+        python_seconds = _sustained_python_fresh(circuit)
+        patterns = _SIM_ROUNDS * 64 * _SIM_WORDS
+        pps = patterns / compiled_seconds if compiled_seconds else 0.0
+        pps_python = patterns / python_seconds if python_seconds else 0.0
+        sim_speedup = pps / pps_python if pps_python else 0.0
+
         entries.append(
             {
                 "circuit": circuit.name,
@@ -79,12 +180,22 @@ def test_pipeline_report(bench_circuits):
                 "serial_seconds": round(serial_seconds, 6),
                 "parallel_seconds": round(parallel_seconds, 6),
                 "speedup": round(speedup, 3),
+                "auto_serial": auto_serial,
+                "stage_seconds": _stage_seconds(serial_tracer),
+                "patterns_per_sec": round(pps),
+                "patterns_per_sec_python_fresh": round(pps_python),
+                "sim_speedup": round(sim_speedup, 3),
             }
         )
         lines.append(
             f"{circuit.name:>10}  {serial.connected_pairs:>6}  "
             f"{serial_seconds:>10.3f}  {parallel_seconds:>14.3f}  "
-            f"{speedup:>8.2f}"
+            f"{speedup:>8.2f}  {pps / 1e6:>8.2f}  {sim_speedup:>6.1f}"
+        )
+        # Acceptance: a workers>1 run must either win or have declined to
+        # shard (auto-serial) — never pay dispatch overhead for a loss.
+        assert speedup >= 0.8 or auto_serial, (
+            f"parallel executor lost without auto-serial on {circuit.name}"
         )
     _RESULT_PATH.write_text(
         json.dumps(
@@ -92,6 +203,9 @@ def test_pipeline_report(bench_circuits):
                 "profile": PROFILE,
                 "workers": _WORKERS,
                 "cpu_count": os.cpu_count(),
+                "sim_rounds": _SIM_ROUNDS,
+                "sim_words": _SIM_WORDS,
+                "round_batch": _ROUND_BATCH,
                 "results": entries,
             },
             indent=2,

@@ -1,0 +1,87 @@
+"""CI gate: fail when stage-1 simulation throughput regresses.
+
+Compares a freshly generated ``BENCH_pipeline.json`` against the
+committed baseline and exits non-zero when any circuit's throughput
+dropped by more than ``--tolerance`` (default 30%).
+
+Raw ``patterns_per_sec`` is only comparable on like-for-like hardware,
+so the metric is chosen per the recorded ``cpu_count``:
+
+* same ``cpu_count`` in baseline and current → compare
+  ``patterns_per_sec`` directly;
+* different hardware → compare ``sim_speedup`` (shipping engine over
+  the pre-optimisation python engine, measured back-to-back on the same
+  machine), which is a hardware-independent ratio.
+
+Usage::
+
+    python check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.30]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+
+def _by_circuit(report: dict) -> dict[str, dict]:
+    return {entry["circuit"]: entry for entry in report.get("results", [])}
+
+
+def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Return one failure message per regressed circuit (empty = pass)."""
+    same_hardware = baseline.get("cpu_count") == current.get("cpu_count")
+    metric = "patterns_per_sec" if same_hardware else "sim_speedup"
+    failures = []
+    current_entries = _by_circuit(current)
+    for name, base in _by_circuit(baseline).items():
+        entry = current_entries.get(name)
+        if entry is None:
+            failures.append(f"{name}: missing from current report")
+            continue
+        reference = base.get(metric)
+        measured = entry.get(metric)
+        if not reference or measured is None:
+            continue  # old-format baseline without the metric: nothing to gate
+        floor = reference * (1.0 - tolerance)
+        if measured < floor:
+            failures.append(
+                f"{name}: {metric} {measured:,.0f} < floor {floor:,.0f} "
+                f"(baseline {reference:,.0f}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("baseline", type=Path, help="committed BENCH_pipeline.json")
+    parser.add_argument("current", type=Path, help="freshly generated report")
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed fractional drop before failing (default: 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = json.loads(args.baseline.read_text())
+    current = json.loads(args.current.read_text())
+    failures = check(baseline, current, args.tolerance)
+    same_hardware = baseline.get("cpu_count") == current.get("cpu_count")
+    metric = "patterns_per_sec" if same_hardware else "sim_speedup"
+    print(
+        f"comparing {metric} "
+        f"(cpu_count baseline={baseline.get('cpu_count')} "
+        f"current={current.get('cpu_count')}, tolerance {args.tolerance:.0%})"
+    )
+    for failure in failures:
+        print(f"REGRESSION {failure}", file=sys.stderr)
+    if not failures:
+        print("benchmark smoke: no regression")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

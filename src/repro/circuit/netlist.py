@@ -16,8 +16,9 @@ Terminology used across the library:
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Sequence
+from typing import Callable, Iterable, Iterator, Sequence, TypeVar
 
 from repro.circuit.gates import (
     COMBINATIONAL_TYPES,
@@ -29,6 +30,26 @@ from repro.circuit.gates import (
 
 class CircuitError(ValueError):
     """Raised for structurally invalid netlists or malformed queries."""
+
+
+_T = TypeVar("_T")
+
+# ----------------------------------------------------------------------
+# Derived-structure cache.
+#
+# Several layers build expensive read-only structures from a circuit (the
+# compiled simulation plan, time-frame expansions, ...).  The cache below
+# is keyed by circuit identity, invalidated through the structural
+# ``version`` counter and kept *outside* the instance so that pickling a
+# circuit (e.g. shipping it to a worker process) never drags derived
+# blobs along.  Entries die with the circuit (weakref finalizer).
+# ----------------------------------------------------------------------
+_DERIVED_CACHE: dict[int, tuple[int, dict[str, object]]] = {}
+
+
+def clear_derived_caches() -> None:
+    """Drop every cached derived structure (mainly for tests)."""
+    _DERIVED_CACHE.clear()
 
 
 @dataclass(frozen=True)
@@ -160,6 +181,25 @@ class Circuit:
     def is_source(self, node_id: int) -> bool:
         """True for PI / DFF output / constant nodes."""
         return self.types[node_id] in SOURCE_TYPES
+
+    def derived(self, key: str, build: Callable[["Circuit"], _T]) -> _T:
+        """Version-checked cache for derived read-only structures.
+
+        ``build(self)`` runs at most once per ``(circuit, key)`` until the
+        netlist is mutated, after which the whole entry is rebuilt.  The
+        returned object must be treated as immutable by every caller —
+        the same instance is shared.
+        """
+        ident = id(self)
+        entry = _DERIVED_CACHE.get(ident)
+        if entry is None or entry[0] != self._version:
+            entry = (self._version, {})
+            _DERIVED_CACHE[ident] = entry
+            weakref.finalize(self, _DERIVED_CACHE.pop, ident, None)
+        cache = entry[1]
+        if key not in cache:
+            cache[key] = build(self)
+        return cache[key]  # type: ignore[return-value]
 
     def next_state_node(self, dff_id: int) -> int:
         """The node driving the D input of flip-flop ``dff_id``."""

@@ -47,7 +47,11 @@ def _detector_options(args: argparse.Namespace) -> DetectorOptions:
         scoap_guidance=args.scoap,
         sim_seed=args.seed,
         sim_words=args.sim_words,
+        sim_plan=args.sim_plan,
+        sim_round_batch=args.sim_round_batch,
         workers=args.workers,
+        parallel_threshold=args.parallel_threshold,
+        chunk_pairs=args.chunk_pairs,
     )
 
 
@@ -80,9 +84,25 @@ def _add_detector_args(parser: argparse.ArgumentParser) -> None:
                         help="random-simulation seed (default: 2002)")
     parser.add_argument("--sim-words", type=int, default=4,
                         help="64-bit words per simulation round (default: 4)")
+    parser.add_argument("--sim-plan", default="compiled",
+                        choices=("compiled", "python"),
+                        help="random-simulation evaluator: compiled "
+                             "levelized plan (default) or the per-node "
+                             "python reference loop (bit-identical)")
+    parser.add_argument("--sim-round-batch", type=int, default=8,
+                        help="max simulation rounds packed into one wide "
+                             "pass (default: 8; 1 disables batching, "
+                             "results are identical)")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for the decision stage "
                              "(default: 1 = serial)")
+    parser.add_argument("--parallel-threshold", type=int, default=128,
+                        help="fall back to serial when fewer surviving "
+                             "pairs than this reach the decision stage "
+                             "(default: 128)")
+    parser.add_argument("--chunk-pairs", type=int, default=0,
+                        help="pairs per chunk dispatched to the worker "
+                             "pool (default: 0 = automatic)")
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="write per-stage/per-pair JSONL trace events "
                              "to FILE")
@@ -185,8 +205,12 @@ def cmd_kcycle(args: argparse.Namespace) -> int:
             result = KCycleDetector(
                 circuit, k, backtrack_limit=args.backtrack_limit,
                 sim_words=args.sim_words, sim_seed=args.seed,
+                sim_plan=args.sim_plan,
+                sim_round_batch=args.sim_round_batch,
                 include_self_loops=not args.no_self_loops,
-                workers=args.workers, tracer=tracer,
+                workers=args.workers,
+                parallel_threshold=args.parallel_threshold,
+                chunk_pairs=args.chunk_pairs, tracer=tracer,
             ).run()
             print(f"k={k}: {len(result.k_cycle_pairs)} of "
                   f"{result.connected_pairs} pairs are {k}-cycle "

@@ -209,8 +209,12 @@ class KCycleDetector:
         sim_words: int = 4,
         sim_max_rounds: int = 256,
         sim_seed: int = 2002,
+        sim_plan: str = "compiled",
+        sim_round_batch: int = 8,
         include_self_loops: bool = True,
         workers: int = 1,
+        parallel_threshold: int = 128,
+        chunk_pairs: int = 0,
         tracer: Tracer | None = None,
         progress: ProgressFn | None = None,
     ) -> None:
@@ -223,8 +227,12 @@ class KCycleDetector:
         self.sim_words = sim_words
         self.sim_max_rounds = sim_max_rounds
         self.sim_seed = sim_seed
+        self.sim_plan = sim_plan
+        self.sim_round_batch = sim_round_batch
         self.include_self_loops = include_self_loops
         self.workers = workers
+        self.parallel_threshold = parallel_threshold
+        self.chunk_pairs = chunk_pairs
         self.tracer = tracer
         self.progress = progress
 
@@ -242,9 +250,13 @@ class KCycleDetector:
             sim_words=self.sim_words,
             sim_max_rounds=self.sim_max_rounds,
             sim_seed=self.sim_seed,
+            sim_plan=self.sim_plan,
+            sim_round_batch=self.sim_round_batch,
             backtrack_limit=self.backtrack_limit,
             include_self_loops=self.include_self_loops,
             workers=self.workers,
+            parallel_threshold=self.parallel_threshold,
+            chunk_pairs=self.chunk_pairs,
         )
         ctx = AnalysisContext(
             self.circuit, options, tracer=self.tracer, progress=self.progress

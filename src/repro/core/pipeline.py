@@ -7,9 +7,11 @@ over an :class:`AnalysisContext`, so that
 
 * the decision procedure is pluggable (:mod:`repro.core.deciders` —
   implication/ATPG, SAT, BDD, or a cross-checking pair of engines),
-* surviving pairs can be sharded across ``workers`` processes, each
-  worker rebuilding its engines from the shared time-frame expansion,
-  with results merged deterministically (byte-identical to serial),
+* surviving pairs can be sharded across a persistent pool of ``workers``
+  processes whose initializer prepares each worker's engines exactly
+  once from the shared time-frame expansion; small deterministic chunks
+  keep workers busy, results merge byte-identical to serial, and tiny
+  pair lists fall back to in-process serial automatically,
 * every stage boundary and every analyzed pair emits a structured
   trace event (:mod:`repro.core.trace`) instead of ad-hoc timing code.
 
@@ -30,6 +32,7 @@ from repro.circuit.timeframe import TimeFrameExpansion, expand_cached
 from repro.circuit.topology import FFPair, connected_ff_pairs
 from repro.core.deciders import PairDecider, create_decider
 from repro.core.random_filter import random_filter, random_filter_k
+from repro.logic.bitsim import BitSimulator
 from repro.core.result import (
     Classification,
     DetectionResult,
@@ -67,6 +70,19 @@ class DetectorOptions:
     scoap_guidance: bool = False
     #: worker processes for the decision stage (1 = in-process serial).
     workers: int = 1
+    #: simulation evaluator: "compiled" (levelized batched plan, default)
+    #: or "python" (the reference per-node loop).  Both are bit-identical.
+    sim_plan: str = "compiled"
+    #: max logical rounds packed into one wide simulation pass (the word
+    #: axis); results are identical for every value, 1 disables batching.
+    sim_round_batch: int = 8
+    #: minimum surviving pairs before the decision stage actually shards;
+    #: below it a ``workers > 1`` run falls back to in-process serial,
+    #: because pool/dispatch overhead would dominate.
+    parallel_threshold: int = 128
+    #: pairs per chunk dispatched to the worker pool (0 = automatic:
+    #: enough chunks to keep every worker busy several times over).
+    chunk_pairs: int = 0
 
 
 @dataclass
@@ -88,6 +104,12 @@ class AnalysisContext:
     _adopted: dict[int, TimeFrameExpansion] = field(
         default_factory=dict, repr=False
     )
+    #: cached bit simulators keyed by (words, plan mode, circuit version).
+    _simulators: dict[tuple, BitSimulator] = field(
+        default_factory=dict, repr=False
+    )
+    #: persistent decision-worker pool (created lazily, closed with the run).
+    _pool: "DecisionWorkerPool | None" = field(default=None, repr=False)
 
     def expansion(self, frames: int = 2) -> TimeFrameExpansion:
         """The shared ``frames``-frame expansion of the circuit (cached)."""
@@ -99,6 +121,56 @@ class AnalysisContext:
     def adopt_expansion(self, expansion: TimeFrameExpansion) -> None:
         """Install an expansion computed elsewhere (worker processes)."""
         self._adopted[expansion.frames] = expansion
+
+    def bit_simulator(self, words: int | None = None) -> BitSimulator:
+        """A reusable :class:`BitSimulator` for this context.
+
+        The simulator (buffers included) is cached, so every random-filter
+        round and every stage asking for the same word width shares one
+        instance; the compiled plan behind it is additionally cached on
+        the circuit itself.
+        """
+        if words is None:
+            words = self.options.sim_words
+        key = (words, self.options.sim_plan, self.circuit.version)
+        sim = self._simulators.get(key)
+        if sim is None:
+            sim = BitSimulator(self.circuit, words, plan=self.options.sim_plan)
+            self._simulators[key] = sim
+        return sim
+
+    def decision_pool(
+        self, decider: PairDecider, expansion: TimeFrameExpansion
+    ) -> "DecisionWorkerPool":
+        """The run's persistent worker pool, created on first use.
+
+        Workers build their :class:`AnalysisContext` and prepare the
+        decider once, in the pool initializer; subsequent chunks only
+        ship pair lists.  Asking for a different decider/expansion/worker
+        count replaces the pool.
+        """
+        workers = max(1, self.options.workers)
+        key = (
+            id(self.circuit),
+            self.circuit.version,
+            decider.name,
+            expansion.frames,
+            workers,
+        )
+        if self._pool is not None and self._pool.key != key:
+            self._pool.shutdown()
+            self._pool = None
+        if self._pool is None:
+            self._pool = DecisionWorkerPool(
+                self.circuit, self.options, decider, expansion, workers, key
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Release run-scoped resources (the worker pool, if any)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
 
     def emit(self, event: str, **fields) -> None:
         """Forward one trace event to the tracer, if any."""
@@ -189,6 +261,7 @@ class RandomFilterStage:
         if not options.use_random_sim or not state.pairs:
             return
         started = ctx.clock()
+        sim = ctx.bit_simulator(options.sim_words)
         if self.frames == 2:
             report = random_filter(
                 ctx.circuit,
@@ -196,6 +269,8 @@ class RandomFilterStage:
                 words=options.sim_words,
                 max_rounds=options.sim_max_rounds,
                 seed=options.sim_seed,
+                sim=sim,
+                round_batch=options.sim_round_batch,
             )
         else:
             report = random_filter_k(
@@ -205,7 +280,21 @@ class RandomFilterStage:
                 words=options.sim_words,
                 max_rounds=options.sim_max_rounds,
                 seed=options.sim_seed,
+                sim=sim,
+                round_batch=options.sim_round_batch,
             )
+        seconds = ctx.clock() - started
+        ctx.emit(
+            "random_sim",
+            plan=options.sim_plan,
+            round_batch=options.sim_round_batch,
+            frames=self.frames,
+            rounds=report.rounds,
+            patterns=report.patterns,
+            dropped=report.dropped,
+            seconds=round(seconds, 6),
+            patterns_per_sec=round(report.patterns / seconds) if seconds else 0,
+        )
         stats = state.stats[Stage.SIMULATION]
         for pair in report.dropped_pairs:
             result = PairResult(pair, Classification.SINGLE_CYCLE, Stage.SIMULATION)
@@ -213,7 +302,7 @@ class RandomFilterStage:
             stats.single_cycle += 1
             _emit_pair(ctx, state, result, 0.0, engine=None)
         state.pairs = report.survivors
-        stats.cpu_seconds += ctx.clock() - started
+        stats.cpu_seconds += seconds
 
 
 def _split_chunks(pairs: Sequence[FFPair], workers: int) -> list[list[FFPair]]:
@@ -230,29 +319,94 @@ def _split_chunks(pairs: Sequence[FFPair], workers: int) -> list[list[FFPair]]:
     return chunks
 
 
-def _decide_chunk(payload):
-    """Worker entry point: rebuild the decider, settle one shard.
+def _chunk_pairs(pairs: Sequence[FFPair], size: int) -> list[list[FFPair]]:
+    """Contiguous chunks of at most ``size`` pairs, in input order."""
+    size = max(1, size)
+    return [list(pairs[start:start + size]) for start in range(0, len(pairs), size)]
 
-    Runs in a separate process.  The decider arrives unprepared; it
-    rebuilds its engines (implication engine, SAT encoding, BDDs) from
-    the shared expansion shipped in the payload.  Returns per-pair
-    results with wall seconds, plus the worker's learned-implication
-    count and any cross-check disagreements.
+
+def _auto_chunk_size(num_pairs: int, workers: int) -> int:
+    """Default chunk size: ~4 chunks per worker, capped for low latency.
+
+    Small enough that a slow chunk cannot idle the other workers for
+    long, large enough that dispatch overhead stays negligible.
     """
-    circuit, options, decider, expansion, pairs = payload
+    return max(1, min(64, -(-num_pairs // (workers * 4))))
+
+
+#: per-worker-process decider, built once by :func:`_init_decision_worker`.
+_WORKER_DECIDER: PairDecider | None = None
+
+
+def _init_decision_worker(circuit, options, decider, expansion) -> None:
+    """Pool initializer: build this worker's context and decider *once*.
+
+    Runs in each worker process when the persistent pool spins it up.
+    The decider arrives unprepared; it rebuilds its engines (implication
+    engine, SAT encoding, BDDs) from the shared expansion.  Every chunk
+    dispatched afterwards reuses the prepared decider, so per-chunk cost
+    is just the pair list pickle plus the decisions themselves.
+    """
+    global _WORKER_DECIDER
     ctx = AnalysisContext(circuit, options)
     ctx.adopt_expansion(expansion)
     decider.prepare(ctx)
+    _WORKER_DECIDER = decider
+
+
+def _decide_pairs(pairs: Sequence[FFPair]):
+    """Worker entry point: settle one chunk on the prepared decider.
+
+    Returns per-pair results with wall seconds, the worker's cumulative
+    learned-implication count, and the disagreements *new to this chunk*
+    (the decider persists across chunks, so the delta keeps the merged
+    list byte-identical to a serial run).
+    """
+    decider = _WORKER_DECIDER
+    flags_before = len(getattr(decider, "disagreements", ()))
     decided: list[tuple[PairResult, float]] = []
     for pair in pairs:
         started = time.perf_counter()
         result = decider.decide(pair)
         decided.append((result, time.perf_counter() - started))
-    return (
-        decided,
-        getattr(decider, "learned_implications", 0),
-        list(getattr(decider, "disagreements", [])),
-    )
+    flags = list(getattr(decider, "disagreements", ()))[flags_before:]
+    return decided, getattr(decider, "learned_implications", 0), flags
+
+
+class DecisionWorkerPool:
+    """Persistent process pool for the decision stage.
+
+    Created once per pipeline run (lazily, by
+    :meth:`AnalysisContext.decision_pool`); the initializer ships the
+    circuit, options, unprepared decider and shared expansion to every
+    worker exactly once.  Chunk dispatches afterwards carry only pair
+    lists, and :meth:`map_chunks` preserves submission order, which keeps
+    the merged results byte-identical to serial.
+    """
+
+    def __init__(
+        self,
+        circuit: Circuit,
+        options: DetectorOptions,
+        decider: PairDecider,
+        expansion: TimeFrameExpansion,
+        workers: int,
+        key: tuple,
+    ) -> None:
+        self.key = key
+        self.workers = workers
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_init_decision_worker,
+            initargs=(circuit, replace(options, workers=1), decider, expansion),
+        )
+
+    def map_chunks(self, chunks: Sequence[Sequence[FFPair]]):
+        """Run every chunk, yielding results in submission order."""
+        return self._pool.map(_decide_pairs, chunks)
+
+    def shutdown(self) -> None:
+        self._pool.shutdown()
 
 
 class DecisionStage:
@@ -288,7 +442,17 @@ class DecisionStage:
             state.pairs = []
             return
 
-        if workers > 1 and len(pairs) > 1:
+        threshold = max(2, ctx.options.parallel_threshold)
+        go_parallel = workers > 1 and len(pairs) >= threshold
+        if workers > 1:
+            ctx.emit(
+                "decision_exec",
+                mode="parallel" if go_parallel else "serial-fallback",
+                workers=workers,
+                pairs=len(pairs),
+                threshold=threshold,
+            )
+        if go_parallel:
             decided, learned, disagreements = self._run_parallel(
                 ctx, decider, pairs, workers
             )
@@ -336,22 +500,16 @@ class DecisionStage:
         workers: int,
     ):
         expansion = ctx.expansion(getattr(decider, "frames", 2))
-        worker_options = replace(ctx.options, workers=1)
-        chunks = _split_chunks(pairs, workers)
-        payloads = [
-            (ctx.circuit, worker_options, decider, expansion, chunk)
-            for chunk in chunks
-        ]
+        pool = ctx.decision_pool(decider, expansion)
+        size = ctx.options.chunk_pairs or _auto_chunk_size(len(pairs), workers)
+        chunks = _chunk_pairs(pairs, size)
         decided: list[tuple[PairResult, float]] = []
         learned = 0
         disagreements: list[Disagreement] = []
-        with ProcessPoolExecutor(max_workers=len(chunks)) as pool:
-            for chunk_decided, chunk_learned, chunk_flags in pool.map(
-                _decide_chunk, payloads
-            ):
-                decided.extend(chunk_decided)
-                learned = max(learned, chunk_learned)
-                disagreements.extend(chunk_flags)
+        for chunk_decided, chunk_learned, chunk_flags in pool.map_chunks(chunks):
+            decided.extend(chunk_decided)
+            learned = max(learned, chunk_learned)
+            disagreements.extend(chunk_flags)
         return decided, learned, disagreements
 
 
@@ -371,19 +529,23 @@ class Pipeline:
             workers=ctx.options.workers,
             stages=[stage.name for stage in self.stages],
         )
-        for stage in self.stages:
-            stage_started = ctx.clock()
-            pairs_in = len(state.pairs)
-            ctx.emit("stage_start", stage=stage.name, pairs_in=pairs_in)
-            stage.run(ctx, state)
-            ctx.emit(
-                "stage_end",
-                stage=stage.name,
-                pairs_in=pairs_in,
-                pairs_out=len(state.pairs),
-                results=len(state.results),
-                seconds=round(ctx.clock() - stage_started, 6),
-            )
+        try:
+            for stage in self.stages:
+                stage_started = ctx.clock()
+                pairs_in = len(state.pairs)
+                ctx.emit("stage_start", stage=stage.name, pairs_in=pairs_in)
+                stage.run(ctx, state)
+                ctx.emit(
+                    "stage_end",
+                    stage=stage.name,
+                    pairs_in=pairs_in,
+                    pairs_out=len(state.pairs),
+                    results=len(state.results),
+                    seconds=round(ctx.clock() - stage_started, 6),
+                )
+        finally:
+            # The persistent worker pool is scoped to one run.
+            ctx.close()
         state.results.sort(key=lambda r: (r.pair.source, r.pair.sink))
         result = DetectionResult(
             circuit=ctx.circuit,

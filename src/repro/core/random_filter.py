@@ -15,6 +15,24 @@ numpy over every remaining pair at once.
 Following the paper, simulation continues until no pair has been dropped
 for a full round of at least 32 consecutive patterns (a whole word-batch
 here), with a hard round cap as a safety net.
+
+Execution strategy
+------------------
+The filter is built for throughput, not just correctness:
+
+* one :class:`~repro.logic.bitsim.BitSimulator` per word width is reused
+  across every round (buffers included) — nothing is reallocated per
+  round, and the compiled simulation plan behind it is cached on the
+  circuit itself;
+* logical rounds are evaluated in *super-rounds* of up to
+  ``round_batch`` rounds packed side by side along the word axis.  At
+  the small-array sizes involved, a numpy kernel over ``k * words``
+  words costs nearly the same as over ``words`` words, so a super-round
+  is almost ``k`` rounds for the price of one.  Random words are drawn
+  per logical round in exactly the order the round-by-round loop used,
+  and the drop/stop logic is replayed round by round on word slices, so
+  the dropped-pair sets, round counts and pattern counts are identical
+  to the unbatched execution (``round_batch=1``).
 """
 
 from __future__ import annotations
@@ -25,7 +43,11 @@ import numpy as np
 
 from repro.circuit.netlist import Circuit
 from repro.circuit.topology import FFPair
-from repro.logic.bitsim import simulate_frames, simulate_three_frames
+from repro.logic.bitsim import BitSimulator
+
+#: default cap for rounds evaluated per super-round; the batch grows
+#: 1, 2, 4, ... toward it so early-exiting runs waste little work.
+ROUND_BATCH = 8
 
 
 @dataclass
@@ -48,20 +70,26 @@ class RandomFilterReport:
         return len(self.dropped_pairs)
 
 
-def random_filter(
+def _filter_core(
     circuit: Circuit,
     pairs: list[FFPair],
-    words: int = 4,
-    max_rounds: int = 256,
-    seed: int = 2002,
+    frames: int,
+    words: int,
+    max_rounds: int,
+    seed: int,
+    sim: BitSimulator | None,
+    plan: str,
+    round_batch: int,
 ) -> RandomFilterReport:
-    """Drop pairs whose MC condition is refuted by random simulation.
+    """Shared engine of :func:`random_filter` and :func:`random_filter_k`.
 
-    Dropped pairs are guaranteed single-cycle (each had an explicit
-    simulated counterexample); survivors go on to implication/ATPG.
+    ``frames`` is the number of clock cycles simulated per round; the
+    source must toggle across the first edge and the sink change across
+    any later edge for a pair to be dropped.
     """
     if not pairs:
         return RandomFilterReport([], [], 0, 0)
+    round_batch = max(1, round_batch)
 
     rng = np.random.default_rng(seed)
     dff_index = {dff: k for k, dff in enumerate(circuit.dffs)}
@@ -69,23 +97,89 @@ def random_filter(
     sink_rows = np.array([dff_index[p.sink] for p in pairs])
     alive = np.ones(len(pairs), dtype=bool)
 
+    # One simulator per super-round width, reused across the whole run.
+    sims: dict[int, BitSimulator] = {}
+    if sim is not None:
+        if sim.circuit is not circuit or sim.words != words:
+            raise ValueError(
+                "sim was built for a different circuit or word width"
+            )
+        sims[words] = sim
+        plan_arg: object = sim.plan if sim.plan is not None else "python"
+    else:
+        plan_arg = plan
+
+    sources = circuit.inputs + circuit.dffs
+    pis = circuit.inputs
+
     rounds = 0
     patterns = 0
-    while rounds < max_rounds and alive.any():
-        rounds += 1
-        patterns += 64 * words
-        s0, s1, s2 = simulate_three_frames(circuit, rng, words)
-        source_toggles = s0 ^ s1
-        sink_toggles = s1 ^ s2
-        live_idx = np.flatnonzero(alive)
-        hits = (
-            source_toggles[source_rows[live_idx]] & sink_toggles[sink_rows[live_idx]]
-        ).any(axis=1)
-        if hits.any():
-            alive[live_idx[hits]] = False
-        else:
-            # No pair dropped during >= 32 consecutive patterns: stop.
-            break
+    batch = 1
+    quiet = False
+    while rounds < max_rounds and alive.any() and not quiet:
+        k = min(batch, max_rounds - rounds)
+        width = k * words
+        wide = sims.get(width)
+        if wide is None:
+            wide = BitSimulator(circuit, width, plan=plan_arg)
+            sims[width] = wide
+
+        # Draw per logical round, in the exact order the round-by-round
+        # loop consumed the stream: sources first, then one PI refresh
+        # per later frame.  This keeps results independent of batching.
+        source_words = (
+            np.empty((len(sources), width), dtype=np.uint64) if sources else None
+        )
+        pi_words = [
+            np.empty((len(pis), width), dtype=np.uint64)
+            for _ in range(frames - 1)
+        ] if pis else []
+        for r in range(k):
+            window = slice(r * words, (r + 1) * words)
+            if sources:
+                source_words[:, window] = rng.integers(
+                    0, 1 << 64, size=(len(sources), words), dtype=np.uint64
+                )
+            for refresh in pi_words:
+                refresh[:, window] = rng.integers(
+                    0, 1 << 64, size=(len(pis), words), dtype=np.uint64
+                )
+
+        # One wide pass simulates every round of the super-round at once.
+        if sources:
+            wide.values[sources] = source_words
+        states = [wide.state_matrix()]
+        for frame in range(frames):
+            if frame > 0 and pis:
+                wide.values[pis] = pi_words[frame - 1]
+            wide.comb_eval()
+            wide.clock()
+            states.append(wide.state_matrix())
+
+        source_toggles = states[0] ^ states[1]
+        sink_changes = states[1] ^ states[2]
+        for m in range(2, frames):
+            sink_changes = sink_changes | (states[m] ^ states[m + 1])
+
+        # Replay the per-round drop/stop logic on word slices.
+        for r in range(k):
+            if not alive.any():
+                break
+            rounds += 1
+            patterns += 64 * words
+            window = slice(r * words, (r + 1) * words)
+            live_idx = np.flatnonzero(alive)
+            hits = (
+                source_toggles[source_rows[live_idx], window]
+                & sink_changes[sink_rows[live_idx], window]
+            ).any(axis=1)
+            if hits.any():
+                alive[live_idx[hits]] = False
+            else:
+                # No pair dropped during >= 32 consecutive patterns: stop.
+                quiet = True
+                break
+        batch = min(batch * 2, round_batch)
 
     survivors = [p for p, live in zip(pairs, alive) if live]
     dropped_pairs = [p for p, live in zip(pairs, alive) if not live]
@@ -97,6 +191,29 @@ def random_filter(
     )
 
 
+def random_filter(
+    circuit: Circuit,
+    pairs: list[FFPair],
+    words: int = 4,
+    max_rounds: int = 256,
+    seed: int = 2002,
+    sim: BitSimulator | None = None,
+    plan: str = "compiled",
+    round_batch: int = ROUND_BATCH,
+) -> RandomFilterReport:
+    """Drop pairs whose MC condition is refuted by random simulation.
+
+    Dropped pairs are guaranteed single-cycle (each had an explicit
+    simulated counterexample); survivors go on to implication/ATPG.
+    ``sim`` optionally supplies a caller-held simulator of width
+    ``words`` to reuse (its evaluation plan is adopted for any wider
+    super-round simulators the run creates).
+    """
+    return _filter_core(
+        circuit, pairs, 2, words, max_rounds, seed, sim, plan, round_batch
+    )
+
+
 def random_filter_k(
     circuit: Circuit,
     pairs: list[FFPair],
@@ -104,6 +221,9 @@ def random_filter_k(
     words: int = 4,
     max_rounds: int = 256,
     seed: int = 2002,
+    sim: BitSimulator | None = None,
+    plan: str = "compiled",
+    round_batch: int = ROUND_BATCH,
 ) -> RandomFilterReport:
     """k-cycle variant of :func:`random_filter`.
 
@@ -114,40 +234,6 @@ def random_filter_k(
     """
     if k < 2:
         raise ValueError("k must be >= 2")
-    if not pairs:
-        return RandomFilterReport([], [], 0, 0)
-
-    rng = np.random.default_rng(seed)
-    dff_index = {dff: i for i, dff in enumerate(circuit.dffs)}
-    source_rows = np.array([dff_index[p.source] for p in pairs])
-    sink_rows = np.array([dff_index[p.sink] for p in pairs])
-    alive = np.ones(len(pairs), dtype=bool)
-
-    rounds = 0
-    patterns = 0
-    while rounds < max_rounds and alive.any():
-        rounds += 1
-        patterns += 64 * words
-        states = simulate_frames(circuit, rng, frames=k, words=words)
-        source_toggles = states[0] ^ states[1]
-        sink_changes = states[1] ^ states[2]
-        for m in range(2, k):
-            sink_changes = sink_changes | (states[m] ^ states[m + 1])
-        live_idx = np.flatnonzero(alive)
-        hits = (
-            source_toggles[source_rows[live_idx]]
-            & sink_changes[sink_rows[live_idx]]
-        ).any(axis=1)
-        if hits.any():
-            alive[live_idx[hits]] = False
-        else:
-            break
-
-    survivors = [p for p, live in zip(pairs, alive) if live]
-    dropped_pairs = [p for p, live in zip(pairs, alive) if not live]
-    return RandomFilterReport(
-        survivors=survivors,
-        dropped_pairs=dropped_pairs,
-        rounds=rounds,
-        patterns=patterns,
+    return _filter_core(
+        circuit, pairs, k, words, max_rounds, seed, sim, plan, round_batch
     )

@@ -1,1 +1,7 @@
-"""Subpackage repro.logic."""
+"""Subpackage repro.logic.
+
+Importing the simulators here would recreate a circular import
+(``repro.circuit.gates`` pulls ``repro.logic.values``), so the heavy
+modules — :mod:`repro.logic.bitsim`, :mod:`repro.logic.simplan`,
+:mod:`repro.logic.simulator` — are imported directly by their users.
+"""

@@ -5,6 +5,19 @@ are packed into ``uint64`` words, one word batch simulates 64 independent
 patterns at once, and the MC-condition check per FF pair becomes three
 bitwise operations.  With a word-batch width ``W`` the simulator evaluates
 ``64 * W`` patterns per pass over the netlist.
+
+Two evaluation strategies share one simulator:
+
+* ``plan="compiled"`` (default) — the levelized, gate-type-batched
+  :class:`~repro.logic.simplan.SimPlan`; a few whole-array kernels per
+  level, no per-gate Python.  Plans are cached on the circuit, so every
+  simulator of the same netlist shares one.
+* ``plan="python"`` — the original per-node loop, kept as the reference
+  implementation the compiled plan is property-tested against.
+
+Both produce bit-identical values.  Simulators are designed to be
+*reused*: :func:`simulate_frames` accepts a caller-held simulator and
+refreshes its sources in place instead of reallocating buffers per round.
 """
 
 from __future__ import annotations
@@ -13,31 +26,72 @@ import numpy as np
 
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit
+from repro.logic.simplan import SimPlan, compiled_plan
 
 _ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: accepted ``plan`` arguments besides a :class:`SimPlan` instance.
+PLAN_MODES = ("compiled", "python")
 
 
 class BitSimulator:
     """Evaluate the combinational part over packed 64-bit pattern words.
 
     ``values`` has shape ``(num_nodes, words)``; bit ``b`` of word ``w``
-    of row ``n`` is node ``n``'s value in pattern ``64*w + b``.
+    of row ``n`` is node ``n``'s value in pattern ``64*w + b``.  It is a
+    view into a slightly larger internal buffer whose two extra rows hold
+    the compiled plan's padding identities; assigning to ``values``
+    copies into the buffer, so plan evaluation keeps working after
+    wholesale replacement.
     """
 
-    def __init__(self, circuit: Circuit, words: int = 4) -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        words: int = 4,
+        plan: SimPlan | str = "compiled",
+    ) -> None:
         if words < 1:
             raise ValueError("words must be >= 1")
         self.circuit = circuit
         self.words = words
+        if isinstance(plan, SimPlan):
+            self.plan: SimPlan | None = plan
+        elif plan == "compiled":
+            self.plan = compiled_plan(circuit)
+        elif plan == "python":
+            self.plan = None
+        else:
+            raise ValueError(
+                f"unknown plan {plan!r}; expected a SimPlan or one of "
+                f"{PLAN_MODES}"
+            )
+        if self.plan is not None and self.plan.num_nodes != circuit.num_nodes:
+            raise ValueError("plan was compiled for a different circuit")
         self._order = [
             n
             for n in circuit.topo_order()
             if circuit.types[n]
             not in (GateType.INPUT, GateType.DFF, GateType.CONST0, GateType.CONST1)
-        ]
-        self.values = np.zeros((circuit.num_nodes, words), dtype=np.uint64)
+        ] if self.plan is None else []
+        self._buf = np.zeros((circuit.num_nodes + 2, words), dtype=np.uint64)
+        self._buf[circuit.num_nodes + 1] = _ALL_ONES
         for node_id in circuit.ids_of_type(GateType.CONST1):
-            self.values[node_id] = _ALL_ONES
+            self._buf[node_id] = _ALL_ONES
+
+    @property
+    def values(self) -> np.ndarray:
+        """Per-node pattern words, shape ``(num_nodes, words)`` (a view)."""
+        return self._buf[: self.circuit.num_nodes]
+
+    @values.setter
+    def values(self, matrix: np.ndarray) -> None:
+        expected = (self.circuit.num_nodes, self.words)
+        if tuple(matrix.shape) != expected:
+            raise ValueError(
+                f"values must have shape {expected}, got {tuple(matrix.shape)}"
+            )
+        self._buf[: self.circuit.num_nodes] = matrix
 
     def randomize_sources(self, rng: np.random.Generator) -> None:
         """Fill every PI and DFF output with fresh random pattern words."""
@@ -54,6 +108,13 @@ class BitSimulator:
 
     def comb_eval(self) -> None:
         """Evaluate all combinational nodes in topological order."""
+        if self.plan is not None:
+            self.plan.run(self._buf)
+        else:
+            self._comb_eval_python()
+
+    def _comb_eval_python(self) -> None:
+        """Reference per-node evaluation loop (the pre-plan implementation)."""
         values = self.values
         types = self.circuit.types
         fanins = self.circuit.fanins
@@ -103,15 +164,26 @@ class BitSimulator:
 
 
 def simulate_frames(
-    circuit: Circuit, rng: np.random.Generator, frames: int, words: int = 4
+    circuit: Circuit,
+    rng: np.random.Generator,
+    frames: int,
+    words: int = 4,
+    sim: BitSimulator | None = None,
 ) -> list[np.ndarray]:
     """Simulate ``frames`` clock cycles from random state/input patterns.
 
     Returns the DFF pattern matrices at times ``t`` through ``t+frames``
     (``frames + 1`` matrices).  Fresh random primary inputs are applied in
-    every cycle.
+    every cycle.  Passing a caller-held ``sim`` (of the same circuit and
+    word width) reuses its buffers: sources are refreshed in place and no
+    arrays are reallocated, which is what lets the random filter run
+    thousands of rounds without rebuilding the simulator.  The RNG stream
+    consumed is identical either way, so results do not depend on reuse.
     """
-    sim = BitSimulator(circuit, words)
+    if sim is None:
+        sim = BitSimulator(circuit, words)
+    elif sim.circuit is not circuit or sim.words != words:
+        raise ValueError("sim was built for a different circuit or word width")
     sim.randomize_sources(rng)
     states = [sim.state_matrix()]
     pis = circuit.inputs
@@ -127,7 +199,10 @@ def simulate_frames(
 
 
 def simulate_three_frames(
-    circuit: Circuit, rng: np.random.Generator, words: int = 4
+    circuit: Circuit,
+    rng: np.random.Generator,
+    words: int = 4,
+    sim: BitSimulator | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Simulate two clock cycles from random state/input patterns.
 
@@ -135,5 +210,5 @@ def simulate_three_frames(
     ``t+1`` and ``t+2``, exactly the quantities the MC-condition filter of
     Section 4.3 needs.
     """
-    s0, s1, s2 = simulate_frames(circuit, rng, frames=2, words=words)
+    s0, s1, s2 = simulate_frames(circuit, rng, frames=2, words=words, sim=sim)
     return s0, s1, s2

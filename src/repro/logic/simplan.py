@@ -1,0 +1,221 @@
+"""Compiled levelized simulation plans for the bit-parallel simulator.
+
+The per-node evaluation loop of :class:`~repro.logic.bitsim.BitSimulator`
+costs one Python dispatch plus several small numpy calls *per gate per
+round*, so stage 1 of the paper's flow scales with interpreter overhead
+rather than with the hardware.  A :class:`SimPlan` lowers a circuit once
+into level-ordered, gate-type-batched index arrays; evaluating a round is
+then a handful of whole-array ``np.bitwise_*.reduce`` kernels per level —
+no per-gate Python at all.
+
+Plan layout
+-----------
+* Nodes are grouped by combinational level (sources at level 0 are never
+  evaluated), and within each level by gate type.
+* Each batch carries an ``outputs`` vector of node ids and a ``fanins``
+  gather matrix of shape ``(len(outputs), max_arity)``.  Rows shorter
+  than ``max_arity`` are padded with the index of an *identity row*:
+  AND/NAND rows pad with an all-ones row, OR/NOR/XOR/XNOR rows pad with
+  an all-zeros row, so the padded reduce is exact.
+* The two identity rows live at indices ``num_nodes`` (zeros) and
+  ``num_nodes + 1`` (ones) of the simulator's extended value buffer —
+  see :attr:`SimPlan.buffer_rows`.
+
+Evaluation of a batch gathers ``buf[fanins]`` (shape ``(n, arity,
+words)``), reduces over the arity axis with the batch's bitwise ufunc,
+optionally complements (NAND/NOR/XNOR/NOT), and scatters into
+``buf[outputs]``.  Because equal-level gates never depend on each other,
+batches within a level may run in any order.
+
+Plans are pure functions of the netlist; :func:`compiled_plan` caches
+them on the circuit through :meth:`Circuit.derived`, so every simulator,
+filter round and worker process sharing a circuit shares one plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+_ALL_ONES = np.uint64(0xFFFFFFFFFFFFFFFF)
+
+#: gate types evaluated by a padded bitwise reduce: type -> (ufunc, invert,
+#: pads-with-ones).  AND-like gates pad with the identity of AND (all ones);
+#: OR/XOR-like gates pad with zeros.
+_REDUCE_OPS = {
+    GateType.AND: (np.bitwise_and, False, True),
+    GateType.NAND: (np.bitwise_and, True, True),
+    GateType.OR: (np.bitwise_or, False, False),
+    GateType.NOR: (np.bitwise_or, True, False),
+    GateType.XOR: (np.bitwise_xor, False, False),
+    GateType.XNOR: (np.bitwise_xor, True, False),
+}
+
+#: single-fanin copy/complement types: type -> inverts.
+_UNARY_OPS = {
+    GateType.BUF: False,
+    GateType.OUTPUT: False,
+    GateType.NOT: True,
+}
+
+
+@dataclass(frozen=True)
+class _ReduceBatch:
+    """All same-type multi-input gates of one level, padded to one arity."""
+
+    gate_type: GateType
+    outputs: np.ndarray  # (n,) node ids
+    fanins: np.ndarray  # (n, max_arity) gather matrix with identity padding
+
+
+@dataclass(frozen=True)
+class _UnaryBatch:
+    """All BUF/OUTPUT (copy) or NOT (complement) gates of one level."""
+
+    invert: bool
+    outputs: np.ndarray  # (n,)
+    sources: np.ndarray  # (n,)
+
+
+@dataclass(frozen=True)
+class _MuxBatch:
+    """All MUX gates of one level: out = select ? d1 : d0."""
+
+    outputs: np.ndarray  # (n,)
+    selects: np.ndarray  # (n,)
+    d0: np.ndarray  # (n,)
+    d1: np.ndarray  # (n,)
+
+
+class SimPlan:
+    """A circuit lowered into levelized, type-batched evaluation kernels."""
+
+    def __init__(self, circuit: Circuit) -> None:
+        self.circuit_version = circuit.version
+        self.num_nodes = circuit.num_nodes
+        #: rows the value buffer must have: every node plus the two
+        #: identity rows (zeros at ``num_nodes``, ones at ``num_nodes+1``).
+        self.buffer_rows = circuit.num_nodes + 2
+        self.pad_zeros = circuit.num_nodes
+        self.pad_ones = circuit.num_nodes + 1
+        self.levels: list[list[object]] = []
+        self.num_batches = 0
+        self._build(circuit)
+
+    # ------------------------------------------------------------------
+    # Lowering.
+    # ------------------------------------------------------------------
+    def _build(self, circuit: Circuit) -> None:
+        level_of = circuit.levels()
+        types = circuit.types
+        fanins = circuit.fanins
+        by_level: dict[int, dict[GateType, list[int]]] = {}
+        for node_id, level in enumerate(level_of):
+            gate_type = types[node_id]
+            if gate_type in _REDUCE_OPS or gate_type in _UNARY_OPS \
+                    or gate_type == GateType.MUX:
+                by_level.setdefault(level, {}).setdefault(gate_type, []).append(
+                    node_id
+                )
+
+        for level in sorted(by_level):
+            batches: list[object] = []
+            groups = by_level[level]
+            # Deterministic batch order: fixed GateType enumeration order.
+            for gate_type in GateType:
+                nodes = groups.get(gate_type)
+                if not nodes:
+                    continue
+                if gate_type in _UNARY_OPS:
+                    batches.append(
+                        _UnaryBatch(
+                            invert=_UNARY_OPS[gate_type],
+                            outputs=np.asarray(nodes, dtype=np.intp),
+                            sources=np.asarray(
+                                [fanins[n][0] for n in nodes], dtype=np.intp
+                            ),
+                        )
+                    )
+                elif gate_type == GateType.MUX:
+                    batches.append(
+                        _MuxBatch(
+                            outputs=np.asarray(nodes, dtype=np.intp),
+                            selects=np.asarray(
+                                [fanins[n][0] for n in nodes], dtype=np.intp
+                            ),
+                            d0=np.asarray(
+                                [fanins[n][1] for n in nodes], dtype=np.intp
+                            ),
+                            d1=np.asarray(
+                                [fanins[n][2] for n in nodes], dtype=np.intp
+                            ),
+                        )
+                    )
+                else:
+                    pad = (
+                        self.pad_ones
+                        if _REDUCE_OPS[gate_type][2]
+                        else self.pad_zeros
+                    )
+                    arity = max(len(fanins[n]) for n in nodes)
+                    matrix = np.full((len(nodes), arity), pad, dtype=np.intp)
+                    for row, node_id in enumerate(nodes):
+                        fins = fanins[node_id]
+                        matrix[row, : len(fins)] = fins
+                    batches.append(
+                        _ReduceBatch(
+                            gate_type=gate_type,
+                            outputs=np.asarray(nodes, dtype=np.intp),
+                            fanins=matrix,
+                        )
+                    )
+            self.levels.append(batches)
+            self.num_batches += len(batches)
+
+    # ------------------------------------------------------------------
+    # Evaluation.
+    # ------------------------------------------------------------------
+    def run(self, buf: np.ndarray) -> None:
+        """Evaluate every combinational node into ``buf`` (extended buffer).
+
+        ``buf`` must have :attr:`buffer_rows` rows; source rows (PIs, DFF
+        outputs, constants) and the two identity rows are read, all
+        combinational rows are overwritten level by level.
+        """
+        for batches in self.levels:
+            for batch in batches:
+                if isinstance(batch, _ReduceBatch):
+                    ufunc, invert, _pad_ones = _REDUCE_OPS[batch.gate_type]
+                    acc = ufunc.reduce(buf[batch.fanins], axis=1)
+                    if invert:
+                        np.invert(acc, out=acc)
+                    buf[batch.outputs] = acc
+                elif isinstance(batch, _UnaryBatch):
+                    if batch.invert:
+                        buf[batch.outputs] = ~buf[batch.sources]
+                    else:
+                        buf[batch.outputs] = buf[batch.sources]
+                else:  # _MuxBatch
+                    select = buf[batch.selects]
+                    buf[batch.outputs] = (~select & buf[batch.d0]) | (
+                        select & buf[batch.d1]
+                    )
+
+    def install_identity_rows(self, buf: np.ndarray) -> None:
+        """Write the two padding rows of ``buf`` (zeros, then all ones)."""
+        buf[self.pad_zeros] = 0
+        buf[self.pad_ones] = _ALL_ONES
+
+
+def compiled_plan(circuit: Circuit) -> SimPlan:
+    """The circuit's compiled simulation plan (cached per netlist version).
+
+    Cached through :meth:`Circuit.derived`, so repeated simulator
+    construction, filter rounds and pipeline stages all share one plan;
+    mutating the circuit invalidates it automatically.
+    """
+    return circuit.derived("simplan", SimPlan)

@@ -27,6 +27,8 @@ from repro.core.pipeline import (
     DecisionStage,
     Pipeline,
     TopologyStage,
+    _auto_chunk_size,
+    _chunk_pairs,
     _split_chunks,
     default_pipeline,
 )
@@ -203,12 +205,30 @@ class TestParallelExecutor:
         chunks = _split_chunks([1, 2], 8)
         assert [x for chunk in chunks for x in chunk] == [1, 2]
 
+    def test_chunk_pairs_partition(self):
+        pairs = list(range(11))
+        chunks = _chunk_pairs(pairs, 4)
+        assert [x for chunk in chunks for x in chunk] == pairs
+        assert [len(chunk) for chunk in chunks] == [4, 4, 3]
+        assert _chunk_pairs(pairs, 0) == [[p] for p in pairs]
+
+    def test_auto_chunk_size_bounds(self):
+        # ~4 chunks per worker, never below 1, capped at 64.
+        assert _auto_chunk_size(1, 4) == 1
+        assert _auto_chunk_size(160, 4) == 10
+        assert _auto_chunk_size(100_000, 4) == 64
+
     @pytest.mark.parametrize("engine", ["dalg", "sat"])
     def test_workers_match_serial_byte_for_byte(self, fig1, engine):
+        # parallel_threshold=2 forces the persistent pool path even on
+        # fig1's small pair list.
         options = DetectorOptions(search_engine=engine)
         serial = MultiCycleDetector(fig1, options).run()
         parallel = MultiCycleDetector(
-            fig1, DetectorOptions(search_engine=engine, workers=4)
+            fig1,
+            DetectorOptions(
+                search_engine=engine, workers=4, parallel_threshold=2
+            ),
         ).run()
         assert json.dumps(serial.pair_records(), sort_keys=True) == json.dumps(
             parallel.pair_records(), sort_keys=True
@@ -219,13 +239,15 @@ class TestParallelExecutor:
             circuit = random_sequential_circuit(seed, max_dffs=5, max_gates=14)
             serial = MultiCycleDetector(circuit).run()
             parallel = MultiCycleDetector(
-                circuit, DetectorOptions(workers=3)
+                circuit, DetectorOptions(workers=3, parallel_threshold=2)
             ).run()
             assert serial.pair_records() == parallel.pair_records()
 
     def test_parallel_stats_match_serial_counts(self, fig1):
         serial = MultiCycleDetector(fig1).run()
-        parallel = MultiCycleDetector(fig1, DetectorOptions(workers=2)).run()
+        parallel = MultiCycleDetector(
+            fig1, DetectorOptions(workers=2, parallel_threshold=2)
+        ).run()
         for stage in Stage:
             assert (
                 serial.stats[stage].single_cycle
@@ -235,6 +257,42 @@ class TestParallelExecutor:
                 serial.stats[stage].multi_cycle
                 == parallel.stats[stage].multi_cycle
             )
+
+    def test_pool_mode_traced_when_above_threshold(self, fig1):
+        tracer = Tracer()
+        MultiCycleDetector(
+            fig1,
+            DetectorOptions(workers=2, parallel_threshold=2),
+            tracer=tracer,
+        ).run()
+        (record,) = tracer.select("decision_exec")
+        assert record["mode"] == "parallel"
+        assert record["workers"] == 2
+        assert record["pairs"] >= record["threshold"]
+
+    def test_tiny_pair_list_falls_back_to_serial(self, fig1):
+        # Default threshold (128) far exceeds fig1's surviving pairs, so a
+        # workers>1 run must decide in-process and say so in the trace.
+        tracer = Tracer()
+        parallel = MultiCycleDetector(
+            fig1, DetectorOptions(workers=4), tracer=tracer
+        ).run()
+        (record,) = tracer.select("decision_exec")
+        assert record["mode"] == "serial-fallback"
+        serial = MultiCycleDetector(fig1).run()
+        assert serial.pair_records() == parallel.pair_records()
+
+    def test_serial_run_emits_no_decision_exec(self, fig1):
+        tracer = Tracer()
+        MultiCycleDetector(fig1, DetectorOptions(workers=1), tracer=tracer).run()
+        assert tracer.select("decision_exec") == []
+
+    def test_pool_is_closed_after_run(self, fig1):
+        ctx = AnalysisContext(
+            fig1, DetectorOptions(workers=2, parallel_threshold=2)
+        )
+        default_pipeline().run(ctx)
+        assert ctx._pool is None
 
 
 # ----------------------------------------------------------------------

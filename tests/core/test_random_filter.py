@@ -90,3 +90,54 @@ def test_random_filter_k_rejects_small_k(fig1):
 
     with pytest.raises(ValueError):
         random_filter_k(fig1, connected_ff_pairs(fig1), 1)
+
+
+def _report_key(report):
+    return (
+        [(p.source, p.sink) for p in report.dropped_pairs],
+        report.rounds,
+        report.patterns,
+    )
+
+
+@given(seeds)
+def test_round_batching_never_changes_results(seed):
+    """Super-round width is an execution detail: every ``round_batch``
+    (and both evaluation plans) must produce the same report."""
+    from repro.core.random_filter import random_filter_k
+
+    circuit = random_sequential_circuit(seed, max_inputs=2, max_dffs=3,
+                                        max_gates=8)
+    pairs = connected_ff_pairs(circuit)
+    baseline = random_filter(circuit, pairs, round_batch=1)
+    for round_batch in (2, 3, 8):
+        assert _report_key(
+            random_filter(circuit, pairs, round_batch=round_batch)
+        ) == _report_key(baseline)
+    assert _report_key(
+        random_filter(circuit, pairs, plan="python")
+    ) == _report_key(baseline)
+    baseline_k = random_filter_k(circuit, pairs, 3, round_batch=1)
+    assert _report_key(
+        random_filter_k(circuit, pairs, 3, round_batch=8)
+    ) == _report_key(baseline_k)
+
+
+def test_caller_held_simulator_is_reused(fig1):
+    from repro.logic.bitsim import BitSimulator
+
+    pairs = connected_ff_pairs(fig1)
+    sim = BitSimulator(fig1, words=4)
+    with_sim = random_filter(fig1, pairs, sim=sim)
+    without = random_filter(fig1, pairs)
+    assert _report_key(with_sim) == _report_key(without)
+
+
+def test_mismatched_simulator_rejected(fig1):
+    import pytest
+
+    from repro.logic.bitsim import BitSimulator
+
+    pairs = connected_ff_pairs(fig1)
+    with pytest.raises(ValueError):
+        random_filter(fig1, pairs, words=4, sim=BitSimulator(fig1, words=2))

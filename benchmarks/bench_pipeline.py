@@ -17,6 +17,13 @@ Two measurements per circuit of the selected suite profile, recorded to
   per-node python loop with a fresh simulator every round.  Their ratio
   (``sim_speedup``) is what the CI regression gate falls back to when
   the baseline was recorded on different hardware.
+* **Decision stage**: surviving pairs settled per second by the shared
+  decision session (``decision_pairs_per_sec``, from the same survivors
+  the pipeline's decide stage sees), plus the hardware-independent ratio
+  ``decision_speedup`` — launch-prefix sharing on against off (full
+  premise re-derived per case), measured back-to-back on one session
+  engine.  The regression gate applies the same same-hardware /
+  cross-hardware metric choice as for stage 1.
 
 Every timed section runs one warmup iteration first and is clocked with
 ``time.perf_counter``.  Per-stage wall times come from the structured
@@ -35,7 +42,11 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.circuit.timeframe import expand_cached
+from repro.circuit.topology import connected_ff_pairs
 from repro.core.detector import DetectorOptions, MultiCycleDetector
+from repro.core.random_filter import random_filter
+from repro.core.session import DecisionSession
 from repro.core.trace import Tracer
 from repro.logic.bitsim import BitSimulator, simulate_three_frames
 
@@ -108,6 +119,31 @@ def _sustained_python_fresh(circuit) -> float:
     return time.perf_counter() - started
 
 
+def _sustained_decision(circuit) -> tuple[int, float, float]:
+    """(survivors, shared_seconds, fresh_seconds) for the decision stage.
+
+    Decides the pipeline's actual surviving pairs on one session engine,
+    launch-prefix sharing on and off, back to back — the off run
+    re-derives the full three-assumption premise per case, so the ratio
+    isolates what the shared-launch session buys, independent of
+    hardware."""
+    pairs = connected_ff_pairs(circuit)
+    survivors = random_filter(
+        circuit, pairs, words=_SIM_WORDS, round_batch=_ROUND_BATCH
+    ).survivors
+    expansion = expand_cached(circuit, frames=2)
+
+    def timed(share_prefix: bool) -> float:
+        session = DecisionSession(expansion, share_prefix=share_prefix)
+        started = time.perf_counter()
+        session.decide_group(survivors)
+        return time.perf_counter() - started
+
+    timed(True)  # warmup (expansion + CSR caches)
+    timed(False)
+    return len(survivors), timed(True), timed(False)
+
+
 def _stage_seconds(tracer: Tracer) -> dict[str, float]:
     return {
         record["stage"]: record["seconds"]
@@ -144,7 +180,7 @@ def test_pipeline_report(bench_circuits):
         "Pipeline executor and stage-1 simulation throughput",
         f"{'circuit':>10}  {'pairs':>6}  {'serial(s)':>10}  "
         f"{'workers=' + str(_WORKERS) + '(s)':>14}  {'speedup':>8}  "
-        f"{'Mpat/s':>8}  {'simx':>6}",
+        f"{'Mpat/s':>8}  {'simx':>6}  {'dec p/s':>8}  {'decx':>6}",
     ]
     for circuit in bench_circuits:
         _run(circuit, workers=1)  # warmup (plan + expansion caches)
@@ -172,6 +208,12 @@ def test_pipeline_report(bench_circuits):
         pps_python = patterns / python_seconds if python_seconds else 0.0
         sim_speedup = pps / pps_python if pps_python else 0.0
 
+        survivors, shared_seconds, fresh_seconds = _sustained_decision(circuit)
+        dps = survivors / shared_seconds if shared_seconds else 0.0
+        decision_speedup = (
+            fresh_seconds / shared_seconds if shared_seconds else 0.0
+        )
+
         entries.append(
             {
                 "circuit": circuit.name,
@@ -185,12 +227,16 @@ def test_pipeline_report(bench_circuits):
                 "patterns_per_sec": round(pps),
                 "patterns_per_sec_python_fresh": round(pps_python),
                 "sim_speedup": round(sim_speedup, 3),
+                "decision_pairs": survivors,
+                "decision_pairs_per_sec": round(dps),
+                "decision_speedup": round(decision_speedup, 3),
             }
         )
         lines.append(
             f"{circuit.name:>10}  {serial.connected_pairs:>6}  "
             f"{serial_seconds:>10.3f}  {parallel_seconds:>14.3f}  "
-            f"{speedup:>8.2f}  {pps / 1e6:>8.2f}  {sim_speedup:>6.1f}"
+            f"{speedup:>8.2f}  {pps / 1e6:>8.2f}  {sim_speedup:>6.1f}  "
+            f"{dps:>8.0f}  {decision_speedup:>6.2f}"
         )
         # Acceptance: a workers>1 run must either win or have declined to
         # shard (auto-serial) — never pay dispatch overhead for a loss.

@@ -4,14 +4,16 @@ Compares a freshly generated ``BENCH_pipeline.json`` against the
 committed baseline and exits non-zero when any circuit's throughput
 dropped by more than ``--tolerance`` (default 30%).
 
-Raw ``patterns_per_sec`` is only comparable on like-for-like hardware,
-so the metric is chosen per the recorded ``cpu_count``:
+Raw throughput is only comparable on like-for-like hardware, so the
+metrics are chosen per the recorded ``cpu_count``:
 
 * same ``cpu_count`` in baseline and current → compare
-  ``patterns_per_sec`` directly;
-* different hardware → compare ``sim_speedup`` (shipping engine over
-  the pre-optimisation python engine, measured back-to-back on the same
-  machine), which is a hardware-independent ratio.
+  ``patterns_per_sec`` (stage-1 simulation) and
+  ``decision_pairs_per_sec`` (decision stage) directly;
+* different hardware → compare ``sim_speedup`` and
+  ``decision_speedup`` — ratios of the shipping engines over their
+  pre-optimisation counterparts, measured back-to-back on the same
+  machine, hence hardware-independent.
 
 Usage::
 
@@ -30,10 +32,16 @@ def _by_circuit(report: dict) -> dict[str, dict]:
     return {entry["circuit"]: entry for entry in report.get("results", [])}
 
 
-def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
-    """Return one failure message per regressed circuit (empty = pass)."""
+def _metrics(baseline: dict, current: dict) -> tuple[str, ...]:
     same_hardware = baseline.get("cpu_count") == current.get("cpu_count")
-    metric = "patterns_per_sec" if same_hardware else "sim_speedup"
+    if same_hardware:
+        return ("patterns_per_sec", "decision_pairs_per_sec")
+    return ("sim_speedup", "decision_speedup")
+
+
+def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Return one failure message per regressed metric (empty = pass)."""
+    metrics = _metrics(baseline, current)
     failures = []
     current_entries = _by_circuit(current)
     for name, base in _by_circuit(baseline).items():
@@ -41,16 +49,17 @@ def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
         if entry is None:
             failures.append(f"{name}: missing from current report")
             continue
-        reference = base.get(metric)
-        measured = entry.get(metric)
-        if not reference or measured is None:
-            continue  # old-format baseline without the metric: nothing to gate
-        floor = reference * (1.0 - tolerance)
-        if measured < floor:
-            failures.append(
-                f"{name}: {metric} {measured:,.0f} < floor {floor:,.0f} "
-                f"(baseline {reference:,.0f}, tolerance {tolerance:.0%})"
-            )
+        for metric in metrics:
+            reference = base.get(metric)
+            measured = entry.get(metric)
+            if not reference or measured is None:
+                continue  # old-format report without the metric: no gate
+            floor = reference * (1.0 - tolerance)
+            if measured < floor:
+                failures.append(
+                    f"{name}: {metric} {measured:,.0f} < floor {floor:,.0f} "
+                    f"(baseline {reference:,.0f}, tolerance {tolerance:.0%})"
+                )
     return failures
 
 
@@ -69,10 +78,9 @@ def main(argv: list[str] | None = None) -> int:
     baseline = json.loads(args.baseline.read_text())
     current = json.loads(args.current.read_text())
     failures = check(baseline, current, args.tolerance)
-    same_hardware = baseline.get("cpu_count") == current.get("cpu_count")
-    metric = "patterns_per_sec" if same_hardware else "sim_speedup"
+    metrics = _metrics(baseline, current)
     print(
-        f"comparing {metric} "
+        f"comparing {', '.join(metrics)} "
         f"(cpu_count baseline={baseline.get('cpu_count')} "
         f"current={current.get('cpu_count')}, tolerance {args.tolerance:.0%})"
     )

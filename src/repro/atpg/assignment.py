@@ -5,6 +5,10 @@ assignment is pushed onto a trail, a *checkpoint* is just the trail length,
 and backtracking pops assignments back to a checkpoint.  This is the same
 mechanism SAT solvers use and is what makes the per-pair, per-case analysis
 of Section 4 cheap — state is never copied.
+
+Values live in a flat ``bytearray`` (one byte per node, ``X`` encoded as
+2), so a store over a large expanded circuit costs one contiguous buffer
+instead of a list of boxed ints.
 """
 
 from __future__ import annotations
@@ -16,7 +20,7 @@ class Assignment:
     """Three-valued assignment over dense node ids with an undo trail."""
 
     def __init__(self, num_nodes: int) -> None:
-        self.values: list[int] = [X] * num_nodes
+        self.values = bytearray([X]) * num_nodes
         self.trail: list[int] = []
 
     def checkpoint(self) -> int:

@@ -20,12 +20,26 @@ The engine additionally applies *learned* global implications
 (:mod:`repro.atpg.learning`) whenever a node is assigned, and maintains the
 set of *unjustified* gates that the backtrack search of
 :mod:`repro.atpg.justify` branches on.
+
+State layout
+------------
+All structural data (gate-type codes, fanin/fanout adjacency, levels)
+comes from the circuit's shared :class:`~repro.circuit.csr.CsrArrays`, so
+constructing an engine after the first over the same netlist is O(1).
+Values live in a flat ``bytearray`` behind :class:`Assignment`'s undo
+trail; unjustified-set changes are recorded on a second trail of signed
+ops (``gate`` = added, ``~gate`` = removed).  A :meth:`checkpoint` is
+therefore two integers and :meth:`backtrack` is O(changes undone) — the
+property the shared-launch decision sessions
+(:mod:`repro.core.session`) lean on when thousands of case analyses share
+one engine.
 """
 
 from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
+from repro.circuit.csr import csr_arrays
 from repro.circuit.gates import CONTROLLING, GateType
 from repro.circuit.netlist import Circuit
 from repro.logic.values import ONE, X, ZERO
@@ -33,6 +47,25 @@ from repro.atpg.assignment import Assignment
 
 #: Learned-implication table type: ``(node, value) -> ((node, value), ...)``.
 LearnedTable = Mapping[tuple[int, int], Sequence[tuple[int, int]]]
+
+#: ``(trail length, justification-trail length)`` — see :meth:`checkpoint`.
+Mark = tuple[int, int]
+
+# Gate-type codes as plain ints: the hot loop dispatches on these instead
+# of enum identities (GateType is an IntEnum, so the codes are the values).
+_OUTPUT = int(GateType.OUTPUT)
+_BUF = int(GateType.BUF)
+_NOT = int(GateType.NOT)
+_XOR = int(GateType.XOR)
+_XNOR = int(GateType.XNOR)
+_MUX = int(GateType.MUX)
+
+#: per-type controlling value (255 = the type has none) and inversion flag.
+_CTRL_VAL = [255] * (max(GateType) + 1)
+_CTRL_INV = [0] * (max(GateType) + 1)
+for _gt, (_cv, _inv) in CONTROLLING.items():
+    _CTRL_VAL[_gt] = _cv
+    _CTRL_INV[_gt] = int(_inv)
 
 
 class ImplicationEngine:
@@ -44,21 +77,29 @@ class ImplicationEngine:
 
     def __init__(self, circuit: Circuit, learned: LearnedTable | None = None) -> None:
         self.circuit = circuit
-        self.types = list(circuit.types)
-        self.fanins = [tuple(f) for f in circuit.fanins]
-        self.fanouts = [tuple(circuit.fanouts(n)) for n in range(circuit.num_nodes)]
-        self.levels = circuit.levels()
+        graph = csr_arrays(circuit)
+        self.graph = graph
+        #: shared, immutable structural views (also the public API other
+        #: layers — justify, podem, learning — navigate the circuit by).
+        self.types = graph.types
+        self.fanins = graph.fanins
+        self.fanouts = graph.fanouts
+        self.levels = graph.levels
         self.assignment = Assignment(circuit.num_nodes)
         self.learned = dict(learned) if learned else {}
         #: gates whose assigned output is not yet justified by their inputs
         self.unjustified: set[int] = set()
+        #: undo log for :attr:`unjustified`: ``gate`` added, ``~gate`` removed.
+        self._jtrail: list[int] = []
         self._queue: list[int] = []
         self._conflict = False
-        for node in circuit.ids_of_type(GateType.CONST0):
+        #: total assignments posted (assumed + implied) over the lifetime.
+        self.implications = 0
+        for node in graph.const0:
             self.assignment.set(node, ZERO)
-        for node in circuit.ids_of_type(GateType.CONST1):
+        for node in graph.const1:
             self.assignment.set(node, ONE)
-        self._base_mark = self.assignment.checkpoint()
+        self._base_mark: Mark = (self.assignment.checkpoint(), 0)
 
     # ------------------------------------------------------------------
     # Public interface.
@@ -66,14 +107,21 @@ class ImplicationEngine:
     def value(self, node: int) -> int:
         return self.assignment.values[node]
 
-    def checkpoint(self) -> tuple[int, tuple[int, ...]]:
-        """Snapshot for :meth:`backtrack` (trail mark + unjustified set)."""
-        return self.assignment.checkpoint(), tuple(self.unjustified)
+    def checkpoint(self) -> Mark:
+        """O(1) snapshot for :meth:`backtrack` (two trail lengths)."""
+        return (len(self.assignment.trail), len(self._jtrail))
 
-    def backtrack(self, mark: tuple[int, tuple[int, ...]]) -> None:
-        trail_mark, unjustified = mark
+    def backtrack(self, mark: Mark) -> None:
+        trail_mark, jtrail_mark = mark
         self.assignment.backtrack(trail_mark)
-        self.unjustified = set(unjustified)
+        jtrail = self._jtrail
+        unjustified = self.unjustified
+        while len(jtrail) > jtrail_mark:
+            op = jtrail.pop()
+            if op >= 0:
+                unjustified.discard(op)
+            else:
+                unjustified.add(~op)
         self._queue.clear()
         self._conflict = False
 
@@ -97,30 +145,30 @@ class ImplicationEngine:
 
     def reset(self) -> None:
         """Drop everything assumed since construction."""
-        self.assignment.backtrack(self._base_mark)
-        self.unjustified.clear()
-        self._queue.clear()
-        self._conflict = False
+        self.backtrack(self._base_mark)
 
     # ------------------------------------------------------------------
     # Assignment + propagation internals.
     # ------------------------------------------------------------------
     def _post(self, node: int, value: int) -> bool:
         """Record an assignment and schedule affected gates."""
-        current = self.assignment.values[node]
+        values = self.assignment.values
+        current = values[node]
         if current != X:
             if current != value:
                 self._conflict = True
                 return False
             return True
-        self.assignment.set(node, value)
+        values[node] = value
+        self.assignment.trail.append(node)
+        self.implications += 1
         queue = self._queue
         queue.append(node)
-        for fanout in self.fanouts[node]:
-            queue.append(fanout)
-        for other, other_value in self.learned.get((node, value), ()):
-            if not self._post(other, other_value):
-                return False
+        queue.extend(self.fanouts[node])
+        if self.learned:
+            for other, other_value in self.learned.get((node, value), ()):
+                if not self._post(other, other_value):
+                    return False
         return True
 
     def _propagate(self) -> bool:
@@ -137,40 +185,40 @@ class ImplicationEngine:
     def _imply_gate(self, gate: int) -> bool:
         """(Re-)derive mandatory values around ``gate``; update J-status."""
         gate_type = self.types[gate]
-        values = self.assignment.values
-        fanins = self.fanins[gate]
 
-        if gate_type in (GateType.INPUT, GateType.CONST0, GateType.CONST1,
-                         GateType.DFF):
-            return True
+        controlling = _CTRL_VAL[gate_type]
+        if controlling != 255:
+            return self._imply_cgate(
+                gate, controlling, _CTRL_INV[gate_type], self.fanins[gate]
+            )
 
-        if gate_type in (GateType.BUF, GateType.OUTPUT, GateType.NOT):
-            invert = gate_type == GateType.NOT
-            source = fanins[0]
+        if gate_type == _BUF or gate_type == _OUTPUT or gate_type == _NOT:
+            values = self.assignment.values
+            invert = 1 if gate_type == _NOT else 0
+            source = self.fanins[gate][0]
             in_value = values[source]
             out_value = values[gate]
             ok = True
             if in_value != X:
-                ok = self._post(gate, in_value ^ invert if in_value != X else X)
+                ok = self._post(gate, in_value ^ invert)
             elif out_value != X:
                 ok = self._post(source, out_value ^ invert)
             self._update_justified(gate, justified=values[source] != X or values[gate] == X)
             return ok
 
-        if gate_type in CONTROLLING:
-            return self._imply_cgate(gate, gate_type, fanins)
+        if gate_type == _XOR or gate_type == _XNOR:
+            return self._imply_parity(gate, gate_type == _XNOR, self.fanins[gate])
 
-        if gate_type in (GateType.XOR, GateType.XNOR):
-            return self._imply_parity(gate, gate_type == GateType.XNOR, fanins)
+        if gate_type == _MUX:
+            return self._imply_mux(gate, self.fanins[gate])
 
-        if gate_type == GateType.MUX:
-            return self._imply_mux(gate, fanins)
+        # INPUT / DFF / CONST nodes carry no gate-local rule.
+        return True
 
-        raise AssertionError(f"unhandled gate type {gate_type}")  # pragma: no cover
-
-    def _imply_cgate(self, gate: int, gate_type: GateType, fanins: tuple[int, ...]) -> bool:
+    def _imply_cgate(
+        self, gate: int, controlling: int, inverted: int, fanins: tuple[int, ...]
+    ) -> bool:
         """AND/NAND/OR/NOR implications via controlling-value reasoning."""
-        controlling, inverted = CONTROLLING[gate_type]
         controlled_out = controlling ^ inverted
         noncontrolled_out = (1 - controlling) ^ inverted
         values = self.assignment.values
@@ -289,10 +337,14 @@ class ImplicationEngine:
         return True
 
     def _update_justified(self, gate: int, justified: bool) -> None:
+        unjustified = self.unjustified
         if justified:
-            self.unjustified.discard(gate)
-        else:
-            self.unjustified.add(gate)
+            if gate in unjustified:
+                unjustified.discard(gate)
+                self._jtrail.append(~gate)
+        elif gate not in unjustified:
+            unjustified.add(gate)
+            self._jtrail.append(gate)
 
     # ------------------------------------------------------------------
     # Introspection helpers (tests, examples, the Fig. 2 walkthrough).

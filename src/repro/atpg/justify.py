@@ -22,7 +22,7 @@ from enum import Enum
 
 from repro.circuit.gates import CONTROLLING, GateType
 from repro.logic.values import ONE, X, ZERO
-from repro.atpg.implication import ImplicationEngine
+from repro.atpg.implication import ImplicationEngine, Mark
 
 
 class SearchStatus(Enum):
@@ -46,7 +46,7 @@ class SearchResult:
 class _Frame:
     choices: list[tuple[int, int]]
     index: int = 0
-    mark: tuple[int, tuple[int, ...]] | None = None
+    mark: Mark | None = None
 
 
 def _choices_for(engine: ImplicationEngine, gate: int) -> list[tuple[int, int]]:

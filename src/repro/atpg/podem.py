@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 from repro.circuit.gates import CONTROLLING, GateType
 from repro.logic.values import ONE, X, ZERO
-from repro.atpg.implication import ImplicationEngine
+from repro.atpg.implication import ImplicationEngine, Mark
 from repro.atpg.justify import SearchResult, SearchStatus, extract_witness
 
 
@@ -105,7 +105,7 @@ def _backtrace(engine: ImplicationEngine, node: int, value: int) -> tuple[int, i
 class _Decision:
     node: int
     value: int
-    mark: tuple[int, tuple[int, ...]]
+    mark: Mark
     flipped: bool = False
 
 

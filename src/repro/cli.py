@@ -45,6 +45,7 @@ def _detector_options(args: argparse.Namespace) -> DetectorOptions:
         include_self_loops=not args.no_self_loops,
         search_engine=args.engine,
         scoap_guidance=args.scoap,
+        launch_prefix=not args.no_launch_prefix,
         sim_seed=args.seed,
         sim_words=args.sim_words,
         sim_plan=args.sim_plan,
@@ -80,6 +81,11 @@ def _add_detector_args(parser: argparse.ArgumentParser) -> None:
                              "command always uses the implication engine)")
     parser.add_argument("--scoap", action="store_true",
                         help="SCOAP-guided decision ordering (dalg engine)")
+    parser.add_argument("--no-launch-prefix", action="store_true",
+                        help="re-derive the full case premise per pair "
+                             "instead of sharing launch-assumption "
+                             "implications across same-source pairs "
+                             "(ablation; verdicts are identical)")
     parser.add_argument("--seed", type=int, default=2002,
                         help="random-simulation seed (default: 2002)")
     parser.add_argument("--sim-words", type=int, default=4,
@@ -127,6 +133,13 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         s = result.stats[stage]
         print(f"  {stage.value:12s} single={s.single_cycle:6d} "
               f"multi={s.multi_cycle:6d} cpu={s.cpu_seconds:.2f}s")
+    session = result.decision_session
+    if session:
+        print(f"decision session:   {session['implications']} implications, "
+              f"prefix hits/misses {session['prefix_hits']}/"
+              f"{session['prefix_misses']}, "
+              f"{session['launch_conflicts']} launch conflicts, "
+              f"trail high-water {session['trail_high_water']}")
     for disagreement in result.disagreements:
         source, sink = (circuit.names[disagreement.pair.source],
                         circuit.names[disagreement.pair.sink])

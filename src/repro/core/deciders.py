@@ -20,6 +20,19 @@ is what makes the parallel executor work — unprepared deciders are
 shipped to worker processes, which rebuild their engines locally from
 the shared expansion.
 
+Three optional extensions the pipeline probes with ``getattr``:
+
+* ``decide_group(pairs) -> [(PairResult, seconds), ...]`` — settle a
+  whole chunk at once; the implication/ATPG deciders use it to share
+  launch prefixes across same-source pairs
+  (:class:`~repro.core.session.DecisionSession`).
+* ``prepare_shared(ctx)`` / ``adopt_shared(payload)`` — compute an
+  expensive, process-independent artifact once in the parent (the
+  static-learning table) and ship it through the worker-pool
+  initializer instead of recomputing it in every worker.
+* ``session_stats() -> dict`` — counter totals for the
+  ``decision_session`` trace event.
+
 Registering a new engine::
 
     @register_decider("my-engine")
@@ -93,10 +106,12 @@ def create_decider(name: str) -> PairDecider:
 # ----------------------------------------------------------------------
 @register_decider("dalg", "podem", "scoap")
 class ImplicationAtpgDecider:
-    """Wraps :class:`~repro.core.pair_analysis.PairAnalyzer`.
+    """Wraps :class:`~repro.core.session.DecisionSession`.
 
     The registry name selects the variant: ``dalg`` / ``podem`` pick the
     backtrack search, ``scoap`` is ``dalg`` with SCOAP-guided ordering.
+    The session shares one array-backed implication engine across every
+    pair and caches launch prefixes within same-source groups.
     """
 
     frames = 2
@@ -104,27 +119,49 @@ class ImplicationAtpgDecider:
     def __init__(self, name: str = "dalg") -> None:
         self.name = name
         self.learned_implications = 0
+        self._shared_learned = None
+
+    def prepare_shared(self, ctx: AnalysisContext):
+        """Static-learning table, computed once in the parent process."""
+        if not ctx.options.static_learning:
+            return None
+        from repro.atpg.learning import learn_static_implications
+
+        return learn_static_implications(ctx.expansion(self.frames).comb)
+
+    def adopt_shared(self, payload) -> None:
+        """Install a table shipped through the worker-pool initializer."""
+        self._shared_learned = payload
 
     def prepare(self, ctx: AnalysisContext) -> None:
         from repro.atpg.learning import count_learned, learn_static_implications
-        from repro.core.pair_analysis import PairAnalyzer
+        from repro.core.session import DecisionSession
 
         options = ctx.options
         expansion = ctx.expansion(self.frames)
-        learned = None
-        if options.static_learning:
+        learned = self._shared_learned
+        if learned is None and options.static_learning:
             learned = learn_static_implications(expansion.comb)
+        if learned is not None:
             self.learned_implications = count_learned(learned)
-        self._analyzer = PairAnalyzer(
+        self._session = DecisionSession(
             expansion,
             backtrack_limit=options.backtrack_limit,
             learned=learned,
             search_engine="podem" if self.name == "podem" else "dalg",
             scoap_guidance=options.scoap_guidance or self.name == "scoap",
+            share_prefix=options.launch_prefix,
+            clock=ctx.clock,
         )
 
     def decide(self, pair: FFPair) -> PairResult:
-        return self._analyzer.analyze(pair)
+        return self._session.decide(pair)
+
+    def decide_group(self, pairs):
+        return self._session.decide_group(pairs)
+
+    def session_stats(self) -> dict[str, int]:
+        return self._session.stats()
 
 
 # ----------------------------------------------------------------------
@@ -227,10 +264,24 @@ class CrossCheckDecider:
         self.primary_name = primary
         self.secondary_name = secondary
         self.disagreements: list[Disagreement] = []
+        self._shared = None
+
+    def prepare_shared(self, ctx: AnalysisContext):
+        """Delegate to the primary engine's shared pre-pass, if it has one."""
+        primary = create_decider(self.primary_name)
+        shared_fn = getattr(primary, "prepare_shared", None)
+        return shared_fn(ctx) if shared_fn is not None else None
+
+    def adopt_shared(self, payload) -> None:
+        self._shared = payload
 
     def prepare(self, ctx: AnalysisContext) -> None:
         self._primary = create_decider(self.primary_name)
         self._secondary = create_decider(self.secondary_name)
+        if self._shared is not None:
+            adopt = getattr(self._primary, "adopt_shared", None)
+            if adopt is not None:
+                adopt(self._shared)
         self._primary.prepare(ctx)
         self._secondary.prepare(ctx)
         self.learned_implications = getattr(

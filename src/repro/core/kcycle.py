@@ -19,7 +19,9 @@ pair.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
 from repro.circuit.netlist import Circuit, validate
 from repro.circuit.timeframe import expand_cached
@@ -28,6 +30,7 @@ from repro.logic.values import BINARY
 from repro.atpg.implication import ImplicationEngine
 from repro.atpg.justify import SearchStatus, justify
 from repro.core.result import Classification, PairResult, Stage
+from repro.core.session import launch_runs
 from repro.core.trace import ProgressFn, Tracer
 
 
@@ -63,54 +66,108 @@ class KCycleAnalyzer:
 
     def analyze(self, pair: FFPair) -> KCycleResult:
         """Classify ``pair`` against the k-cycle condition."""
+        return self.analyze_run([pair])[0][0]
+
+    def analyze_run(
+        self,
+        pairs: Sequence[FFPair],
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> list[tuple[KCycleResult, float]]:
+        """Classify a run of same-source pairs, sharing the launch prefix.
+
+        All ``pairs`` must share one launch FF.  The launch assumptions
+        ``FF_i(t) = a, FF_i(t+1) = 1-a`` are propagated once per ``a``
+        and reused by every pair's capture cases — the same confluence
+        argument as :class:`~repro.core.session.DecisionSession`, so
+        classifications match the one-pair-at-a-time flow exactly.
+        Returns ``(result, seconds)`` with per-pair wall time (prefix
+        propagation is billed to the pair that triggered it).
+        """
         expansion = self.expansion
         engine = self.engine
-        source = expansion.ff_index(pair.source)
-        sink = expansion.ff_index(pair.sink)
+        source = expansion.ff_index(pairs[0].source)
         ffi_t = expansion.ff_at[0][source]
         ffi_t1 = expansion.ff_at[1][source]
-        sink_nodes = [expansion.ff_at[f][sink] for f in range(1, self.k + 1)]
+        sink_rows = []
+        for pair in pairs:
+            sink = expansion.ff_index(pair.sink)
+            sink_rows.append(
+                [expansion.ff_at[f][sink] for f in range(1, self.k + 1)]
+            )
 
-        undecided = False
+        verdicts: list[Classification | None] = [None] * len(pairs)
+        seconds = [0.0] * len(pairs)
         for a in BINARY:
-            for b in BINARY:
-                mark = engine.checkpoint()
-                ok = engine.assume_all(
-                    [(ffi_t, a), (ffi_t1, 1 - a), (sink_nodes[0], b)]
-                )
-                if not ok:
-                    engine.backtrack(mark)
+            prefix_mark = None
+            prefix_ok = True
+            for index, sink_nodes in enumerate(sink_rows):
+                if verdicts[index] is not None:
                     continue
-                # Prove stability frame by frame: given the sink held ``b``
-                # through t+m, no pattern may set FF_j(t+m+1) = !b.
-                violated = False
-                for successor in sink_nodes[1:]:
-                    value = engine.value(successor)
-                    if value == b:
-                        continue
-                    sub_mark = engine.checkpoint()
-                    can_flip = engine.assume(successor, 1 - b)
-                    if can_flip:
-                        result = justify(engine, self.backtrack_limit)
-                        if result.status is SearchStatus.SAT:
-                            violated = True
-                        elif result.status is SearchStatus.ABORTED:
-                            undecided = True
-                            violated = True  # conservative: stop this case
-                    engine.backtrack(sub_mark)
-                    if violated:
-                        break
-                    # No justifiable flip exists.  Assume stability and move
-                    # on; if even that contradicts, the whole premise is
-                    # unsatisfiable and the case holds vacuously.
-                    if not engine.assume(successor, b):
-                        break
+                started = clock()
+                if prefix_mark is None:
+                    prefix_mark = engine.checkpoint()
+                    prefix_ok = engine.assume_all(
+                        [(ffi_t, a), (ffi_t1, 1 - a)]
+                    )
+                if prefix_ok:
+                    verdicts[index] = self._capture_cases(sink_nodes)
+                # prefix contradiction: every b case is vacuous for the
+                # whole run under this launch polarity.
+                seconds[index] += clock() - started
+            if prefix_mark is not None:
+                engine.backtrack(prefix_mark)
+        return [
+            (
+                KCycleResult(
+                    pair, self.k, verdicts[index] or Classification.MULTI_CYCLE
+                ),
+                seconds[index],
+            )
+            for index, pair in enumerate(pairs)
+        ]
+
+    def _capture_cases(self, sink_nodes: list[int]) -> Classification | None:
+        """Run both capture cases on top of an already-assumed launch.
+
+        Returns a settling verdict, or ``None`` when neither case decides
+        the pair under the current launch polarity."""
+        engine = self.engine
+        for b in BINARY:
+            mark = engine.checkpoint()
+            if not engine.assume(sink_nodes[0], b):
                 engine.backtrack(mark)
-                if violated and not undecided:
-                    return KCycleResult(pair, self.k, Classification.SINGLE_CYCLE)
-                if undecided:
-                    return KCycleResult(pair, self.k, Classification.UNDECIDED)
-        return KCycleResult(pair, self.k, Classification.MULTI_CYCLE)
+                continue
+            # Prove stability frame by frame: given the sink held ``b``
+            # through t+m, no pattern may set FF_j(t+m+1) = !b.
+            violated = False
+            undecided = False
+            for successor in sink_nodes[1:]:
+                value = engine.value(successor)
+                if value == b:
+                    continue
+                sub_mark = engine.checkpoint()
+                can_flip = engine.assume(successor, 1 - b)
+                if can_flip:
+                    result = justify(engine, self.backtrack_limit)
+                    if result.status is SearchStatus.SAT:
+                        violated = True
+                    elif result.status is SearchStatus.ABORTED:
+                        undecided = True
+                        violated = True  # conservative: stop this case
+                engine.backtrack(sub_mark)
+                if violated:
+                    break
+                # No justifiable flip exists.  Assume stability and move
+                # on; if even that contradicts, the whole premise is
+                # unsatisfiable and the case holds vacuously.
+                if not engine.assume(successor, b):
+                    break
+            engine.backtrack(mark)
+            if undecided:
+                return Classification.UNDECIDED
+            if violated:
+                return Classification.SINGLE_CYCLE
+        return None
 
 
 def is_k_cycle_pair(
@@ -186,10 +243,27 @@ class KCycleDecider:
             ctx.circuit, self.k, self.backtrack_limit,
             expansion=ctx.expansion(self.frames),
         )
+        self._clock = ctx.clock
 
     def decide(self, pair: FFPair) -> PairResult:
         result = self._analyzer.analyze(pair)
         return PairResult(pair, result.classification, Stage.DECISION)
+
+    def decide_group(self, pairs: Sequence[FFPair]):
+        """Settle a chunk, sharing launch prefixes within same-source runs."""
+        decided = []
+        for start, end in launch_runs(pairs):
+            for result, seconds in self._analyzer.analyze_run(
+                pairs[start:end], clock=self._clock
+            ):
+                decided.append(
+                    (
+                        PairResult(result.pair, result.classification,
+                                   Stage.DECISION),
+                        seconds,
+                    )
+                )
+        return decided
 
 
 class KCycleDetector:

@@ -68,6 +68,10 @@ class DetectorOptions:
     search_engine: str = "dalg"
     #: SCOAP-guided decision ordering in the dalg search (ablation).
     scoap_guidance: bool = False
+    #: share launch-assumption implications across same-source pairs in
+    #: the decision session; disabling re-derives the full premise per
+    #: case (ablation — verdicts are identical either way).
+    launch_prefix: bool = True
     #: worker processes for the decision stage (1 = in-process serial).
     workers: int = 1
     #: simulation evaluator: "compiled" (levelized batched plan, default)
@@ -140,14 +144,18 @@ class AnalysisContext:
         return sim
 
     def decision_pool(
-        self, decider: PairDecider, expansion: TimeFrameExpansion
+        self,
+        decider: PairDecider,
+        expansion: TimeFrameExpansion,
+        shared=None,
     ) -> "DecisionWorkerPool":
         """The run's persistent worker pool, created on first use.
 
         Workers build their :class:`AnalysisContext` and prepare the
-        decider once, in the pool initializer; subsequent chunks only
-        ship pair lists.  Asking for a different decider/expansion/worker
-        count replaces the pool.
+        decider once, in the pool initializer; ``shared`` (e.g. the
+        parent-computed static-learning table) ships with it.
+        Subsequent chunks only carry pair lists.  Asking for a different
+        decider/expansion/worker count replaces the pool.
         """
         workers = max(1, self.options.workers)
         key = (
@@ -162,7 +170,8 @@ class AnalysisContext:
             self._pool = None
         if self._pool is None:
             self._pool = DecisionWorkerPool(
-                self.circuit, self.options, decider, expansion, workers, key
+                self.circuit, self.options, decider, expansion, workers, key,
+                shared=shared,
             )
         return self._pool
 
@@ -191,6 +200,8 @@ class PipelineState:
     learned_implications: int = 0
     engine: str = "dalg"
     disagreements: list[Disagreement] = field(default_factory=list)
+    #: decision-session counter totals (None for non-session engines).
+    session: dict[str, int] | None = None
 
 
 class PipelineStage(Protocol):
@@ -223,6 +234,8 @@ def _emit_pair(
         record["cases"] = len(result.cases)
         record["decisions"] = sum(c.decisions for c in result.cases)
         record["backtracks"] = sum(c.backtracks for c in result.cases)
+    if result.metrics:
+        record.update(result.metrics)
     ctx.emit("pair", **record)
     if ctx.progress is not None:
         ctx.progress(len(state.results), state.connected_pairs, record)
@@ -334,22 +347,57 @@ def _auto_chunk_size(num_pairs: int, workers: int) -> int:
     return max(1, min(64, -(-num_pairs // (workers * 4))))
 
 
+def _launch_chunks(pairs: Sequence[FFPair], size: int) -> list[list[FFPair]]:
+    """Contiguous chunks of ~``size`` pairs that never split a launch group.
+
+    Consecutive same-source pairs (one launch group) always land in the
+    same chunk, so the decision session's prefix cache keeps working
+    inside each worker; a group larger than ``size`` becomes its own
+    chunk.  Ordering is preserved, which keeps the merged results
+    byte-identical to serial.
+    """
+    from repro.core.session import launch_runs
+
+    size = max(1, size)
+    chunks: list[list[FFPair]] = []
+    current: list[FFPair] = []
+    for start, end in launch_runs(pairs):
+        group = list(pairs[start:end])
+        if current and len(current) + len(group) > size:
+            chunks.append(current)
+            current = []
+        current.extend(group)
+        if len(current) >= size:
+            chunks.append(current)
+            current = []
+    if current:
+        chunks.append(current)
+    return chunks
+
+
 #: per-worker-process decider, built once by :func:`_init_decision_worker`.
 _WORKER_DECIDER: PairDecider | None = None
 
 
-def _init_decision_worker(circuit, options, decider, expansion) -> None:
+def _init_decision_worker(circuit, options, decider, expansion, shared) -> None:
     """Pool initializer: build this worker's context and decider *once*.
 
     Runs in each worker process when the persistent pool spins it up.
     The decider arrives unprepared; it rebuilds its engines (implication
-    engine, SAT encoding, BDDs) from the shared expansion.  Every chunk
-    dispatched afterwards reuses the prepared decider, so per-chunk cost
-    is just the pair list pickle plus the decisions themselves.
+    engine, SAT encoding, BDDs) from the shared expansion.  Expensive
+    process-independent artifacts — the static-learning table — arrive
+    pre-computed as the ``shared`` payload instead of being re-derived
+    per worker.  Every chunk dispatched afterwards reuses the prepared
+    decider, so per-chunk cost is just the pair list pickle plus the
+    decisions themselves.
     """
     global _WORKER_DECIDER
     ctx = AnalysisContext(circuit, options)
     ctx.adopt_expansion(expansion)
+    if shared is not None:
+        adopt = getattr(decider, "adopt_shared", None)
+        if adopt is not None:
+            adopt(shared)
     decider.prepare(ctx)
     _WORKER_DECIDER = decider
 
@@ -357,20 +405,35 @@ def _init_decision_worker(circuit, options, decider, expansion) -> None:
 def _decide_pairs(pairs: Sequence[FFPair]):
     """Worker entry point: settle one chunk on the prepared decider.
 
-    Returns per-pair results with wall seconds, the worker's cumulative
-    learned-implication count, and the disagreements *new to this chunk*
-    (the decider persists across chunks, so the delta keeps the merged
-    list byte-identical to a serial run).
+    Returns per-pair results with wall seconds, the disagreements *new
+    to this chunk*, and the session-counter changes *of this chunk*
+    (the decider persists across chunks, so both are reported as deltas
+    to keep the parent's merge independent of chunk→worker placement;
+    ``trail_high_water`` is the worker's running maximum, merged by max).
     """
     decider = _WORKER_DECIDER
     flags_before = len(getattr(decider, "disagreements", ()))
-    decided: list[tuple[PairResult, float]] = []
-    for pair in pairs:
-        started = time.perf_counter()
-        result = decider.decide(pair)
-        decided.append((result, time.perf_counter() - started))
+    stats_fn = getattr(decider, "session_stats", None)
+    stats_before = stats_fn() if stats_fn is not None else None
+    group_fn = getattr(decider, "decide_group", None)
+    if group_fn is not None:
+        decided = list(group_fn(pairs))
+    else:
+        decided = []
+        for pair in pairs:
+            started = time.perf_counter()
+            result = decider.decide(pair)
+            decided.append((result, time.perf_counter() - started))
     flags = list(getattr(decider, "disagreements", ()))[flags_before:]
-    return decided, getattr(decider, "learned_implications", 0), flags
+    stats = None
+    if stats_fn is not None:
+        after = stats_fn()
+        stats = {
+            key: value - stats_before.get(key, 0)
+            for key, value in after.items()
+        }
+        stats["trail_high_water"] = after["trail_high_water"]
+    return decided, flags, stats
 
 
 class DecisionWorkerPool:
@@ -392,13 +455,17 @@ class DecisionWorkerPool:
         expansion: TimeFrameExpansion,
         workers: int,
         key: tuple,
+        shared=None,
     ) -> None:
         self.key = key
         self.workers = workers
         self._pool = ProcessPoolExecutor(
             max_workers=workers,
             initializer=_init_decision_worker,
-            initargs=(circuit, replace(options, workers=1), decider, expansion),
+            initargs=(
+                circuit, replace(options, workers=1), decider, expansion,
+                shared,
+            ),
         )
 
     def map_chunks(self, chunks: Sequence[Sequence[FFPair]]):
@@ -453,18 +520,24 @@ class DecisionStage:
                 threshold=threshold,
             )
         if go_parallel:
-            decided, learned, disagreements = self._run_parallel(
+            decided, learned, disagreements, session = self._run_parallel(
                 ctx, decider, pairs, workers
             )
         else:
             decider.prepare(ctx)
-            decided = []
-            for pair in pairs:
-                started = ctx.clock()
-                result = decider.decide(pair)
-                decided.append((result, ctx.clock() - started))
+            group_fn = getattr(decider, "decide_group", None)
+            if group_fn is not None:
+                decided = list(group_fn(pairs))
+            else:
+                decided = []
+                for pair in pairs:
+                    started = ctx.clock()
+                    result = decider.decide(pair)
+                    decided.append((result, ctx.clock() - started))
             learned = getattr(decider, "learned_implications", 0)
             disagreements = list(getattr(decider, "disagreements", []))
+            stats_fn = getattr(decider, "session_stats", None)
+            session = stats_fn() if stats_fn is not None else None
 
         for result, seconds in decided:
             state.results.append(result)
@@ -478,6 +551,9 @@ class DecisionStage:
             stats.cpu_seconds += seconds
             _emit_pair(ctx, state, result, seconds, engine=decider.name)
         state.learned_implications = learned
+        state.session = session
+        if session is not None:
+            ctx.emit("decision_session", engine=decider.name, **session)
         state.disagreements.extend(disagreements)
         for disagreement in disagreements:
             names = ctx.circuit.names
@@ -500,17 +576,37 @@ class DecisionStage:
         workers: int,
     ):
         expansion = ctx.expansion(getattr(decider, "frames", 2))
-        pool = ctx.decision_pool(decider, expansion)
-        size = ctx.options.chunk_pairs or _auto_chunk_size(len(pairs), workers)
-        chunks = _chunk_pairs(pairs, size)
-        decided: list[tuple[PairResult, float]] = []
+        shared = None
+        shared_fn = getattr(decider, "prepare_shared", None)
+        if shared_fn is not None:
+            shared = shared_fn(ctx)
+        # The learned-implication count is the parent's: the table is
+        # computed once here and shipped to every worker, so no chunk
+        # result needs to carry it back.
         learned = 0
+        if shared is not None:
+            from repro.atpg.learning import count_learned
+
+            learned = count_learned(shared)
+        pool = ctx.decision_pool(decider, expansion, shared=shared)
+        size = ctx.options.chunk_pairs or _auto_chunk_size(len(pairs), workers)
+        chunks = _launch_chunks(pairs, size)
+        decided: list[tuple[PairResult, float]] = []
         disagreements: list[Disagreement] = []
-        for chunk_decided, chunk_learned, chunk_flags in pool.map_chunks(chunks):
+        session: dict[str, int] | None = None
+        for chunk_decided, chunk_flags, chunk_stats in pool.map_chunks(chunks):
             decided.extend(chunk_decided)
-            learned = max(learned, chunk_learned)
             disagreements.extend(chunk_flags)
-        return decided, learned, disagreements
+            if chunk_stats is not None:
+                if session is None:
+                    session = dict(chunk_stats)
+                else:
+                    for key, value in chunk_stats.items():
+                        if key == "trail_high_water":
+                            session[key] = max(session[key], value)
+                        else:
+                            session[key] = session.get(key, 0) + value
+        return decided, learned, disagreements, session
 
 
 class Pipeline:
@@ -556,6 +652,7 @@ class Pipeline:
             learned_implications=state.learned_implications,
             engine=state.engine,
             disagreements=state.disagreements,
+            decision_session=state.session,
         )
         ctx.emit(
             "run_end",

@@ -70,6 +70,10 @@ class PairResult:
     classification: Classification
     stage: Stage
     cases: list[CaseResult] = field(default_factory=list)
+    #: per-pair decision-session counters (implications, prefix hits/
+    #: misses); observability only — excluded from equality and from
+    #: :meth:`DetectionResult.pair_records`.
+    metrics: dict[str, int] | None = field(default=None, compare=False)
 
     @property
     def is_multi_cycle(self) -> bool:
@@ -111,6 +115,9 @@ class DetectionResult:
     engine: str = "dalg"
     #: cross-check decider only: pairs where the two engines disagreed.
     disagreements: list[Disagreement] = field(default_factory=list)
+    #: decision-session counter totals (prefix cache hits/misses, trail
+    #: high-water mark, ...); ``None`` for non-session engines (sat/bdd).
+    decision_session: dict[str, int] | None = None
 
     @property
     def multi_cycle_pairs(self) -> list[PairResult]:

@@ -1,0 +1,396 @@
+"""Shared-launch decision sessions: one engine, many FF pairs.
+
+The MC condition of every case ``(a, b)`` for a pair ``(FF_i, FF_j)``
+starts from the same *launch* assumption ``FF_i(t)=a, FF_i(t+1)=¬a`` —
+identical for every pair sharing the launching FF.  The per-pair analyzer
+(:class:`~repro.core.pair_analysis.PairAnalyzer`) re-derives its
+implications from scratch four times per pair; a
+:class:`DecisionSession` instead walks the surviving pairs in *launch
+runs* (consecutive pairs with the same source, which is how
+:func:`~repro.circuit.topology.connected_ff_pairs` orders them), pushes
+each launch assumption once per ``(FF_i, a)``, keeps the implied trail
+segment on the engine, and per pair/case only replays the capture-side
+assumption ``FF_j(t+1)=b``.  A contradiction at the launch level settles
+both captures of *every* pair under that launcher at once.
+
+Why the results are identical to fresh per-case derivation: the
+implication rules are monotone functions of the current value state, so
+the closure of a set of assumptions (and whether it contradicts) does
+not depend on the order they are posted in, and the unjustified set is a
+function of the final values (a gate is re-examined whenever its
+neighborhood changes, so its last examination sees the final state).
+Splitting the premise into launch prefix + capture suffix therefore
+reaches the same fixpoint the one-shot ``assume_all`` did, and every
+downstream search starts from an identical state — verdicts, decision
+and backtrack counts, and witnesses all match byte for byte.  The
+property tests in ``tests/core/test_session.py`` pin this down against
+the fresh-engine oracle.
+
+The session runs on the O(1)-checkpoint array engine of
+:mod:`repro.atpg.implication` and is what the ``dalg``/``podem``/
+``scoap`` deciders build in ``prepare()``; the parallel decision stage
+shards whole launch runs so the prefix reuse survives in workers.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Sequence
+
+from repro.circuit.timeframe import TimeFrameExpansion
+from repro.circuit.topology import FFPair
+from repro.logic.values import BINARY
+from repro.atpg.implication import ImplicationEngine, LearnedTable
+from repro.atpg.justify import SearchStatus, justify
+from repro.core.result import (
+    CaseOutcome,
+    CaseResult,
+    Classification,
+    PairResult,
+    Stage,
+)
+
+#: available backtrack-search engines (paper §4.5 compares these styles)
+SEARCH_ENGINES = ("dalg", "podem")
+
+
+def launch_runs(pairs: Sequence[FFPair]) -> list[tuple[int, int]]:
+    """Half-open ``[start, end)`` runs of consecutive same-source pairs.
+
+    ``connected_ff_pairs`` emits pairs sorted by ``(source, sink)``, and
+    the random filter preserves that order, so in the pipeline each
+    launching FF appears as exactly one run.  Arbitrary orderings are
+    still handled correctly — scattered repeats of a source simply form
+    several runs and share less.
+    """
+    runs: list[tuple[int, int]] = []
+    index = 0
+    total = len(pairs)
+    while index < total:
+        end = index + 1
+        source = pairs[index].source
+        while end < total and pairs[end].source == source:
+            end += 1
+        runs.append((index, end))
+        index = end
+    return runs
+
+
+class DecisionSession:
+    """Implication/ATPG decisions over one expansion, launch-prefix cached.
+
+    Built once per expanded circuit (per process); :meth:`decide_group`
+    settles a list of pairs and returns ``(PairResult, seconds)`` per
+    pair in input order.  ``share_prefix=False`` disables the launch
+    cache (each case re-derives the full three-assumption premise, the
+    pre-session behaviour) — an ablation switch, reached through
+    ``DetectorOptions.launch_prefix`` / ``--no-launch-prefix``.
+    """
+
+    def __init__(
+        self,
+        expansion: TimeFrameExpansion,
+        *,
+        backtrack_limit: int = 50,
+        learned: LearnedTable | None = None,
+        search_engine: str = "dalg",
+        scoap_guidance: bool = False,
+        share_prefix: bool = True,
+        clock: Callable[[], float] = time.perf_counter,
+    ) -> None:
+        if expansion.frames < 2:
+            raise ValueError("pair decisions need at least a 2-frame expansion")
+        if search_engine not in SEARCH_ENGINES:
+            raise ValueError(f"unknown search engine {search_engine!r}")
+        self.expansion = expansion
+        self.backtrack_limit = backtrack_limit
+        self.share_prefix = share_prefix
+        self.clock = clock
+        if search_engine == "podem":
+            from repro.atpg.podem import podem_justify
+
+            self._search = podem_justify
+        elif scoap_guidance:
+            from repro.atpg.scoap import compute_scoap, make_choice_sorter
+
+            sorter = make_choice_sorter(compute_scoap(expansion.comb))
+
+            def guided(engine, limit):
+                return justify(engine, limit, choice_sorter=sorter)
+
+            self._search = guided
+        else:
+            self._search = justify
+        self.engine = ImplicationEngine(expansion.comb, learned=learned)
+        # Session-lifetime observability counters (the decision_session
+        # trace event and reporting totals read these via stats()).
+        self.pairs_decided = 0
+        self.prefix_hits = 0
+        self.prefix_misses = 0
+        self.launch_conflicts = 0
+        self.trail_high_water = 0
+
+    def stats(self) -> dict[str, int]:
+        """Counter snapshot for the ``decision_session`` summary event."""
+        return {
+            "pairs": self.pairs_decided,
+            "prefix_hits": self.prefix_hits,
+            "prefix_misses": self.prefix_misses,
+            "launch_conflicts": self.launch_conflicts,
+            "implications": self.engine.implications,
+            "trail_high_water": self.trail_high_water,
+        }
+
+    # ------------------------------------------------------------------
+    # Deciding.
+    # ------------------------------------------------------------------
+    def decide(self, pair: FFPair) -> PairResult:
+        """Settle one pair (single-pair group; prefix still pushed once)."""
+        return self.decide_group([pair])[0][0]
+
+    def decide_group(
+        self, pairs: Sequence[FFPair]
+    ) -> list[tuple[PairResult, float]]:
+        """Settle ``pairs`` in order; returns ``(result, seconds)`` each."""
+        out: list[tuple[PairResult, float] | None] = [None] * len(pairs)
+        if self.share_prefix:
+            for start, end in launch_runs(pairs):
+                self._decide_run(pairs, start, end, out)
+        else:
+            for index, pair in enumerate(pairs):
+                out[index] = self._decide_fresh(pair)
+        self.pairs_decided += len(pairs)
+        return out  # type: ignore[return-value]
+
+    def _decide_run(
+        self,
+        pairs: Sequence[FFPair],
+        start: int,
+        end: int,
+        out: list,
+    ) -> None:
+        """Settle one same-source run, sharing the launch prefixes.
+
+        Per-pair case order stays ``(0,0),(0,1),(1,0),(1,1)`` with the
+        usual short-circuit on VIOLATED/ABORTED; the rounds over ``a``
+        are interleaved across the run's pairs so each prefix is pushed
+        exactly once.  The prefix propagation is timed (and its
+        implications counted) inside the first unsettled pair's block.
+        """
+        expansion = self.expansion
+        engine = self.engine
+        clock = self.clock
+        source_index = expansion.ff_index(pairs[start].source)
+        ffi_t = expansion.ff_at[0][source_index]
+        ffi_t1 = expansion.ff_at[1][source_index]
+
+        count = end - start
+        cases: list[list[CaseResult]] = [[] for _ in range(count)]
+        verdict: list[tuple[Classification, Stage] | None] = [None] * count
+        used_search = [False] * count
+        seconds = [0.0] * count
+        implications = [0] * count
+        hits = [0] * count
+        misses = [0] * count
+
+        for a in BINARY:
+            prefix_ok: bool | None = None
+            mark = None
+            for i in range(count):
+                if verdict[i] is not None:
+                    continue
+                started = clock()
+                posted_before = engine.implications
+                if prefix_ok is None:
+                    mark = engine.checkpoint()
+                    prefix_ok = engine.assume_all([(ffi_t, a), (ffi_t1, 1 - a)])
+                    self.prefix_misses += 1
+                    misses[i] += 1
+                    if not prefix_ok:
+                        self.launch_conflicts += 1
+                    self._note_high_water()
+                else:
+                    self.prefix_hits += 1
+                    hits[i] += 1
+                if not prefix_ok:
+                    # The launch assumption itself is impossible: both
+                    # capture cases of every pair under it are contradicted.
+                    pair_cases = cases[i]
+                    for b in BINARY:
+                        pair_cases.append(
+                            CaseResult(a, b, CaseOutcome.CONTRADICTION)
+                        )
+                else:
+                    pair = pairs[start + i]
+                    sink_index = expansion.ff_index(pair.sink)
+                    ffj_t1 = expansion.ff_at[1][sink_index]
+                    ffj_t2 = expansion.ff_at[2][sink_index]
+                    for b in BINARY:
+                        case = self._capture_case(ffj_t1, ffj_t2, a, b)
+                        cases[i].append(case)
+                        if case.decisions:
+                            used_search[i] = True
+                        if case.outcome is CaseOutcome.VIOLATED:
+                            verdict[i] = (
+                                Classification.SINGLE_CYCLE,
+                                Stage.ATPG if case.decisions else Stage.IMPLICATION,
+                            )
+                            break
+                        if case.outcome is CaseOutcome.ABORTED:
+                            verdict[i] = (Classification.UNDECIDED, Stage.ATPG)
+                            break
+                implications[i] += engine.implications - posted_before
+                seconds[i] += clock() - started
+            if mark is not None:
+                engine.backtrack(mark)
+
+        for i in range(count):
+            if verdict[i] is not None:
+                classification, stage = verdict[i]
+            else:
+                classification = Classification.MULTI_CYCLE
+                stage = Stage.ATPG if used_search[i] else Stage.IMPLICATION
+            result = PairResult(
+                pairs[start + i],
+                classification,
+                stage,
+                cases[i],
+                metrics={
+                    "implications": implications[i],
+                    "prefix_hits": hits[i],
+                    "prefix_misses": misses[i],
+                },
+            )
+            out[start + i] = (result, seconds[i])
+
+    def _decide_fresh(self, pair: FFPair) -> tuple[PairResult, float]:
+        """Full-premise path (``share_prefix=False``): the pre-session flow."""
+        expansion = self.expansion
+        engine = self.engine
+        started = self.clock()
+        posted_before = engine.implications
+        source_index = expansion.ff_index(pair.source)
+        sink_index = expansion.ff_index(pair.sink)
+        ffi_t = expansion.ff_at[0][source_index]
+        ffi_t1 = expansion.ff_at[1][source_index]
+        ffj_t1 = expansion.ff_at[1][sink_index]
+        ffj_t2 = expansion.ff_at[2][sink_index]
+
+        cases: list[CaseResult] = []
+        verdict: tuple[Classification, Stage] | None = None
+        used_search = False
+        for a in BINARY:
+            for b in BINARY:
+                case = self._premise_case(ffi_t, ffi_t1, ffj_t1, ffj_t2, a, b)
+                cases.append(case)
+                if case.decisions:
+                    used_search = True
+                if case.outcome is CaseOutcome.VIOLATED:
+                    verdict = (
+                        Classification.SINGLE_CYCLE,
+                        Stage.ATPG if case.decisions else Stage.IMPLICATION,
+                    )
+                    break
+                if case.outcome is CaseOutcome.ABORTED:
+                    verdict = (Classification.UNDECIDED, Stage.ATPG)
+                    break
+            if verdict is not None:
+                break
+        if verdict is not None:
+            classification, stage = verdict
+        else:
+            classification = Classification.MULTI_CYCLE
+            stage = Stage.ATPG if used_search else Stage.IMPLICATION
+        result = PairResult(
+            pair,
+            classification,
+            stage,
+            cases,
+            metrics={
+                "implications": engine.implications - posted_before,
+                "prefix_hits": 0,
+                "prefix_misses": 0,
+            },
+        )
+        return result, self.clock() - started
+
+    # ------------------------------------------------------------------
+    # Case analysis.
+    # ------------------------------------------------------------------
+    def _capture_case(
+        self, ffj_t1: int, ffj_t2: int, a: int, b: int
+    ) -> CaseResult:
+        """One case on top of an already-propagated launch prefix."""
+        engine = self.engine
+        mark = engine.checkpoint()
+        try:
+            if not engine.assume(ffj_t1, b):
+                return CaseResult(a, b, CaseOutcome.CONTRADICTION)
+            self._note_high_water()
+            return self._case_tail(ffj_t2, a, b)
+        finally:
+            engine.backtrack(mark)
+
+    def _premise_case(
+        self, ffi_t: int, ffi_t1: int, ffj_t1: int, ffj_t2: int, a: int, b: int
+    ) -> CaseResult:
+        """One case deriving the full three-assumption premise from scratch."""
+        engine = self.engine
+        mark = engine.checkpoint()
+        try:
+            premise = [(ffi_t, a), (ffi_t1, 1 - a), (ffj_t1, b)]
+            if not engine.assume_all(premise):
+                return CaseResult(a, b, CaseOutcome.CONTRADICTION)
+            self._note_high_water()
+            return self._case_tail(ffj_t2, a, b)
+        finally:
+            engine.backtrack(mark)
+
+    def _case_tail(self, ffj_t2: int, a: int, b: int) -> CaseResult:
+        """Shared post-premise logic: implied value checks + searches.
+
+        Mirrors :meth:`PairAnalyzer._analyze_case` (including the
+        justifiability confirmation refinement over the paper's Step
+        4.1.3 — see that module's docstring).
+        """
+        engine = self.engine
+        implied = engine.value(ffj_t2)
+        if implied == b:
+            return CaseResult(a, b, CaseOutcome.IMPLIED_STABLE)
+
+        if implied == 1 - b:
+            result = self._search(engine, self.backtrack_limit)
+            if result.status is SearchStatus.SAT:
+                return CaseResult(
+                    a, b, CaseOutcome.VIOLATED,
+                    result.decisions, result.backtracks, result.witness,
+                )
+            if result.status is SearchStatus.ABORTED:
+                return CaseResult(
+                    a, b, CaseOutcome.ABORTED, result.decisions, result.backtracks
+                )
+            return CaseResult(
+                a, b, CaseOutcome.CONTRADICTION,
+                result.decisions, result.backtracks,
+            )
+
+        if not engine.assume(ffj_t2, 1 - b):
+            return CaseResult(a, b, CaseOutcome.IMPLIED_STABLE)
+        result = self._search(engine, self.backtrack_limit)
+        if result.status is SearchStatus.SAT:
+            return CaseResult(
+                a, b, CaseOutcome.VIOLATED,
+                result.decisions, result.backtracks, result.witness,
+            )
+        if result.status is SearchStatus.ABORTED:
+            return CaseResult(
+                a, b, CaseOutcome.ABORTED, result.decisions, result.backtracks
+            )
+        return CaseResult(
+            a, b, CaseOutcome.PROVED_STABLE, result.decisions, result.backtracks
+        )
+
+    def _note_high_water(self) -> None:
+        depth = self.engine.assignment.num_assigned()
+        if depth > self.trail_high_water:
+            self.trail_high_water = depth

@@ -94,7 +94,7 @@ def test_engine_state_restored_after_search():
     assert engine.assume(target, ONE) or True
     before = list(engine.assignment.values)
     justify(engine, backtrack_limit=1000)
-    assert engine.assignment.values == before
+    assert list(engine.assignment.values) == before
 
 
 def test_sat_without_search_when_all_justified():

@@ -128,7 +128,7 @@ def test_podem_restores_engine():
     engine.assume(internal[-1], ONE)
     before = list(engine.assignment.values)
     podem_justify(engine, backtrack_limit=1000)
-    assert engine.assignment.values == before
+    assert list(engine.assignment.values) == before
 
 
 def test_detector_with_podem_engine(fig1):

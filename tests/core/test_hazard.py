@@ -116,7 +116,7 @@ def test_path_search_restores_engine(fig4):
         engine, a_node, comb.id_of("C@1"), {comb.id_of("C@1")},
         SensitizationMode.STATIC_CO_SENSITIZATION,
     )
-    assert engine.assignment.values == before
+    assert list(engine.assignment.values) == before
 
 
 def test_unreachable_source_is_none(fig3):

@@ -106,5 +106,18 @@ def random_combinational_circuit(
     return circuit
 
 
+def shuffled(items, seed: int) -> list:
+    """A deterministic pseudo-random permutation of ``items``.
+
+    Used to exercise order-independence properties (e.g. the decision
+    session must classify pairs identically under any work order) while
+    staying shrinkable: hypothesis only has to minimise the seed.
+    """
+    rng = random.Random(seed)
+    out = list(items)
+    rng.shuffle(out)
+    return out
+
+
 #: hypothesis strategy: seeds for the random-circuit builders
 seeds = st.integers(min_value=0, max_value=10_000_000)

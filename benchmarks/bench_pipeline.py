@@ -24,6 +24,20 @@ Two measurements per circuit of the selected suite profile, recorded to
   premise re-derived per case), measured back-to-back on one session
   engine.  The regression gate applies the same same-hardware /
   cross-hardware metric choice as for stage 1.
+* **Hazard stage**: detected multi-cycle pairs validated per second by
+  the ternary checker (``hazard_pairs_per_sec``, full check including
+  witness search), plus the hardware-independent ``hazard_speedup`` —
+  the packed bit-parallel verdict sweep against the scalar per-case dict
+  evaluation over the *same* precomputed witness lanes, so the ratio
+  isolates the evaluation kernels.
+* **Topology stage**: the packed-bitset reachability pass (cold reach
+  build + pair extraction, warm CSR — the CSR is shared with the
+  decision engines) against the per-sink set-BFS reference
+  (``topology_speedup``).  The profile circuits are too small for the
+  bitset pass to matter (numpy call overhead floors at ~0.2 ms), so the
+  report also carries a fixed ``topology_probe`` on syn6000 where the
+  asymptotic win is visible; the probe costs milliseconds regardless of
+  profile.
 
 Every timed section runs one warmup iteration first and is clocked with
 ``time.perf_counter``.  Per-stage wall times come from the structured
@@ -42,16 +56,23 @@ from pathlib import Path
 import numpy as np
 import pytest
 
+from repro.circuit.csr import csr_arrays
 from repro.circuit.timeframe import expand_cached
-from repro.circuit.topology import connected_ff_pairs
+from repro.circuit.topology import (
+    connected_ff_pairs,
+    connected_ff_pairs_bfs,
+    build_ff_reach,
+)
 from repro.core.detector import DetectorOptions, MultiCycleDetector
 from repro.core.random_filter import random_filter
 from repro.core.session import DecisionSession
+from repro.core.ternary_hazard import TernaryHazardChecker
 from repro.core.trace import Tracer
 from repro.logic.bitsim import BitSimulator, simulate_three_frames
 
 from conftest import PROFILE, record_report
-from repro.bench_gen.suite import suite
+from repro.bench_gen.suite import suite, spec_by_name
+from repro.bench_gen.synth import generate
 
 _RESULT_PATH = Path(__file__).parent.parent / "BENCH_pipeline.json"
 #: at least 2 so the sharded path is exercised even on one core.
@@ -60,6 +81,8 @@ _WORKERS = max(2, min(4, os.cpu_count() or 1))
 _SIM_ROUNDS = 128
 _SIM_WORDS = 4
 _ROUND_BATCH = 8
+#: fixed circuit for the topology scaling probe, independent of profile.
+_TOPOLOGY_PROBE = "syn6000"
 
 _CIRCUITS = suite(PROFILE)
 _IDS = [c.name for c in _CIRCUITS]
@@ -144,6 +167,78 @@ def _sustained_decision(circuit) -> tuple[int, float, float]:
     return len(survivors), timed(True), timed(False)
 
 
+def _sustained_hazard(circuit, detection) -> dict[str, float | int]:
+    """Hazard-stage metrics over the run's detected multi-cycle pairs.
+
+    ``hazard_seconds`` / ``hazard_pairs_per_sec`` time the full packed
+    check (witness search included).  ``hazard_speedup`` isolates the
+    verdict kernels: scalar against packed evaluation of the *same*
+    precomputed witness lanes, back to back — hardware-independent."""
+    checker = TernaryHazardChecker(circuit)
+    pairs = detection.multi_cycle_pairs
+    lanes = checker.collect_lanes(pairs)
+    if not lanes:
+        return {
+            "hazard_pairs": len(pairs), "hazard_lanes": 0,
+            "hazard_seconds": 0.0, "hazard_pairs_per_sec": 0.0,
+            "hazard_speedup": 0.0,
+        }
+    checker.packed_lane_verdicts(lanes)  # warmup (simulator buffers)
+    checker.scalar_lane_verdicts(lanes)
+    started = time.perf_counter()
+    checker.scalar_lane_verdicts(lanes)
+    scalar_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    checker.packed_lane_verdicts(lanes)
+    packed_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    checker.check_pairs(pairs)
+    full_seconds = time.perf_counter() - started
+    return {
+        "hazard_pairs": len(pairs),
+        "hazard_lanes": len(lanes),
+        "hazard_seconds": round(full_seconds, 6),
+        "hazard_pairs_per_sec": round(
+            len(pairs) / full_seconds if full_seconds else 0.0
+        ),
+        "hazard_speedup": round(
+            scalar_seconds / packed_seconds if packed_seconds else 0.0, 3
+        ),
+    }
+
+
+def _topology_metrics(circuit, repeats: int = 5) -> dict[str, float]:
+    """Bitset reach pass (cold build + extraction, warm CSR) vs set BFS.
+
+    Best-of-``repeats`` to keep single-core CI noise out of the ratio."""
+    csr_arrays(circuit)  # warm the CSR cache (shared with the engines)
+    connected_ff_pairs_bfs(circuit)  # warm fanout cache
+    connected_ff_pairs(circuit)  # warm the reach cache for extraction
+
+    def once_bitset() -> float:
+        # One cold reach build plus the pair extraction: what the
+        # topology stage pays once per circuit version.
+        started = time.perf_counter()
+        build_ff_reach(circuit)
+        connected_ff_pairs(circuit)
+        return time.perf_counter() - started
+
+    def once_bfs() -> float:
+        started = time.perf_counter()
+        connected_ff_pairs_bfs(circuit)
+        return time.perf_counter() - started
+
+    bitset_seconds = min(once_bitset() for _ in range(repeats))
+    bfs_seconds = min(once_bfs() for _ in range(repeats))
+    return {
+        "topology_seconds": round(bitset_seconds, 6),
+        "topology_seconds_bfs": round(bfs_seconds, 6),
+        "topology_speedup": round(
+            bfs_seconds / bitset_seconds if bitset_seconds else 0.0, 3
+        ),
+    }
+
+
 def _stage_seconds(tracer: Tracer) -> dict[str, float]:
     return {
         record["stage"]: record["seconds"]
@@ -180,7 +275,8 @@ def test_pipeline_report(bench_circuits):
         "Pipeline executor and stage-1 simulation throughput",
         f"{'circuit':>10}  {'pairs':>6}  {'serial(s)':>10}  "
         f"{'workers=' + str(_WORKERS) + '(s)':>14}  {'speedup':>8}  "
-        f"{'Mpat/s':>8}  {'simx':>6}  {'dec p/s':>8}  {'decx':>6}",
+        f"{'Mpat/s':>8}  {'simx':>6}  {'dec p/s':>8}  {'decx':>6}  "
+        f"{'hazx':>6}",
     ]
     for circuit in bench_circuits:
         _run(circuit, workers=1)  # warmup (plan + expansion caches)
@@ -214,6 +310,9 @@ def test_pipeline_report(bench_circuits):
             fresh_seconds / shared_seconds if shared_seconds else 0.0
         )
 
+        hazard = _sustained_hazard(circuit, serial)
+        topology = _topology_metrics(circuit)
+
         entries.append(
             {
                 "circuit": circuit.name,
@@ -230,19 +329,49 @@ def test_pipeline_report(bench_circuits):
                 "decision_pairs": survivors,
                 "decision_pairs_per_sec": round(dps),
                 "decision_speedup": round(decision_speedup, 3),
+                **hazard,
+                **topology,
             }
         )
         lines.append(
             f"{circuit.name:>10}  {serial.connected_pairs:>6}  "
             f"{serial_seconds:>10.3f}  {parallel_seconds:>14.3f}  "
             f"{speedup:>8.2f}  {pps / 1e6:>8.2f}  {sim_speedup:>6.1f}  "
-            f"{dps:>8.0f}  {decision_speedup:>6.2f}"
+            f"{dps:>8.0f}  {decision_speedup:>6.2f}  "
+            f"{hazard['hazard_speedup']:>6.1f}"
         )
         # Acceptance: a workers>1 run must either win or have declined to
         # shard (auto-serial) — never pay dispatch overhead for a loss.
         assert speedup >= 0.8 or auto_serial, (
             f"parallel executor lost without auto-serial on {circuit.name}"
         )
+    # Acceptance: on the largest circuit with detected MC pairs the packed
+    # verdict sweep must beat the scalar evaluation at least 3x.
+    with_pairs = [e for e in entries if e["hazard_lanes"]]
+    if with_pairs:
+        assert with_pairs[-1]["hazard_speedup"] >= 3.0, (
+            f"hazard_speedup {with_pairs[-1]['hazard_speedup']} < 3 on "
+            f"{with_pairs[-1]['circuit']}"
+        )
+    # Fixed-size topology probe (see module docstring): the bitset pass
+    # must hold a >= 2x win at scale.
+    probe_circuit = generate(spec_by_name(_TOPOLOGY_PROBE))
+    probe = {
+        "circuit": _TOPOLOGY_PROBE,
+        "num_nodes": probe_circuit.num_nodes,
+        "num_dffs": len(probe_circuit.dffs),
+        **_topology_metrics(probe_circuit),
+    }
+    assert probe["topology_speedup"] >= 2.0, (
+        f"topology_speedup {probe['topology_speedup']} < 2 on the "
+        f"{_TOPOLOGY_PROBE} probe"
+    )
+    lines.append(
+        f"topology probe {_TOPOLOGY_PROBE}: bitset "
+        f"{probe['topology_seconds'] * 1e3:.2f}ms vs bfs "
+        f"{probe['topology_seconds_bfs'] * 1e3:.2f}ms "
+        f"({probe['topology_speedup']:.1f}x)"
+    )
     _RESULT_PATH.write_text(
         json.dumps(
             {
@@ -253,6 +382,7 @@ def test_pipeline_report(bench_circuits):
                 "sim_words": _SIM_WORDS,
                 "round_batch": _ROUND_BATCH,
                 "results": entries,
+                "topology_probe": probe,
             },
             indent=2,
         )

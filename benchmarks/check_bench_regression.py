@@ -8,12 +8,16 @@ Raw throughput is only comparable on like-for-like hardware, so the
 metrics are chosen per the recorded ``cpu_count``:
 
 * same ``cpu_count`` in baseline and current → compare
-  ``patterns_per_sec`` (stage-1 simulation) and
-  ``decision_pairs_per_sec`` (decision stage) directly;
-* different hardware → compare ``sim_speedup`` and
-  ``decision_speedup`` — ratios of the shipping engines over their
+  ``patterns_per_sec`` (stage-1 simulation),
+  ``decision_pairs_per_sec`` (decision stage) and
+  ``hazard_pairs_per_sec`` (hazard stage) directly;
+* different hardware → compare ``sim_speedup``, ``decision_speedup``
+  and ``hazard_speedup`` — ratios of the shipping engines over their
   pre-optimisation counterparts, measured back-to-back on the same
   machine, hence hardware-independent.
+
+The fixed-size ``topology_probe`` (bitset reachability vs set BFS, both
+measured back to back) is gated in both cases via its speedup ratio.
 
 Usage::
 
@@ -35,8 +39,12 @@ def _by_circuit(report: dict) -> dict[str, dict]:
 def _metrics(baseline: dict, current: dict) -> tuple[str, ...]:
     same_hardware = baseline.get("cpu_count") == current.get("cpu_count")
     if same_hardware:
-        return ("patterns_per_sec", "decision_pairs_per_sec")
-    return ("sim_speedup", "decision_speedup")
+        return (
+            "patterns_per_sec",
+            "decision_pairs_per_sec",
+            "hazard_pairs_per_sec",
+        )
+    return ("sim_speedup", "decision_speedup", "hazard_speedup")
 
 
 def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
@@ -60,6 +68,18 @@ def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
                     f"{name}: {metric} {measured:,.0f} < floor {floor:,.0f} "
                     f"(baseline {reference:,.0f}, tolerance {tolerance:.0%})"
                 )
+    base_probe = baseline.get("topology_probe") or {}
+    current_probe = current.get("topology_probe") or {}
+    reference = base_probe.get("topology_speedup")
+    measured = current_probe.get("topology_speedup")
+    if reference and measured is not None:
+        floor = reference * (1.0 - tolerance)
+        if measured < floor:
+            failures.append(
+                f"topology_probe ({base_probe.get('circuit')}): "
+                f"topology_speedup {measured:.2f} < floor {floor:.2f} "
+                f"(baseline {reference:.2f}, tolerance {tolerance:.0%})"
+            )
     return failures
 
 

@@ -44,11 +44,13 @@ from repro.core.kcycle import (
 from repro.core.pipeline import (
     AnalysisContext,
     DecisionStage,
+    HazardStage,
     Pipeline,
     RandomFilterStage,
     TopologyStage,
     default_pipeline,
 )
+from repro.core.ternary_hazard import TernaryHazardChecker, ternary_check_hazards
 from repro.core.result import Classification, DetectionResult, PairResult, Stage
 from repro.core.sensitization import SensitizationMode
 from repro.core.trace import Tracer, open_trace, read_trace
@@ -66,6 +68,7 @@ __all__ = [
     "DetectorOptions",
     "FFPair",
     "HazardChecker",
+    "HazardStage",
     "KCycleAnalyzer",
     "KCycleDetector",
     "MultiCycleDetector",
@@ -75,6 +78,7 @@ __all__ = [
     "RandomFilterStage",
     "SensitizationMode",
     "Stage",
+    "TernaryHazardChecker",
     "TopologyStage",
     "Tracer",
     "available_engines",
@@ -89,5 +93,6 @@ __all__ = [
     "open_trace",
     "read_trace",
     "register_decider",
+    "ternary_check_hazards",
     "validate",
 ]

@@ -14,7 +14,11 @@ circuit once into compressed-sparse-row form:
 * ``fanins``/``fanouts`` — immutable per-node row views of the same
   data, which is what CPython iterates fastest in the hot loop,
 * ``levels`` — combinational level per node,
-* ``const0``/``const1`` — constant nodes the engine presets.
+* ``const0``/``const1`` — constant nodes the engine presets,
+* ``*_np`` — zero-copy read-only numpy views of the same buffers, for
+  consumers that slice the adjacency with array arithmetic (the packed
+  bitset reachability pass in :mod:`repro.circuit.topology`) rather than
+  iterating rows.
 
 The structure is read-only and cached on the circuit through
 :meth:`~repro.circuit.netlist.Circuit.derived` (like the compiled
@@ -26,6 +30,8 @@ from __future__ import annotations
 
 from array import array
 from dataclasses import dataclass
+
+import numpy as np
 
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit
@@ -49,6 +55,22 @@ class CsrArrays:
     levels: tuple[int, ...]
     const0: tuple[int, ...]
     const1: tuple[int, ...]
+    # Read-only numpy views: types/levels are copies of the scalar data,
+    # the offset/flat views alias the ``array('i')`` buffers zero-copy.
+    types_np: np.ndarray
+    levels_np: np.ndarray
+    fanin_offsets_np: np.ndarray
+    fanin_flat_np: np.ndarray
+    fanout_offsets_np: np.ndarray
+    fanout_flat_np: np.ndarray
+
+
+def _np_view(data: array) -> np.ndarray:
+    view = np.frombuffer(data, dtype=np.int32) if len(data) else np.empty(
+        0, dtype=np.int32
+    )
+    view.flags.writeable = False
+    return view
 
 
 def _csr(rows: list[tuple[int, ...]] | list[list[int]]) -> tuple[array, array]:
@@ -74,18 +96,32 @@ def _build(circuit: Circuit) -> CsrArrays:
     )
     fanin_offsets, fanin_flat = _csr(circuit.fanins)
     fanout_offsets, fanout_flat = _csr(list(fanouts))
+    types = bytes(int(t) for t in circuit.types)
+    levels = tuple(circuit.levels())
+    types_np = np.frombuffer(types, dtype=np.uint8) if types else np.empty(
+        0, dtype=np.uint8
+    )
+    types_np.flags.writeable = False
+    levels_np = np.asarray(levels, dtype=np.int32)
+    levels_np.flags.writeable = False
     return CsrArrays(
         num_nodes=num_nodes,
-        types=bytes(int(t) for t in circuit.types),
+        types=types,
         fanin_offsets=fanin_offsets,
         fanin_flat=fanin_flat,
         fanout_offsets=fanout_offsets,
         fanout_flat=fanout_flat,
         fanins=fanins,
         fanouts=fanouts,
-        levels=tuple(circuit.levels()),
+        levels=levels,
         const0=tuple(circuit.ids_of_type(GateType.CONST0)),
         const1=tuple(circuit.ids_of_type(GateType.CONST1)),
+        types_np=types_np,
+        levels_np=levels_np,
+        fanin_offsets_np=_np_view(fanin_offsets),
+        fanin_flat_np=_np_view(fanin_flat),
+        fanout_offsets_np=_np_view(fanout_offsets),
+        fanout_flat_np=_np_view(fanout_flat),
     )
 
 

@@ -4,28 +4,181 @@ Step 1 of the paper's flow drops every FF pair with no combinational path
 between them; only *topologically connected* pairs enter the expensive
 stages.  :func:`connected_ff_pairs` computes exactly that relation (the
 "FF-pair" column of Table 1).
+
+Connectivity is computed with one packed-bitset forward pass instead of a
+per-sink set BFS: flip-flop ``k`` seeds bit ``k`` of its own reach row,
+and a levelized sweep over the cached CSR views ORs fanin rows into each
+combinational node (``words = ceil(num_dffs / 64)`` ``uint64`` words per
+node, so one sweep resolves *every* (source, sink) question at once —
+the reach row of a sink's D driver *is* its source-FF set).  Each level
+is one flat gather of every fanin row plus a segmented
+``bitwise_or.reduceat``, which handles ragged fanin counts natively.
+The pass is cached per netlist version via :meth:`Circuit.derived`;
+:func:`source_ffs_of_sink`, :func:`connected_ff_pairs` and
+:func:`pair_count_matrix` all read the same matrix.  The original BFS
+survives as :func:`source_ffs_of_sink_bfs` / ``connected_ff_pairs_bfs``
+— the reference implementation the bitset pass is tested and benchmarked
+against.  Pair order is unchanged: ascending bit index is ascending DFF
+node id, and the final ``(source, sink)`` sort reproduces the legacy
+order exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import NamedTuple
 
-from repro.circuit.gates import GateType
+import numpy as np
+
+from repro.circuit.csr import csr_arrays
+from repro.circuit.gates import COMBINATIONAL_TYPES, GateType
 from repro.circuit.netlist import Circuit
 
+#: :meth:`Circuit.derived` cache key for the packed FF-reach matrix.
+_DERIVED_KEY = "ff-reach"
 
-@dataclass(frozen=True)
-class FFPair:
-    """An ordered pair of flip-flops (source, sink), stored by node id."""
+_COMB_CODES = np.array(sorted(int(t) for t in COMBINATIONAL_TYPES),
+                       dtype=np.uint8)
+
+
+class FFPair(NamedTuple):
+    """An ordered pair of flip-flops (source, sink), stored by node id.
+
+    A named tuple rather than a dataclass: circuits produce thousands of
+    pairs and the C-level tuple construction keeps the enumeration cost
+    proportional to the reachability pass instead of dominating it.
+    Ordering, equality and hashing follow the (source, sink) tuple.
+    """
 
     source: int
     sink: int
 
 
+@dataclass(frozen=True)
+class FFReach:
+    """Packed FF-reachability of one circuit (see module docstring).
+
+    ``rows`` has one ``words``-word bitset per node: bit ``k`` of
+    ``rows[n]`` is set iff flip-flop ``dffs[k]`` has a combinational
+    path to node ``n``.  DFF rows carry only their own bit
+    (reachability stops at state elements, exactly like
+    :meth:`Circuit.transitive_fanin`).
+    """
+
+    dffs: tuple[int, ...]
+    words: int
+    rows: np.ndarray
+
+    def sources_of(self, node: int) -> list[int]:
+        """DFF node ids whose bit is set in ``rows[node]``, ascending."""
+        bits = np.unpackbits(
+            self.rows[node].view(np.uint8), bitorder="little"
+        )[: len(self.dffs)]
+        return [self.dffs[k] for k in np.nonzero(bits)[0]]
+
+
+def build_ff_reach(circuit: Circuit) -> FFReach:
+    """Uncached :class:`FFReach` construction (one levelized bitset pass).
+
+    Callers normally want :func:`ff_reach`; the raw builder exists for
+    benchmarks that time the pass itself.
+    """
+    csr = csr_arrays(circuit)
+    dffs = tuple(circuit.dffs)
+    words = max(1, -(-len(dffs) // 64))
+    rows = np.zeros((circuit.num_nodes, words), dtype=np.uint64)
+    for k, dff in enumerate(dffs):
+        rows[dff, k // 64] |= np.uint64(1) << np.uint64(k % 64)
+
+    comb = np.isin(csr.types_np, _COMB_CODES)
+    node_ids = np.nonzero(comb)[0].astype(np.intp)
+    if len(node_ids):
+        levels = csr.levels_np[node_ids]
+        order = np.argsort(levels, kind="stable")
+        node_ids = node_ids[order]
+        levels = levels[order]
+        offsets = csr.fanin_offsets_np
+        starts = offsets[node_ids]
+        counts = offsets[node_ids + 1] - starts
+        top = int(levels[-1])
+        bounds = np.searchsorted(levels, np.arange(top + 2))
+        # Flat fanin node ids of every sorted node, computed once; each
+        # level then slices its span out of it.
+        excl = np.concatenate(([0], np.cumsum(counts)[:-1]))
+        total = int(excl[-1] + counts[-1])
+        flat_fanins = csr.fanin_flat_np[
+            np.repeat(starts - excl, counts) + np.arange(total)
+        ]
+        # Sweep level by level: equal-level nodes never read each other,
+        # so each level is one flat fanin gather + segmented OR
+        # (``reduceat`` handles the ragged fanin counts without padding).
+        for level in range(1, top + 1):
+            lo, hi = int(bounds[level]), int(bounds[level + 1])
+            if hi == lo:
+                continue
+            base = int(excl[lo])
+            stop = int(excl[hi - 1] + counts[hi - 1])
+            gathered = rows[flat_fanins[base:stop]]
+            rows[node_ids[lo:hi]] = np.bitwise_or.reduceat(
+                gathered, excl[lo:hi] - base, axis=0
+            )
+    rows.flags.writeable = False
+    return FFReach(dffs=dffs, words=words, rows=rows)
+
+
+def ff_reach(circuit: Circuit) -> FFReach:
+    """The circuit's packed FF-reach matrix (built once per version)."""
+    return circuit.derived(_DERIVED_KEY, build_ff_reach)
+
+
 def source_ffs_of_sink(circuit: Circuit, sink_dff: int) -> set[int]:
     """Flip-flops with a combinational path into ``sink_dff``'s D input."""
+    reach = ff_reach(circuit)
+    # A DFF row carries its own bit, so a direct DFF->DFF edge reports
+    # the driving flip-flop without special casing.
+    return set(reach.sources_of(circuit.next_state_node(sink_dff)))
+
+
+def source_ffs_of_sink_bfs(circuit: Circuit, sink_dff: int) -> set[int]:
+    """Reference BFS implementation of :func:`source_ffs_of_sink`."""
     cone = circuit.transitive_fanin([circuit.next_state_node(sink_dff)])
     return {n for n in cone if circuit.types[n] == GateType.DFF}
+
+
+def connected_pair_arrays(
+    circuit: Circuit, include_self_loops: bool = True
+) -> tuple[np.ndarray, np.ndarray]:
+    """The connected relation as ``(sources, sinks)`` node-id arrays.
+
+    Rows are in the canonical ascending (source, sink) order.  This is
+    the array-level core of :func:`connected_ff_pairs` for consumers
+    that operate on the relation wholesale and do not need pair objects.
+    """
+    reach = ff_reach(circuit)
+    dffs = reach.dffs
+    if not dffs:
+        empty = np.empty(0, dtype=np.intp)
+        return empty, empty
+    drivers = np.fromiter(
+        (circuit.next_state_node(d) for d in dffs), dtype=np.intp,
+        count=len(dffs),
+    )
+    sink_rows = reach.rows[drivers]
+    bits = np.unpackbits(
+        sink_rows.view(np.uint8), axis=1, bitorder="little"
+    )[:, : len(dffs)]
+    # Transposed nonzero enumerates (source, sink) in row-major order;
+    # ascending bit/DFF-list index is ascending node id, so the result is
+    # already in the canonical (source, sink) sort without a sort call.
+    source_index, sink_index = np.nonzero(np.ascontiguousarray(bits.T))
+    dff_ids = np.asarray(dffs, dtype=np.intp)
+    sources = dff_ids[source_index]
+    sinks = dff_ids[sink_index]
+    if not include_self_loops:
+        keep = sources != sinks
+        sources, sinks = sources[keep], sinks[keep]
+    return sources, sinks
+
 
 def connected_ff_pairs(
     circuit: Circuit, include_self_loops: bool = True
@@ -36,9 +189,20 @@ def connected_ff_pairs(
     paper analyses self-loop pairs too (its SAT-based comparison excluded
     them), so they are included by default.
     """
+    sources, sinks = connected_pair_arrays(circuit, include_self_loops)
+    # ``_make`` binds straight to ``tuple.__new__`` — materialising
+    # thousands of pairs this way is measurably cheaper than calling the
+    # generated ``FFPair.__new__``.
+    return list(map(FFPair._make, zip(sources.tolist(), sinks.tolist())))
+
+
+def connected_ff_pairs_bfs(
+    circuit: Circuit, include_self_loops: bool = True
+) -> list[FFPair]:
+    """Reference BFS implementation of :func:`connected_ff_pairs`."""
     pairs: list[FFPair] = []
     for sink in circuit.dffs:
-        for source in sorted(source_ffs_of_sink(circuit, sink)):
+        for source in source_ffs_of_sink_bfs(circuit, sink):
             if source == sink and not include_self_loops:
                 continue
             pairs.append(FFPair(source, sink))
@@ -47,8 +211,14 @@ def connected_ff_pairs(
 
 
 def pair_count_matrix(circuit: Circuit) -> dict[int, set[int]]:
-    """Map each sink DFF id to the set of its source DFF ids."""
-    return {sink: source_ffs_of_sink(circuit, sink) for sink in circuit.dffs}
+    """Map each sink DFF id to the set of its source DFF ids.
+
+    Reads the same cached reach matrix as :func:`connected_ff_pairs` —
+    the per-sink cones are not recomputed.
+    """
+    return {
+        sink: source_ffs_of_sink(circuit, sink) for sink in circuit.dffs
+    }
 
 
 def nodes_reaching(circuit: Circuit, target: int) -> set[int]:

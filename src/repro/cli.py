@@ -53,6 +53,7 @@ def _detector_options(args: argparse.Namespace) -> DetectorOptions:
         workers=args.workers,
         parallel_threshold=args.parallel_threshold,
         chunk_pairs=args.chunk_pairs,
+        hazard_check=getattr(args, "hazard_check", "off"),
     )
 
 
@@ -109,6 +110,15 @@ def _add_detector_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--chunk-pairs", type=int, default=0,
                         help="pairs per chunk dispatched to the worker "
                              "pool (default: 0 = automatic)")
+    parser.add_argument("--hazard-check", default="off",
+                        choices=("off", "ternary", "sensitize",
+                                 "cosensitize"),
+                        help="validate detected multi-cycle pairs against "
+                             "static hazards (Section 5): bit-parallel "
+                             "ternary simulation or a static "
+                             "(co-)sensitization path search; flagged "
+                             "pairs are reported, classifications are "
+                             "unchanged (default: off)")
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="write per-stage/per-pair JSONL trace events "
                              "to FILE")
@@ -133,6 +143,14 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         s = result.stats[stage]
         print(f"  {stage.value:12s} single={s.single_cycle:6d} "
               f"multi={s.multi_cycle:6d} cpu={s.cpu_seconds:.2f}s")
+    if result.hazard_mode != "off":
+        print(f"hazard check:       {result.hazard_mode}: "
+              f"{result.hazard_checked} checked, "
+              f"{result.hazard_flagged} flagged, "
+              f"{len(result.hazard_verified_pairs)} verified")
+        for pair in result.hazard_flagged_pairs:
+            print(f"  hazard-flagged {circuit.names[pair.source]} -> "
+                  f"{circuit.names[pair.sink]}")
     session = result.decision_session
     if session:
         print(f"decision session:   {session['implications']} implications, "

@@ -29,7 +29,7 @@ from dataclasses import dataclass
 
 from repro.circuit.gates import COMBINATIONAL_TYPES
 from repro.circuit.netlist import Circuit
-from repro.circuit.timeframe import TimeFrameExpansion, expand
+from repro.circuit.timeframe import TimeFrameExpansion, expand_cached
 from repro.logic.values import BINARY
 from repro.atpg.implication import ImplicationEngine
 from repro.core.result import CaseOutcome, DetectionResult, PairResult
@@ -80,12 +80,17 @@ class HazardChecker:
         mode: SensitizationMode = SensitizationMode.STATIC_CO_SENSITIZATION,
         backtrack_limit: int = 50,
         max_attempts: int = 5000,
+        expansion: TimeFrameExpansion | None = None,
     ) -> None:
         self.circuit = circuit
         self.mode = mode
         self.backtrack_limit = backtrack_limit
         self.max_attempts = max_attempts
-        self.expansion: TimeFrameExpansion = expand(circuit, frames=2)
+        if expansion is None:
+            expansion = expand_cached(circuit, frames=2)
+        elif expansion.frames < 2:
+            raise ValueError("the hazard check needs a 2-frame expansion")
+        self.expansion = expansion
         self.engine = ImplicationEngine(self.expansion.comb)
         # The hazard path must lie inside the second frame's combinational
         # logic (the cycle t+1 -> t+2 in which the relaxed propagation runs).

@@ -31,7 +31,10 @@ from repro.circuit.netlist import Circuit
 from repro.circuit.timeframe import TimeFrameExpansion, expand_cached
 from repro.circuit.topology import FFPair, connected_ff_pairs
 from repro.core.deciders import PairDecider, create_decider
+from repro.core.hazard import HazardChecker
 from repro.core.random_filter import random_filter, random_filter_k
+from repro.core.sensitization import mode_from_flag
+from repro.core.ternary_hazard import TernaryHazardChecker
 from repro.logic.bitsim import BitSimulator
 from repro.core.result import (
     Classification,
@@ -87,6 +90,14 @@ class DetectorOptions:
     #: pairs per chunk dispatched to the worker pool (0 = automatic:
     #: enough chunks to keep every worker busy several times over).
     chunk_pairs: int = 0
+    #: hazard validation of detected multi-cycle pairs (Section 5):
+    #: "off" (default), "ternary" (bit-parallel Eichelberger simulation),
+    #: "sensitize" or "cosensitize" (static path sensitization).  Pair
+    #: classifications and records are identical either way — the stage
+    #: only annotates the result with flagged pairs.
+    hazard_check: str = "off"
+    #: backtrack limit for the hazard stage's witness/path searches.
+    hazard_backtrack_limit: int = 200
 
 
 @dataclass
@@ -202,6 +213,11 @@ class PipelineState:
     disagreements: list[Disagreement] = field(default_factory=list)
     #: decision-session counter totals (None for non-session engines).
     session: dict[str, int] | None = None
+    #: hazard-stage outcome (mode "off" when the stage was disabled).
+    hazard_mode: str = "off"
+    hazard_checked: int = 0
+    hazard_flagged: int = 0
+    hazard_flagged_pairs: list[FFPair] = field(default_factory=list)
 
 
 class PipelineStage(Protocol):
@@ -609,6 +625,79 @@ class DecisionStage:
         return decided, learned, disagreements, session
 
 
+class HazardStage:
+    """Step 5 (optional): validate detected MC pairs against static hazards.
+
+    Runs after the decision stage over the multi-cycle survivors only.
+    ``options.hazard_check`` picks the condition: the bit-parallel ternary
+    (Eichelberger) simulation check or a static (co-)sensitization path
+    search; ``"off"`` makes the stage a no-op.  Classifications and
+    :meth:`~repro.core.result.DetectionResult.pair_records` are never
+    modified — flagged pairs are reported through the result's hazard
+    counters (a flagged pair should not be timing-relaxed even though its
+    settled-value MC condition holds).
+
+    The checkers run in-process on the context's cached 2-frame expansion
+    — the same object the deciders used, so no re-expansion happens; the
+    ternary checker additionally packs every case witness into simulator
+    lanes and settles all verdicts in a few compiled-plan sweeps.
+    """
+
+    name = "hazard"
+
+    def run(self, ctx: AnalysisContext, state: PipelineState) -> None:
+        mode = ctx.options.hazard_check
+        state.hazard_mode = mode
+        if mode == "off":
+            return
+        survivors = [
+            r for r in state.results
+            if r.classification is Classification.MULTI_CYCLE
+        ]
+        state.hazard_checked = len(survivors)
+        started = ctx.clock()
+        lanes = batches = 0
+        if mode == "ternary":
+            checker = TernaryHazardChecker(
+                ctx.circuit,
+                ctx.options.hazard_backtrack_limit,
+                expansion=ctx.expansion(2),
+                words=ctx.options.sim_words,
+            )
+            reports = checker.check_pairs(survivors)
+            lanes = checker.lanes_evaluated
+            batches = checker.batches_evaluated
+        elif mode in ("sensitize", "cosensitize"):
+            checker = HazardChecker(
+                ctx.circuit,
+                mode_from_flag(mode),
+                backtrack_limit=ctx.options.hazard_backtrack_limit,
+                expansion=ctx.expansion(2),
+            )
+            reports = [checker.check_pair(r) for r in survivors]
+        else:
+            raise ValueError(f"unknown hazard_check mode {mode!r}")
+        flagged = sorted(
+            (
+                report.pair_result.pair
+                for report in reports
+                if report.has_potential_hazard
+            ),
+            key=lambda p: (p.source, p.sink),
+        )
+        state.hazard_flagged_pairs = flagged
+        state.hazard_flagged = len(flagged)
+        ctx.emit(
+            "hazard_stage",
+            mode=mode,
+            checked=state.hazard_checked,
+            flagged=state.hazard_flagged,
+            lanes=lanes,
+            batches=batches,
+            seconds=round(ctx.clock() - started, 6),
+        )
+
+
 class Pipeline:
     """A staged run over one circuit, producing a :class:`DetectionResult`."""
 
@@ -653,6 +742,10 @@ class Pipeline:
             engine=state.engine,
             disagreements=state.disagreements,
             decision_session=state.session,
+            hazard_mode=state.hazard_mode,
+            hazard_checked=state.hazard_checked,
+            hazard_flagged=state.hazard_flagged,
+            hazard_flagged_pairs=state.hazard_flagged_pairs,
         )
         ctx.emit(
             "run_end",
@@ -669,5 +762,11 @@ class Pipeline:
 
 
 def default_pipeline(decider: str | PairDecider | None = None) -> Pipeline:
-    """The paper's three-stage flow with a pluggable decision engine."""
-    return Pipeline([TopologyStage(), RandomFilterStage(), DecisionStage(decider)])
+    """The paper's three-stage flow with a pluggable decision engine,
+    followed by the (default-off) hazard-validation stage."""
+    return Pipeline([
+        TopologyStage(),
+        RandomFilterStage(),
+        DecisionStage(decider),
+        HazardStage(),
+    ])

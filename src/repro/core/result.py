@@ -118,10 +118,32 @@ class DetectionResult:
     #: decision-session counter totals (prefix cache hits/misses, trail
     #: high-water mark, ...); ``None`` for non-session engines (sat/bdd).
     decision_session: dict[str, int] | None = None
+    #: hazard-validation mode the pipeline ran ("off" when disabled;
+    #: "ternary", "sensitize" or "cosensitize" otherwise).
+    hazard_mode: str = "off"
+    #: multi-cycle pairs the hazard stage examined / flagged.
+    hazard_checked: int = 0
+    hazard_flagged: int = 0
+    #: flagged (source, sink) pairs, sorted — observability only, the
+    #: per-pair classifications and :meth:`pair_records` are unchanged.
+    hazard_flagged_pairs: list[FFPair] = field(default_factory=list)
 
     @property
     def multi_cycle_pairs(self) -> list[PairResult]:
         return [p for p in self.pair_results if p.is_multi_cycle]
+
+    @property
+    def hazard_verified_pairs(self) -> list[PairResult]:
+        """Multi-cycle pairs the hazard stage did not flag.
+
+        Equal to :attr:`multi_cycle_pairs` when the stage was off.
+        """
+        flagged = {(p.source, p.sink) for p in self.hazard_flagged_pairs}
+        return [
+            p
+            for p in self.multi_cycle_pairs
+            if (p.pair.source, p.pair.sink) not in flagged
+        ]
 
     @property
     def single_cycle_pairs(self) -> list[PairResult]:

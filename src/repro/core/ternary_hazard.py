@@ -25,6 +25,19 @@ absence.  It provides an independently derived second opinion that the
 benchmarks compare against the sensitization-based checks (empirically it
 tracks static sensitization closely and is far less pessimistic than
 co-sensitization).
+
+Execution model
+---------------
+Witness *search* stays scalar (the justification engine), but witness
+*evaluation* is bit-parallel: every satisfiable ``(a, b)`` case of every
+pair becomes one 64-bit-word lane of a
+:class:`~repro.logic.bitsim.TernarySimulator`, the changing frame-2
+sources are X-ed out per lane with a pinned two-plane write, and one
+compiled-plan sweep yields every sink glitch verdict at once.  The
+per-case dict walk survives as :meth:`TernaryHazardChecker.check_pair` /
+``scalar_lane_verdicts`` — the reference the packed path is tested and
+benchmarked against.  Verdicts are identical by construction (the same
+witnesses feed both paths).
 """
 
 from __future__ import annotations
@@ -33,9 +46,12 @@ import time
 from dataclasses import dataclass
 from itertools import product
 
+import numpy as np
+
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit
-from repro.circuit.timeframe import TimeFrameExpansion, expand
+from repro.circuit.timeframe import TimeFrameExpansion, expand_cached
+from repro.logic.bitsim import TernarySimulator, pack_lane_matrix
 from repro.logic.simulator import evaluate_gate
 from repro.logic.values import BINARY, X
 from repro.atpg.implication import ImplicationEngine
@@ -73,6 +89,18 @@ class TernaryHazardReport:
     witness_case: tuple[int, int] | None = None
 
 
+@dataclass
+class HazardLane:
+    """One packed evaluation lane: a pair, a case and its SAT witness."""
+
+    pair_index: int
+    case: tuple[int, int]
+    #: free-input values of the justification witness (X entries allowed)
+    witness: dict[int, int]
+    #: sink position in the expansion's ``ff_at`` rows
+    sink: int
+
+
 class TernaryHazardChecker:
     """Ternary-simulation hazard check for detected multi-cycle pairs.
 
@@ -83,15 +111,113 @@ class TernaryHazardChecker:
     to X.  The sink's data input going X is a potential static hazard —
     its settled value is stable by the MC condition, so X means "can
     glitch under some delay assignment".
+
+    The shared 2-frame expansion is taken from the circuit-level cache
+    (or injected by the pipeline's :class:`AnalysisContext`), so building
+    a checker never re-expands a circuit some other stage already
+    expanded.  :meth:`check_pairs` evaluates the witnesses of *all* pairs
+    bit-parallel — one lane per case — while :meth:`check_pair` keeps the
+    scalar per-case reference path.
     """
 
-    def __init__(self, circuit: Circuit, backtrack_limit: int = 200) -> None:
+    def __init__(
+        self,
+        circuit: Circuit,
+        backtrack_limit: int = 200,
+        expansion: TimeFrameExpansion | None = None,
+        words: int = 4,
+    ) -> None:
         self.circuit = circuit
         self.backtrack_limit = backtrack_limit
-        self.expansion: TimeFrameExpansion = expand(circuit, frames=2)
+        if expansion is None:
+            expansion = expand_cached(circuit, frames=2)
+        elif expansion.frames < 2:
+            raise ValueError("the hazard check needs a 2-frame expansion")
+        self.expansion = expansion
         self.engine = ImplicationEngine(self.expansion.comb)
+        self.words = max(1, words)
+        #: observability counters of the last packed run.
+        self.lanes_evaluated = 0
+        self.batches_evaluated = 0
+        self._sim: TernarySimulator | None = None
+        self._ff0 = np.asarray(expansion.ff_at[0], dtype=np.intp)
+        self._ff1 = np.asarray(expansion.ff_at[1], dtype=np.intp)
+        self._ff2 = np.asarray(expansion.ff_at[2], dtype=np.intp)
+        self._pi1 = np.asarray(expansion.pi_at[1], dtype=np.intp)
+        # Two DFFs sharing one D driver share one frame-1 node; pins are
+        # aggregated over the duplicates (X wins, as in the scalar path).
+        self._ff1_unique, self._ff1_inverse = np.unique(
+            self._ff1, return_inverse=True
+        )
+        self._inputs = list(self.expansion.comb.inputs)
+        self._input_pos = {node: i for i, node in enumerate(self._inputs)}
+
+    # ------------------------------------------------------------------
+    # Public checking API.
+    # ------------------------------------------------------------------
+    def check_pairs(
+        self, pair_results: list[PairResult], packed: bool = True
+    ) -> list[TernaryHazardReport]:
+        """Hazard verdicts for many pairs, witnesses evaluated in bulk.
+
+        ``packed=False`` evaluates the very same lanes through the scalar
+        per-case path instead — verdicts are identical; the flag exists
+        for benchmarking and differential testing.
+        """
+        lanes = self.collect_lanes(pair_results)
+        if packed:
+            glitches = self.packed_lane_verdicts(lanes)
+        else:
+            glitches = self.scalar_lane_verdicts(lanes)
+        reports = [
+            TernaryHazardReport(pair_result, False) for pair_result in pair_results
+        ]
+        for lane, glitch in zip(lanes, glitches):
+            report = reports[lane.pair_index]
+            if glitch and not report.has_potential_hazard:
+                report.has_potential_hazard = True
+                report.witness_case = lane.case
+        return reports
 
     def check_pair(self, pair_result: PairResult) -> TernaryHazardReport:
+        """Scalar reference path: first glitching case wins, short-circuited."""
+        sink = self.expansion.ff_index(pair_result.pair.sink)
+        for a, b in self._candidate_cases(pair_result):
+            witness = self._case_witness(pair_result, a, b)
+            if witness is None:
+                continue  # premise not realisable (or aborted): skip case
+            if self._case_glitches(witness, sink):
+                return TernaryHazardReport(pair_result, True, (a, b))
+        return TernaryHazardReport(pair_result, False)
+
+    # ------------------------------------------------------------------
+    # Lane collection (scalar witness search, shared by both paths).
+    # ------------------------------------------------------------------
+    def collect_lanes(self, pair_results: list[PairResult]) -> list[HazardLane]:
+        """One lane per satisfiable case of every pair, in case order."""
+        lanes: list[HazardLane] = []
+        for index, pair_result in enumerate(pair_results):
+            sink = self.expansion.ff_index(pair_result.pair.sink)
+            for a, b in self._candidate_cases(pair_result):
+                witness = self._case_witness(pair_result, a, b)
+                if witness is not None:
+                    lanes.append(HazardLane(index, (a, b), witness, sink))
+        return lanes
+
+    def _candidate_cases(
+        self, pair_result: PairResult
+    ) -> list[tuple[int, int]]:
+        return [
+            (c.a, c.b)
+            for c in pair_result.cases
+            if c.outcome in (CaseOutcome.IMPLIED_STABLE,
+                             CaseOutcome.PROVED_STABLE)
+        ] or list(product(BINARY, BINARY))
+
+    def _case_witness(
+        self, pair_result: PairResult, a: int, b: int
+    ) -> dict[int, int] | None:
+        """Complete one case premise to a concrete witness, if satisfiable."""
         expansion = self.expansion
         pair = pair_result.pair
         source = expansion.ff_index(pair.source)
@@ -99,31 +225,106 @@ class TernaryHazardChecker:
         ffi_t = expansion.ff_at[0][source]
         ffi_t1 = expansion.ff_at[1][source]
         ffj_t1 = expansion.ff_at[1][sink]
-
-        cases = [
-            (c.a, c.b)
-            for c in pair_result.cases
-            if c.outcome in (CaseOutcome.IMPLIED_STABLE,
-                             CaseOutcome.PROVED_STABLE)
-        ] or list(product(BINARY, BINARY))
-
-        for a, b in cases:
-            mark = self.engine.checkpoint()
-            ok = self.engine.assume_all(
-                [(ffi_t, a), (ffi_t1, 1 - a), (ffj_t1, b)]
-            )
-            if not ok:
-                self.engine.backtrack(mark)
-                continue
-            search = justify(self.engine, self.backtrack_limit)
+        mark = self.engine.checkpoint()
+        ok = self.engine.assume_all(
+            [(ffi_t, a), (ffi_t1, 1 - a), (ffj_t1, b)]
+        )
+        if not ok:
             self.engine.backtrack(mark)
-            if search.status is not SearchStatus.SAT:
-                continue  # premise not realisable (or aborted): skip case
-            if self._case_glitches(search.witness, sink):
-                return TernaryHazardReport(pair_result, True, (a, b))
-        return TernaryHazardReport(pair_result, False)
+            return None
+        search = justify(self.engine, self.backtrack_limit)
+        self.engine.backtrack(mark)
+        if search.status is not SearchStatus.SAT:
+            return None
+        return search.witness
 
     # ------------------------------------------------------------------
+    # Packed (bit-parallel) verdict evaluation.
+    # ------------------------------------------------------------------
+    def packed_lane_verdicts(self, lanes: list[HazardLane]) -> list[bool]:
+        """Eichelberger phase-1 verdicts for all lanes, word-packed.
+
+        Lanes are packed along the word axis (``64 * words`` per batch);
+        each batch takes two compiled-plan sweeps: a binary settle pass
+        (phase 0/2 — which state bits change per lane?) and a ternary
+        phase-1 pass with the changing frame-2 sources pinned to X.
+        """
+        if not lanes:
+            return []
+        capacity = 64 * self.words
+        verdicts: list[bool] = []
+        self.batches_evaluated = 0
+        for start in range(0, len(lanes), capacity):
+            batch = lanes[start:start + capacity]
+            verdicts.extend(self._packed_batch(batch))
+            self.batches_evaluated += 1
+        self.lanes_evaluated = len(lanes)
+        return verdicts
+
+    def _packed_batch(self, batch: list[HazardLane]) -> list[bool]:
+        words = self.words
+        num_inputs = len(self._inputs)
+        # Witness entries are known lanes (X entries count as known 0,
+        # exactly as the scalar path maps them); inputs the witness left
+        # free stay X — the search never branched on them.
+        value_matrix = np.zeros((num_inputs, len(batch)), dtype=np.uint8)
+        care_matrix = np.zeros((num_inputs, len(batch)), dtype=np.uint8)
+        for lane_index, lane in enumerate(batch):
+            pos = self._input_pos
+            for node, value in lane.witness.items():
+                row = pos[node]
+                care_matrix[row, lane_index] = 1
+                if value == 1:
+                    value_matrix[row, lane_index] = 1
+        if self._sim is None:
+            self._sim = TernarySimulator(self.expansion.comb, words)
+        sim = self._sim
+        sim.set_source_planes(
+            self._inputs,
+            pack_lane_matrix(value_matrix, words),
+            pack_lane_matrix(care_matrix, words),
+        )
+
+        # Phase 0/2: settle every lane; a state bit whose ternary value
+        # at t and t+1 differs (0/1 flip, or known on exactly one side)
+        # is a changing frame-2 source of that lane.
+        sim.comb_eval()
+        changed = (
+            (sim.value[self._ff0] ^ sim.value[self._ff1])
+            | (sim.care[self._ff0] ^ sim.care[self._ff1])
+        )
+        changed_agg = np.zeros((len(self._ff1_unique), words), dtype=np.uint64)
+        np.bitwise_or.at(changed_agg, self._ff1_inverse, changed)
+
+        # Phase 1: frame-2 PIs to X everywhere; frame-1 state nodes pinned
+        # to X only in the lanes where they changed.  Unchanged lanes are
+        # left to the sweep, so an unchanged state bit still goes X when
+        # another (pinned) frame-1 state node sits in its cone — exactly
+        # what the scalar path's recomputation does.
+        if len(self._pi1):
+            sim.care[self._pi1] = 0
+            sim.value[self._pi1] = 0
+        zeros = np.zeros_like(changed_agg)
+        sim.comb_eval(self._ff1_unique, zeros, zeros, pin_mask=changed_agg)
+
+        sink_rows = self._ff2[[lane.sink for lane in batch]]
+        lane_ids = np.arange(len(batch))
+        word_of = lane_ids // 64
+        bit_of = lane_ids % 64
+        care_bits = (
+            sim.care[sink_rows, word_of] >> bit_of.astype(np.uint64)
+        ) & np.uint64(1)
+        return [bool(bit == 0) for bit in care_bits]
+
+    # ------------------------------------------------------------------
+    # Scalar verdict evaluation (the reference the packed path matches).
+    # ------------------------------------------------------------------
+    def scalar_lane_verdicts(self, lanes: list[HazardLane]) -> list[bool]:
+        """Per-case dict evaluation of the same lanes (reference path)."""
+        return [
+            self._case_glitches(lane.witness, lane.sink) for lane in lanes
+        ]
+
     def _case_glitches(self, witness: dict[int, int], sink: int) -> bool:
         """Eichelberger phase-1 evaluation for one concrete witness."""
         expansion = self.expansion
@@ -176,9 +377,13 @@ def ternary_check_hazards(
     circuit: Circuit,
     detection: DetectionResult,
     backtrack_limit: int = 200,
+    expansion: TimeFrameExpansion | None = None,
+    packed: bool = True,
 ) -> tuple[list[TernaryHazardReport], float]:
     """Run the ternary hazard check over every multi-cycle pair."""
     started = time.perf_counter()
-    checker = TernaryHazardChecker(circuit, backtrack_limit)
-    reports = [checker.check_pair(p) for p in detection.multi_cycle_pairs]
+    checker = TernaryHazardChecker(
+        circuit, backtrack_limit, expansion=expansion
+    )
+    reports = checker.check_pairs(detection.multi_cycle_pairs, packed=packed)
     return reports, time.perf_counter() - started

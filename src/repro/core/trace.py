@@ -21,6 +21,10 @@ Event types emitted by the pipeline:
     stage that settled it and the decision-search effort.
 ``disagreement``
     Emitted by the cross-check decider when two engines disagree.
+``hazard_stage``
+    One per run with ``--hazard-check`` enabled: the mode, how many
+    multi-cycle pairs were checked/flagged, the packed-lane counts
+    (``lanes``/``batches``, ternary mode only) and seconds.
 
 A tracer writes each record to an optional JSON-lines sink as soon as it
 is emitted (crash-safe for long runs) and keeps the records in memory

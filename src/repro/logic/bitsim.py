@@ -18,6 +18,12 @@ Two evaluation strategies share one simulator:
 Both produce bit-identical values.  Simulators are designed to be
 *reused*: :func:`simulate_frames` accepts a caller-held simulator and
 refreshes its sources in place instead of reallocating buffers per round.
+
+:class:`TernarySimulator` extends the same compiled plan to three-valued
+lanes — two bit planes (value/care) encode {0, 1, X} per bit, and the
+plan's ternary kernels settle all lanes at once.  The hazard checker
+packs one Eichelberger witness per lane and reads every glitch verdict
+in one sweep.
 """
 
 from __future__ import annotations
@@ -161,6 +167,115 @@ class BitSimulator:
         """Pattern words at each DFF's D input, shape ``(num_dffs, words)``."""
         next_nodes = [self.circuit.next_state_node(d) for d in self.circuit.dffs]
         return self.values[next_nodes].copy()
+
+
+class TernarySimulator:
+    """Two-plane {0, 1, X} bit-parallel evaluation on the compiled plan.
+
+    Each bit position is one independent three-valued *lane*: the
+    ``care`` plane marks lanes with a known binary value and the
+    ``value`` plane carries that value (canonically 0 on X lanes, so
+    ``value & ~care == 0`` everywhere).  One :meth:`comb_eval` settles
+    all combinational nodes of all ``64 * words`` lanes with the same
+    handful of whole-array kernels per level that binary mode uses —
+    this is what lets the hazard checker evaluate every witness of every
+    FF pair in one sweep instead of per-case dict walks.
+
+    Constant nodes are preset known; INPUT and DFF rows are sources the
+    caller seeds (:meth:`set_source_planes` or direct plane writes —
+    unseeded sources default to X).
+    """
+
+    def __init__(self, circuit: Circuit, words: int = 4) -> None:
+        if words < 1:
+            raise ValueError("words must be >= 1")
+        self.circuit = circuit
+        self.words = words
+        self.plan = compiled_plan(circuit)
+        rows = self.plan.buffer_rows
+        self._value = np.zeros((rows, words), dtype=np.uint64)
+        self._care = np.zeros((rows, words), dtype=np.uint64)
+        self.plan.install_ternary_identity_rows(self._value, self._care)
+        self._reset_constants()
+
+    def _reset_constants(self) -> None:
+        for node_id in self.circuit.ids_of_type(GateType.CONST0):
+            self._value[node_id] = 0
+            self._care[node_id] = _ALL_ONES
+        for node_id in self.circuit.ids_of_type(GateType.CONST1):
+            self._value[node_id] = _ALL_ONES
+            self._care[node_id] = _ALL_ONES
+
+    @property
+    def value(self) -> np.ndarray:
+        """Value plane, shape ``(num_nodes, words)`` (a view)."""
+        return self._value[: self.circuit.num_nodes]
+
+    @property
+    def care(self) -> np.ndarray:
+        """Care plane, shape ``(num_nodes, words)`` (a view)."""
+        return self._care[: self.circuit.num_nodes]
+
+    def clear_sources(self) -> None:
+        """Reset every source lane to X (constants stay known)."""
+        self.value[:] = 0
+        self.care[:] = 0
+        self._reset_constants()
+
+    def set_source_planes(
+        self, nodes, value: np.ndarray, care: np.ndarray
+    ) -> None:
+        """Seed source rows from packed planes (canonicalised on write)."""
+        value = np.asarray(value, dtype=np.uint64)
+        care = np.asarray(care, dtype=np.uint64)
+        self.value[nodes] = value & care
+        self.care[nodes] = care
+
+    def comb_eval(
+        self,
+        pin_nodes: np.ndarray | None = None,
+        pin_value: np.ndarray | None = None,
+        pin_care: np.ndarray | None = None,
+        pin_mask: np.ndarray | None = None,
+    ) -> None:
+        """Settle all combinational nodes; optional pins override rows.
+
+        Pinned rows (see :meth:`SimPlan.run_ternary
+        <repro.logic.simplan.SimPlan.run_ternary>`) keep their forced
+        value/care planes even when the plan would compute them — the
+        hazard checker pins the frame-1 state nodes this way.
+        ``pin_mask`` limits the pin to a subset of lanes per row; clear
+        lanes keep their computed planes.
+        """
+        self.plan.run_ternary(
+            self._value, self._care, pin_nodes, pin_value, pin_care, pin_mask
+        )
+
+    def lane_value(self, node_id: int, lane: int) -> int:
+        """The {0, 1, X} value of one node in one lane (scalar readback)."""
+        from repro.logic.values import X
+
+        word, bit = divmod(lane, 64)
+        if not (int(self._care[node_id, word]) >> bit) & 1:
+            return X
+        return (int(self._value[node_id, word]) >> bit) & 1
+
+
+def pack_lane_matrix(matrix: np.ndarray, words: int) -> np.ndarray:
+    """Pack a ``(rows, lanes)`` 0/1 matrix into ``(rows, words)`` uint64.
+
+    Lane ``l`` lands in bit ``l % 64`` of word ``l // 64`` (little-endian
+    bit order), matching :class:`TernarySimulator` lane indexing.
+    ``lanes`` may be anything up to ``64 * words``; missing lanes pack
+    as 0.
+    """
+    rows, lanes = matrix.shape
+    if lanes > 64 * words:
+        raise ValueError(f"{lanes} lanes do not fit in {words} words")
+    packed = np.zeros((rows, words * 8), dtype=np.uint8)
+    bits = np.packbits(matrix.astype(np.uint8), axis=1, bitorder="little")
+    packed[:, : bits.shape[1]] = bits
+    return packed.view(np.uint64)
 
 
 def simulate_frames(

@@ -27,6 +27,27 @@ optionally complements (NAND/NOR/XNOR/NOT), and scatters into
 ``buf[outputs]``.  Because equal-level gates never depend on each other,
 batches within a level may run in any order.
 
+Ternary mode
+------------
+:meth:`SimPlan.run_ternary` evaluates the same batches over *two* bit
+planes encoding {0, 1, X} per lane: a ``care`` plane (bit set ⇔ the lane
+carries a known binary value) and a ``value`` plane (the binary value
+where known, canonically 0 where X, so ``value ⊆ care`` always holds).
+Under that canonical encoding the three-valued gate algebra of
+:mod:`repro.logic.values` lowers to the same padded reduces::
+
+    AND:  known1 = AND.reduce(value)          # all inputs known-1
+          known0 = OR.reduce(care ^ value)    # some input known-0
+          value' = known1, care' = known0 | known1   (NAND swaps planes)
+    OR :  the dual (swap the reduces)
+    XOR:  care' = AND.reduce(care), value' = XOR.reduce(value) & care'
+
+and the identity rows extend naturally: both padding rows are fully
+*known* (``care`` all ones), with the value plane zero / all-ones as in
+binary mode — so the very same ``fanins`` gather matrices stay exact.
+An optional pin set re-asserts caller-forced rows after every level,
+which is how the hazard checker holds mid-circuit state nodes at X.
+
 Plans are pure functions of the netlist; :func:`compiled_plan` caches
 them on the circuit through :meth:`Circuit.derived`, so every simulator,
 filter round and worker process sharing a circuit shares one plan.
@@ -209,6 +230,122 @@ class SimPlan:
         """Write the two padding rows of ``buf`` (zeros, then all ones)."""
         buf[self.pad_zeros] = 0
         buf[self.pad_ones] = _ALL_ONES
+
+    # ------------------------------------------------------------------
+    # Ternary (two-plane) evaluation.
+    # ------------------------------------------------------------------
+    def install_ternary_identity_rows(
+        self, value: np.ndarray, care: np.ndarray
+    ) -> None:
+        """Write the padding rows of a two-plane buffer pair.
+
+        Both identity rows are fully *known* (``care`` all ones); the
+        value plane carries the same zeros/ones identities as in binary
+        mode, so the shared ``fanins`` gather matrices pad exactly.
+        """
+        value[self.pad_zeros] = 0
+        value[self.pad_ones] = _ALL_ONES
+        care[self.pad_zeros] = _ALL_ONES
+        care[self.pad_ones] = _ALL_ONES
+
+    def run_ternary(
+        self,
+        value: np.ndarray,
+        care: np.ndarray,
+        pin_nodes: np.ndarray | None = None,
+        pin_value: np.ndarray | None = None,
+        pin_care: np.ndarray | None = None,
+        pin_mask: np.ndarray | None = None,
+    ) -> None:
+        """Evaluate every combinational node three-valued, bit-parallel.
+
+        ``value``/``care`` are two :attr:`buffer_rows`-row planes encoding
+        one {0, 1, X} lane per bit (canonical: ``value & ~care == 0``;
+        source rows must respect this).  ``pin_nodes`` optionally forces
+        rows to ``pin_value``/``pin_care`` — the pins are re-asserted
+        after every level, so a pinned *internal* node feeds its forced
+        value to every higher level even though its own batch computes it
+        (equal-level gates never read each other, so re-pinning at level
+        granularity is exact).  ``pin_mask`` restricts the pin to a
+        subset of lanes per row (set bits are forced, clear bits keep
+        the computed planes); ``None`` pins every lane.
+        """
+        pinned = pin_nodes is not None and len(pin_nodes) > 0
+
+        def assert_pins() -> None:
+            if pin_mask is None:
+                value[pin_nodes] = pin_value
+                care[pin_nodes] = pin_care
+            else:
+                value[pin_nodes] = (
+                    (value[pin_nodes] & ~pin_mask) | (pin_value & pin_mask)
+                )
+                care[pin_nodes] = (
+                    (care[pin_nodes] & ~pin_mask) | (pin_care & pin_mask)
+                )
+
+        if pinned:
+            assert_pins()
+        for batches in self.levels:
+            for batch in batches:
+                if isinstance(batch, _ReduceBatch):
+                    self._reduce_ternary(batch, value, care)
+                elif isinstance(batch, _UnaryBatch):
+                    src_v = value[batch.sources]
+                    src_c = care[batch.sources]
+                    if batch.invert:
+                        value[batch.outputs] = src_c ^ src_v
+                    else:
+                        value[batch.outputs] = src_v
+                    care[batch.outputs] = src_c
+                else:  # _MuxBatch
+                    self._mux_ternary(batch, value, care)
+            if pinned:
+                assert_pins()
+
+    @staticmethod
+    def _reduce_ternary(
+        batch: _ReduceBatch, value: np.ndarray, care: np.ndarray
+    ) -> None:
+        gate_type = batch.gate_type
+        v = value[batch.fanins]
+        c = care[batch.fanins]
+        if gate_type in (GateType.AND, GateType.NAND):
+            known1 = np.bitwise_and.reduce(v, axis=1)
+            known0 = np.bitwise_or.reduce(c ^ v, axis=1)
+        elif gate_type in (GateType.OR, GateType.NOR):
+            known1 = np.bitwise_or.reduce(v, axis=1)
+            known0 = np.bitwise_and.reduce(c ^ v, axis=1)
+        else:  # XOR / XNOR: known exactly when every input is known
+            known = np.bitwise_and.reduce(c, axis=1)
+            parity = np.bitwise_xor.reduce(v, axis=1)
+            if gate_type == GateType.XNOR:
+                np.invert(parity, out=parity)
+            value[batch.outputs] = parity & known
+            care[batch.outputs] = known
+            return
+        if gate_type in (GateType.NAND, GateType.NOR):
+            known0, known1 = known1, known0
+        value[batch.outputs] = known1
+        care[batch.outputs] = known0 | known1
+
+    @staticmethod
+    def _mux_ternary(
+        batch: _MuxBatch, value: np.ndarray, care: np.ndarray
+    ) -> None:
+        vs = value[batch.selects]
+        cs = care[batch.selects]
+        v0, c0 = value[batch.d0], care[batch.d0]
+        v1, c1 = value[batch.d1], care[batch.d1]
+        sel1 = vs  # canonical: select known-1 lanes
+        sel0 = cs ^ vs  # select known-0 lanes
+        sel_x = ~cs
+        agree1 = v0 & v1  # both data known-1
+        agree0 = (c0 ^ v0) & (c1 ^ v1)  # both data known-0
+        value[batch.outputs] = (sel0 & v0) | (sel1 & v1) | (sel_x & agree1)
+        care[batch.outputs] = (
+            (sel0 & c0) | (sel1 & c1) | (sel_x & (agree0 | agree1))
+        )
 
 
 def compiled_plan(circuit: Circuit) -> SimPlan:

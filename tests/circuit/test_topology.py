@@ -1,13 +1,29 @@
-"""FF-pair connectivity and cone analyses."""
+"""FF-pair connectivity and cone analyses.
 
+The connected relation is computed by a packed-bitset reachability pass;
+the per-sink set BFS survives as the reference implementation, and the
+property tests here hold the two exactly equal — pair lists (with and
+without self loops), per-sink source sets and the canonical ordering.
+"""
+
+from hypothesis import given
+
+from repro.bench_gen.suite import suite
 from repro.circuit.topology import (
+    FFPair,
+    build_ff_reach,
     combinational_depth,
     connected_ff_pairs,
+    connected_ff_pairs_bfs,
+    connected_pair_arrays,
+    ff_reach,
     nodes_reachable_from,
     nodes_reaching,
     pair_count_matrix,
     source_ffs_of_sink,
+    source_ffs_of_sink_bfs,
 )
+from tests.strategies import random_sequential_circuit, seeds
 
 
 def _names(circuit, pairs):
@@ -66,3 +82,85 @@ def test_nodes_reaching_and_reachable(fig1):
 def test_combinational_depth(counter3, shift4):
     assert combinational_depth(shift4) <= 1
     assert combinational_depth(counter3) >= 2  # carry chain plus XOR
+
+
+# ----------------------------------------------------------------------
+# Bitset reachability pass vs the set-BFS reference
+# ----------------------------------------------------------------------
+@given(seeds)
+def test_bitset_pairs_equal_bfs_reference(seed):
+    circuit = random_sequential_circuit(seed, max_dffs=6, max_gates=16)
+    assert connected_ff_pairs(circuit) == connected_ff_pairs_bfs(circuit)
+    assert connected_ff_pairs(circuit, include_self_loops=False) == (
+        connected_ff_pairs_bfs(circuit, include_self_loops=False)
+    )
+
+
+@given(seeds)
+def test_bitset_source_sets_equal_bfs_reference(seed):
+    circuit = random_sequential_circuit(seed, max_dffs=6, max_gates=16)
+    for sink in circuit.dffs:
+        assert source_ffs_of_sink(circuit, sink) == (
+            source_ffs_of_sink_bfs(circuit, sink)
+        )
+
+
+def test_bitset_pairs_equal_bfs_on_synthetic_suite():
+    for circuit in suite("tiny"):
+        assert connected_ff_pairs(circuit) == connected_ff_pairs_bfs(circuit)
+        assert connected_ff_pairs(circuit, False) == (
+            connected_ff_pairs_bfs(circuit, False)
+        )
+
+
+def test_pair_arrays_match_pairs_in_canonical_order(fig1):
+    sources, sinks = connected_pair_arrays(fig1)
+    pairs = connected_ff_pairs(fig1)
+    assert [FFPair(s, t) for s, t in zip(sources.tolist(), sinks.tolist())] == pairs
+    keys = list(zip(sources.tolist(), sinks.tolist()))
+    assert keys == sorted(keys)
+
+
+def test_ff_reach_rows_and_sources(fig1):
+    reach = ff_reach(fig1)
+    assert reach.words == 1
+    assert reach.rows.shape == (fig1.num_nodes, 1)
+    assert not reach.rows.flags.writeable
+    for k, dff in enumerate(reach.dffs):
+        assert reach.sources_of(dff) == [dff]  # own bit only
+    # sources_of lists ascending node ids.
+    driver = fig1.next_state_node(fig1.id_of("FF2"))
+    sources = reach.sources_of(driver)
+    assert sources == sorted(sources)
+    assert set(sources) == source_ffs_of_sink(fig1, fig1.id_of("FF2"))
+
+
+def test_ff_reach_is_cached_and_version_invalidated(shift4):
+    from repro.circuit.gates import GateType
+
+    first = ff_reach(shift4)
+    assert ff_reach(shift4) is first
+    assert build_ff_reach(shift4) is not first  # raw builder never caches
+    shift4.add_node(GateType.INPUT, (), "late_pi")
+    assert ff_reach(shift4) is not first
+
+
+def test_no_dffs_yields_no_pairs():
+    from repro.circuit.builder import CircuitBuilder
+
+    builder = CircuitBuilder("comb")
+    a, b = builder.input("a"), builder.input("b")
+    builder.output("o", builder.and_(a, b, name="g"))
+    circuit = builder.build()
+    assert connected_ff_pairs(circuit) == []
+    sources, sinks = connected_pair_arrays(circuit)
+    assert len(sources) == 0 and len(sinks) == 0
+
+
+def test_wide_circuit_spills_into_second_word():
+    from repro.circuit.library import shift_register
+
+    circuit = shift_register(70)  # 70 DFFs -> words = 2
+    reach = ff_reach(circuit)
+    assert reach.words == 2
+    assert connected_ff_pairs(circuit) == connected_ff_pairs_bfs(circuit)

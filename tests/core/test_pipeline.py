@@ -107,7 +107,7 @@ class TestPipelineStages:
         assert events[-1] == "run_end"
         starts = [r["stage"] for r in tracer.select("stage_start")]
         ends = [r["stage"] for r in tracer.select("stage_end")]
-        assert starts == ["topology", "random-sim", "decide"]
+        assert starts == ["topology", "random-sim", "decide", "hazard"]
         assert ends == starts
         # One pair event per connected pair, across all stages.
         assert len(tracer.select("pair")) == result.connected_pairs
@@ -293,6 +293,101 @@ class TestParallelExecutor:
         )
         default_pipeline().run(ctx)
         assert ctx._pool is None
+
+
+# ----------------------------------------------------------------------
+# Hazard validation stage
+# ----------------------------------------------------------------------
+class TestHazardStage:
+    def test_off_by_default_and_counters_zero(self, fig1):
+        result = MultiCycleDetector(fig1).run()
+        assert result.hazard_mode == "off"
+        assert result.hazard_checked == 0
+        assert result.hazard_flagged == 0
+        assert result.hazard_flagged_pairs == []
+
+    def test_records_identical_with_stage_on(self, fig3):
+        """The stage annotates, never reclassifies: pair_records are
+        byte-identical whether the hazard check runs or not."""
+        off = MultiCycleDetector(fig3).run()
+        on = MultiCycleDetector(
+            fig3, DetectorOptions(hazard_check="ternary")
+        ).run()
+        assert json.dumps(off.pair_records(), sort_keys=True) == json.dumps(
+            on.pair_records(), sort_keys=True
+        )
+
+    def test_ternary_mode_matches_standalone_checker(self, fig3):
+        from repro.core.ternary_hazard import ternary_check_hazards
+
+        result = MultiCycleDetector(
+            fig3, DetectorOptions(hazard_check="ternary")
+        ).run()
+        reports, _seconds = ternary_check_hazards(fig3, result)
+        expected = sorted(
+            (r.pair_result.pair for r in reports if r.has_potential_hazard),
+            key=lambda p: (p.source, p.sink),
+        )
+        assert result.hazard_mode == "ternary"
+        assert result.hazard_checked == len(result.multi_cycle_pairs)
+        assert result.hazard_flagged_pairs == expected
+        assert result.hazard_flagged == len(expected)
+
+    def test_verified_pairs_partition_multi_cycle(self, fig3):
+        result = MultiCycleDetector(
+            fig3, DetectorOptions(hazard_check="ternary")
+        ).run()
+        flagged = {(p.source, p.sink) for p in result.hazard_flagged_pairs}
+        verified = {
+            (r.pair.source, r.pair.sink) for r in result.hazard_verified_pairs
+        }
+        everything = {
+            (r.pair.source, r.pair.sink) for r in result.multi_cycle_pairs
+        }
+        assert flagged | verified == everything
+        assert not flagged & verified
+
+    def test_hazard_stage_trace_event(self, fig3):
+        tracer = Tracer()
+        MultiCycleDetector(
+            fig3, DetectorOptions(hazard_check="ternary"), tracer=tracer
+        ).run()
+        (record,) = tracer.select("hazard_stage")
+        assert record["mode"] == "ternary"
+        assert record["checked"] >= record["flagged"] >= 0
+        assert record["lanes"] > 0
+        assert [r["stage"] for r in tracer.select("stage_start")] == [
+            "topology", "random-sim", "decide", "hazard",
+        ]
+
+    @pytest.mark.parametrize("mode", ["sensitize", "cosensitize"])
+    def test_sensitization_modes(self, fig3, mode):
+        result = MultiCycleDetector(
+            fig3, DetectorOptions(hazard_check=mode)
+        ).run()
+        assert result.hazard_mode == mode
+        assert result.hazard_checked == len(result.multi_cycle_pairs)
+
+    def test_ternary_is_no_more_pessimistic_than_cosensitize(self, fig3):
+        ternary = MultiCycleDetector(
+            fig3, DetectorOptions(hazard_check="ternary")
+        ).run()
+        cosens = MultiCycleDetector(
+            fig3, DetectorOptions(hazard_check="cosensitize")
+        ).run()
+        ternary_flagged = {
+            (p.source, p.sink) for p in ternary.hazard_flagged_pairs
+        }
+        cosens_flagged = {
+            (p.source, p.sink) for p in cosens.hazard_flagged_pairs
+        }
+        assert ternary_flagged <= cosens_flagged
+
+    def test_unknown_mode_raises(self, fig1):
+        with pytest.raises(ValueError, match="hazard"):
+            MultiCycleDetector(
+                fig1, DetectorOptions(hazard_check="bogus")
+            ).run()
 
 
 # ----------------------------------------------------------------------

@@ -1,8 +1,19 @@
-"""Eichelberger ternary hazard analysis."""
+"""Eichelberger ternary hazard analysis.
+
+The checker searches witnesses scalar but evaluates them bit-parallel
+(one :class:`TernarySimulator` lane per satisfiable case); the scalar
+per-case dict walk survives as the reference path, and the differential
+tests here hold the two verdict-identical — including the reported
+witness case — on fixtures and random circuits.
+"""
 
 import itertools
 
+import pytest
+from hypothesis import given
+
 from repro.circuit.builder import CircuitBuilder
+from repro.circuit.timeframe import expand_cached
 from repro.core.detector import detect_multi_cycle_pairs
 from repro.core.ternary_hazard import (
     TernaryHazardChecker,
@@ -10,6 +21,7 @@ from repro.core.ternary_hazard import (
     ternary_eval,
 )
 from repro.logic.values import ONE, X, ZERO
+from tests.strategies import random_sequential_circuit, seeds
 
 
 def test_ternary_eval_matches_binary_on_full_inputs():
@@ -91,3 +103,68 @@ def test_ternary_flags_subset_of_cosensitization(fig3):
         if r.has_potential_hazard
     }
     assert ternary_flagged <= cosens_flagged
+
+
+# ----------------------------------------------------------------------
+# Packed bit-parallel path vs the scalar reference path
+# ----------------------------------------------------------------------
+def _verdicts(reports):
+    return [(r.has_potential_hazard, r.witness_case) for r in reports]
+
+
+def _assert_packed_matches_scalar(circuit, words=4):
+    detection = detect_multi_cycle_pairs(circuit)
+    pairs = detection.multi_cycle_pairs
+    checker = TernaryHazardChecker(circuit, words=words)
+    packed = checker.check_pairs(pairs, packed=True)
+    scalar = checker.check_pairs(pairs, packed=False)
+    assert _verdicts(packed) == _verdicts(scalar)
+    # ... and both agree with the short-circuiting per-pair path.
+    per_pair = [checker.check_pair(p) for p in pairs]
+    assert _verdicts(packed) == _verdicts(per_pair)
+
+
+def test_packed_matches_scalar_on_fig3(fig3):
+    _assert_packed_matches_scalar(fig3)
+
+
+def test_packed_matches_scalar_on_counter(counter3):
+    _assert_packed_matches_scalar(counter3)
+
+
+def test_packed_matches_scalar_with_one_word_batches(fig3):
+    """words=1 forces multi-batch packing once lanes exceed 64."""
+    _assert_packed_matches_scalar(fig3, words=1)
+
+
+@given(seeds)
+def test_packed_matches_scalar_on_random_circuits(seed):
+    circuit = random_sequential_circuit(seed, max_dffs=5, max_gates=14)
+    _assert_packed_matches_scalar(circuit)
+
+
+def test_lane_counters_populated(fig3):
+    detection = detect_multi_cycle_pairs(fig3)
+    checker = TernaryHazardChecker(fig3)
+    checker.check_pairs(detection.multi_cycle_pairs)
+    assert checker.lanes_evaluated > 0
+    assert checker.batches_evaluated >= 1
+
+
+# ----------------------------------------------------------------------
+# Expansion reuse
+# ----------------------------------------------------------------------
+def test_checker_reuses_cached_expansion(fig3):
+    expansion = expand_cached(fig3, frames=2)
+    assert TernaryHazardChecker(fig3).expansion is expansion
+
+
+def test_checker_accepts_injected_expansion(fig3):
+    expansion = expand_cached(fig3, frames=3)
+    checker = TernaryHazardChecker(fig3, expansion=expansion)
+    assert checker.expansion is expansion
+
+
+def test_checker_rejects_short_expansion(fig3):
+    with pytest.raises(ValueError, match="2-frame"):
+        TernaryHazardChecker(fig3, expansion=expand_cached(fig3, frames=1))

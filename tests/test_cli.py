@@ -34,6 +34,18 @@ def test_hazard(fig1_file, capsys):
     assert "co-sensitize" in out
 
 
+def test_analyze_hazard_check_ternary(fig1_file, capsys):
+    assert main(["analyze", fig1_file, "--hazard-check", "ternary"]) == 0
+    out = capsys.readouterr().out
+    assert "hazard check:       ternary" in out
+    assert "5 checked" in out
+
+
+def test_analyze_hazard_check_rejects_unknown_mode(fig1_file):
+    with pytest.raises(SystemExit):
+        main(["analyze", fig1_file, "--hazard-check", "bogus"])
+
+
 def test_sta(fig1_file, capsys):
     assert main(["sta", fig1_file]) == 0
     out = capsys.readouterr().out

@@ -39,6 +39,14 @@ Two measurements per circuit of the selected suite profile, recorded to
   asymptotic win is visible; the probe costs milliseconds regardless of
   profile.
 
+* **Implication DB**: cold build time of the compiled global implication
+  database on the decider's 2-frame expansion (``db_build_seconds``,
+  with ``db_keys``/``db_edges``), and the stage-2 proved-pair counts
+  without (``implication_proved``) and with (``implication_proved_db``)
+  the database — the DB run must classify identically and never prove
+  fewer pairs; ``implication_proved_db`` is the hardware-independent
+  count the regression gate tracks.
+
 Every timed section runs one warmup iteration first and is clocked with
 ``time.perf_counter``.  Per-stage wall times come from the structured
 trace (``stage_end`` events), not ad-hoc timers.
@@ -88,11 +96,61 @@ _CIRCUITS = suite(PROFILE)
 _IDS = [c.name for c in _CIRCUITS]
 
 
-def _run(circuit, workers: int, tracer: Tracer | None = None):
-    options = DetectorOptions(workers=workers)
+def _run(circuit, workers: int, tracer: Tracer | None = None,
+         options: DetectorOptions | None = None):
+    options = options or DetectorOptions(workers=workers)
     started = time.perf_counter()
     result = MultiCycleDetector(circuit, options, tracer=tracer).run()
     return result, time.perf_counter() - started
+
+
+def _implication_metrics(circuit, base_result) -> dict[str, float | int]:
+    """Implication-DB build cost and the stage-2 proved-pair delta.
+
+    ``db_build_seconds`` times one cold probe+close+compile of the global
+    database on the decider's 2-frame expansion.  ``implication_proved``
+    / ``implication_proved_db`` count pairs the implication stage settled
+    without / with the database; the DB run must never prove fewer."""
+    from repro.analysis import build_implication_db
+    from repro.core.result import Classification, Stage
+
+    def proved(result) -> int:
+        return sum(
+            1
+            for p in result.pair_results
+            if p.stage is Stage.IMPLICATION
+            and p.classification is not Classification.UNDECIDED
+        )
+
+    comb = expand_cached(circuit, frames=2).comb
+    build_implication_db(comb)  # warmup
+    db = build_implication_db(comb)
+    with_db, _ = _run(
+        circuit, workers=1, options=DetectorOptions(implication_db=True)
+    )
+    proved_base, proved_db = proved(base_result), proved(with_db)
+    verdicts = [
+        (p.pair.source, p.pair.sink, p.classification)
+        for p in base_result.pair_results
+    ]
+    verdicts_db = [
+        (p.pair.source, p.pair.sink, p.classification)
+        for p in with_db.pair_results
+    ]
+    assert verdicts == verdicts_db, (
+        f"implication DB changed a verdict on {circuit.name}"
+    )
+    assert proved_db >= proved_base, (
+        f"implication DB proved fewer pairs on {circuit.name}: "
+        f"{proved_db} < {proved_base}"
+    )
+    return {
+        "db_build_seconds": round(db.build_seconds, 6),
+        "db_keys": db.num_keys,
+        "db_edges": db.num_edges,
+        "implication_proved": proved_base,
+        "implication_proved_db": proved_db,
+    }
 
 
 def _sustained_compiled(circuit) -> float:
@@ -276,7 +334,7 @@ def test_pipeline_report(bench_circuits):
         f"{'circuit':>10}  {'pairs':>6}  {'serial(s)':>10}  "
         f"{'workers=' + str(_WORKERS) + '(s)':>14}  {'speedup':>8}  "
         f"{'Mpat/s':>8}  {'simx':>6}  {'dec p/s':>8}  {'decx':>6}  "
-        f"{'hazx':>6}",
+        f"{'hazx':>6}  {'impl db/base':>12}  {'db build':>9}",
     ]
     for circuit in bench_circuits:
         _run(circuit, workers=1)  # warmup (plan + expansion caches)
@@ -312,6 +370,7 @@ def test_pipeline_report(bench_circuits):
 
         hazard = _sustained_hazard(circuit, serial)
         topology = _topology_metrics(circuit)
+        implication = _implication_metrics(circuit, serial)
 
         entries.append(
             {
@@ -331,6 +390,7 @@ def test_pipeline_report(bench_circuits):
                 "decision_speedup": round(decision_speedup, 3),
                 **hazard,
                 **topology,
+                **implication,
             }
         )
         lines.append(
@@ -338,7 +398,10 @@ def test_pipeline_report(bench_circuits):
             f"{serial_seconds:>10.3f}  {parallel_seconds:>14.3f}  "
             f"{speedup:>8.2f}  {pps / 1e6:>8.2f}  {sim_speedup:>6.1f}  "
             f"{dps:>8.0f}  {decision_speedup:>6.2f}  "
-            f"{hazard['hazard_speedup']:>6.1f}"
+            f"{hazard['hazard_speedup']:>6.1f}  "
+            f"{implication['implication_proved_db']:>5}/"
+            f"{implication['implication_proved']:<5} "
+            f"{implication['db_build_seconds'] * 1e3:>7.1f}ms"
         )
         # Acceptance: a workers>1 run must either win or have declined to
         # shard (auto-serial) — never pay dispatch overhead for a loss.

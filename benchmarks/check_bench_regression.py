@@ -16,6 +16,11 @@ metrics are chosen per the recorded ``cpu_count``:
   pre-optimisation counterparts, measured back-to-back on the same
   machine, hence hardware-independent.
 
+``implication_proved_db`` — pairs the implication stage settles when fed
+the compiled global implication database — is a count, not a rate, so it
+is gated in both cases: the DB must keep proving at least as many pairs
+as the recorded baseline.
+
 The fixed-size ``topology_probe`` (bitset reachability vs set BFS, both
 measured back to back) is gated in both cases via its speedup ratio.
 
@@ -43,8 +48,16 @@ def _metrics(baseline: dict, current: dict) -> tuple[str, ...]:
             "patterns_per_sec",
             "decision_pairs_per_sec",
             "hazard_pairs_per_sec",
+            "implication_proved_db",
         )
-    return ("sim_speedup", "decision_speedup", "hazard_speedup")
+    # implication_proved_db is a pair count, hardware-independent — it is
+    # gated either way.
+    return (
+        "sim_speedup",
+        "decision_speedup",
+        "hazard_speedup",
+        "implication_proved_db",
+    )
 
 
 def check(baseline: dict, current: dict, tolerance: float) -> list[str]:

@@ -1,0 +1,18 @@
+module fig1 (IN, FF2);
+  input IN;
+  output FF2;
+  wire FF1, FF3, FF4, FF3_next, FF4_next, nFF3, nFF4, EN1, EN2, MUX1, MUX2;
+
+  dff u0 (FF1, MUX1);
+  dff u1 (FF2, MUX2);
+  dff u2 (FF3, FF3_next);
+  dff u3 (FF4, FF4_next);
+  buf u4 (FF3_next, FF4);
+  not u5 (FF4_next, FF3);
+  not u6 (nFF3, FF3);
+  not u7 (nFF4, FF4);
+  and u8 (EN1, nFF3, nFF4);
+  and u9 (EN2, FF3, nFF4);
+  mux u10 (MUX1, EN1, FF1, IN);
+  mux u11 (MUX2, EN2, FF2, FF1);
+endmodule

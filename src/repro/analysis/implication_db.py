@@ -1,0 +1,297 @@
+"""Compiled global implication database (the analysis layer's third pass).
+
+:mod:`repro.atpg.learning` computes SOCRATES-style contrapositives with a
+per-key cap and is rebuilt wherever a decision session wants one.  This
+module lifts that knowledge to a *global database* built once per netlist
+version and cached through ``Circuit.derived``:
+
+1. **Probe** — for every non-constant node ``n`` and value ``v``, assume
+   ``n = v`` on a fresh :class:`~repro.atpg.implication.ImplicationEngine`
+   and record the local fixpoint.  Each derived ``m = w`` yields a direct
+   edge ``(n,v) ⇒ (m,w)`` and the contrapositive ``(m,¬w) ⇒ (n,¬v)``; a
+   *failed* assumption makes the literal impossible, encoded as the
+   self-contradiction ``(n,v) ⇒ (n,¬v)``.
+2. **Close** — the literal graph (2 literals per node) is condensed with
+   Tarjan's SCC algorithm and transitively closed sinks-first using
+   big-int bitsets, so indirect chains (direct through contrapositive
+   through direct ...) become single hops.  A closure containing both
+   polarities of any node marks the antecedent literal impossible.
+3. **Compile** — per-literal consequent lists are filtered against the
+   literal's own local fixpoint (an engine re-derives those for free, the
+   SOCRATES criterion), sorted, and packed into CSR offset/flat arrays.
+
+The resulting :class:`ImplicationDB` duck-types the engine's learned-table
+protocol (``.get((node, value), default)`` + truthiness), so
+:class:`~repro.atpg.implication.ImplicationEngine` consumes it unchanged
+on its hot path, and it pickles as the two CSR arrays only — cheap to ship
+to decision workers.  Soundness and node-reorder invariance are property
+tested in ``tests/analysis/test_implication_db.py``.
+"""
+
+from __future__ import annotations
+
+import time
+from array import array
+from typing import Iterator, Sequence
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.logic.values import BINARY
+from repro.atpg.implication import ImplicationEngine
+
+#: :meth:`Circuit.derived` cache key for the database.
+_DERIVED_KEY = "implication-db"
+
+
+class ImplicationDB:
+    """Transitively-closed global implication table in CSR form.
+
+    Literals are packed as ``2 * node + value``.  ``offsets`` has
+    ``2 * num_nodes + 1`` entries; the consequents of literal ``lit`` are
+    ``flat[offsets[lit]:offsets[lit + 1]]``, sorted ascending.  The class
+    implements the read side of the engine's ``LearnedTable`` protocol.
+    """
+
+    def __init__(
+        self,
+        num_nodes: int,
+        offsets: array,
+        flat: array,
+        impossible: Sequence[int] = (),
+        build_seconds: float = 0.0,
+    ) -> None:
+        self.num_nodes = num_nodes
+        self.offsets = offsets
+        self.flat = flat
+        #: literals proven unsatisfiable (their lists self-contradict).
+        self.impossible = tuple(impossible)
+        #: wall-clock build time; 0.0 when rebuilt from a pickle.
+        self.build_seconds = build_seconds
+        self._table: dict[tuple[int, int], tuple[tuple[int, int], ...]] = {}
+        for lit in range(2 * num_nodes):
+            start, end = offsets[lit], offsets[lit + 1]
+            if start == end:
+                continue
+            self._table[(lit >> 1, lit & 1)] = tuple(
+                (c >> 1, c & 1) for c in flat[start:end]
+            )
+
+    # -- LearnedTable protocol (the engine's hot path) -----------------
+    def get(
+        self,
+        key: tuple[int, int],
+        default: Sequence[tuple[int, int]] = (),
+    ) -> Sequence[tuple[int, int]]:
+        return self._table.get(key, default)
+
+    def __bool__(self) -> bool:
+        return bool(self._table)
+
+    def __contains__(self, key: tuple[int, int]) -> bool:
+        return key in self._table
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    def keys(self) -> Iterator[tuple[int, int]]:
+        return iter(self._table)
+
+    # -- introspection --------------------------------------------------
+    @property
+    def num_keys(self) -> int:
+        return len(self._table)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self.flat)
+
+    def consequents(self, node: int, value: int) -> tuple[tuple[int, int], ...]:
+        """Every ``(m, w)`` the database implies from ``node = value``."""
+        return self._table.get((node, value), ())
+
+    def stats(self) -> dict[str, float | int]:
+        """Summary block for results/reports/benchmarks."""
+        return {
+            "nodes": self.num_nodes,
+            "keys": self.num_keys,
+            "edges": self.num_edges,
+            "impossible": len(self.impossible),
+            "build_seconds": self.build_seconds,
+        }
+
+    def __reduce__(self):
+        # Pickle the CSR arrays only; the key table is rebuilt on load.
+        return (
+            ImplicationDB,
+            (self.num_nodes, self.offsets, self.flat, self.impossible,
+             self.build_seconds),
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"ImplicationDB(nodes={self.num_nodes}, keys={self.num_keys}, "
+            f"edges={self.num_edges}, impossible={len(self.impossible)})"
+        )
+
+
+def _tarjan_sccs(num_lits: int, edges: list[list[int]]) -> list[list[int]]:
+    """Iterative Tarjan; SCCs are emitted sinks-first (reverse topo)."""
+    index = [0] * num_lits
+    low = [0] * num_lits
+    on_stack = bytearray(num_lits)
+    visited = bytearray(num_lits)
+    stack: list[int] = []
+    sccs: list[list[int]] = []
+    counter = 1
+
+    for root in range(num_lits):
+        if visited[root]:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            lit, pos = work[-1]
+            if pos == 0:
+                visited[lit] = 1
+                index[lit] = low[lit] = counter
+                counter += 1
+                stack.append(lit)
+                on_stack[lit] = 1
+            succ = edges[lit]
+            advanced = False
+            while pos < len(succ):
+                child = succ[pos]
+                pos += 1
+                if not visited[child]:
+                    work[-1] = (lit, pos)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if on_stack[child]:
+                    low[lit] = min(low[lit], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if low[lit] == index[lit]:
+                component: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = 0
+                    component.append(member)
+                    if member == lit:
+                        break
+                sccs.append(component)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[lit])
+    return sccs
+
+
+def build_implication_db(
+    circuit: Circuit,
+    max_consequents_per_key: int | None = None,
+) -> ImplicationDB:
+    """Probe, close and compile the global implication database.
+
+    ``max_consequents_per_key`` optionally truncates each literal's sorted
+    consequent list (``None`` keeps the full closure); impossible literals
+    always keep their single self-contradiction entry.
+    """
+    started = time.perf_counter()
+    engine = ImplicationEngine(circuit)
+    num_nodes = circuit.num_nodes
+    num_lits = 2 * num_nodes
+
+    # -- phase 1: probe every literal's local fixpoint ------------------
+    edges: list[list[int]] = [[] for _ in range(num_lits)]
+    fixpoints: list[frozenset[int]] = [frozenset()] * num_lits
+    probe_impossible = bytearray(num_lits)
+    const_types = (GateType.CONST0, GateType.CONST1)
+    for node in range(num_nodes):
+        if circuit.types[node] in const_types:
+            continue
+        for value in BINARY:
+            lit = 2 * node + value
+            mark = engine.checkpoint()
+            before = engine.assignment.num_assigned()
+            ok = engine.assume(node, value)
+            if ok:
+                derived = [
+                    2 * m + w
+                    for m, w in engine.assignment.assigned_since(before)
+                    if m != node
+                ]
+                fixpoints[lit] = frozenset(derived)
+                edges[lit].extend(derived)
+                # Contrapositive: m = !w  =>  node = !value.
+                for d in derived:
+                    edges[d ^ 1].append(lit ^ 1)
+            else:
+                probe_impossible[lit] = 1
+                edges[lit].append(lit ^ 1)
+            engine.backtrack(mark)
+
+    # -- phase 2: transitive closure over the literal graph -------------
+    # Tarjan pops SCCs sinks-first, so each component's closure bitset can
+    # union its successors' finished bitsets immediately.
+    sccs = _tarjan_sccs(num_lits, edges)
+    scc_of = [0] * num_lits
+    for scc_id, component in enumerate(sccs):
+        for lit in component:
+            scc_of[lit] = scc_id
+    closure_of_scc: list[int] = [0] * len(sccs)
+    for scc_id, component in enumerate(sccs):
+        bits = 0
+        for lit in component:
+            bits |= 1 << lit
+            for child in edges[lit]:
+                child_scc = scc_of[child]
+                if child_scc != scc_id:
+                    bits |= closure_of_scc[child_scc]
+        closure_of_scc[scc_id] = bits
+
+    # Both polarities of some node in a closure = contradiction; the mask
+    # 0b...010101 pairs bit 2m with bit 2m+1.
+    polarity_mask = (4 ** num_nodes - 1) // 3
+
+    # -- phase 3: compile per-literal consequent lists ------------------
+    offsets = array("i", [0] * (num_lits + 1))
+    flat = array("i")
+    impossible: list[int] = []
+    for lit in range(num_lits):
+        node = lit >> 1
+        if circuit.types[node] in const_types:
+            offsets[lit + 1] = len(flat)
+            continue
+        closure = closure_of_scc[scc_of[lit]] & ~(1 << lit)
+        contradicted = bool(closure & (closure >> 1) & polarity_mask)
+        if probe_impossible[lit] or (closure >> (lit ^ 1)) & 1 or contradicted:
+            impossible.append(lit)
+            flat.append(lit ^ 1)
+            offsets[lit + 1] = len(flat)
+            continue
+        fixpoint = fixpoints[lit]
+        consequents = [
+            c for c in _iter_bits(closure) if c not in fixpoint
+        ]
+        if max_consequents_per_key is not None:
+            consequents = consequents[:max_consequents_per_key]
+        flat.extend(consequents)
+        offsets[lit + 1] = len(flat)
+
+    return ImplicationDB(
+        num_nodes, offsets, flat, impossible,
+        build_seconds=time.perf_counter() - started,
+    )
+
+
+def _iter_bits(bits: int) -> Iterator[int]:
+    """Indices of set bits, ascending."""
+    while bits:
+        low = bits & -bits
+        yield low.bit_length() - 1
+        bits ^= low
+
+
+def implication_db(circuit: Circuit) -> ImplicationDB:
+    """The circuit's global implication DB (cached per netlist version)."""
+    return circuit.derived(_DERIVED_KEY, build_implication_db)

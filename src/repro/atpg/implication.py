@@ -86,7 +86,16 @@ class ImplicationEngine:
         self.fanouts = graph.fanouts
         self.levels = graph.levels
         self.assignment = Assignment(circuit.num_nodes)
-        self.learned = dict(learned) if learned else {}
+        # ``learned`` is either a plain dict table (copied, the legacy
+        # static-learning path) or any read-only object implementing
+        # ``.get((node, value), default)`` + truthiness — in particular
+        # the compiled :class:`~repro.analysis.implication_db.ImplicationDB`.
+        if learned is None:
+            self.learned: LearnedTable = {}
+        elif isinstance(learned, dict):
+            self.learned = dict(learned)
+        else:
+            self.learned = learned
         #: gates whose assigned output is not yet justified by their inputs
         self.unjustified: set[int] = set()
         #: undo log for :attr:`unjustified`: ``gate`` added, ``~gate`` removed.

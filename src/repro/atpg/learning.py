@@ -79,6 +79,14 @@ def learn_static_implications(
     return learned
 
 
-def count_learned(learned: dict[tuple[int, int], list[tuple[int, int]]]) -> int:
-    """Total number of learned implication entries (for reports/tests)."""
+def count_learned(learned) -> int:
+    """Total number of learned implication entries (for reports/tests).
+
+    Accepts both the plain dict table built here and the compiled
+    :class:`~repro.analysis.implication_db.ImplicationDB` (which exposes
+    its edge count directly).
+    """
+    edges = getattr(learned, "num_edges", None)
+    if edges is not None:
+        return edges
     return sum(len(v) for v in learned.values())

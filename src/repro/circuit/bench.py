@@ -61,11 +61,18 @@ class BenchFormatError(CircuitError):
     """Raised on malformed ``.bench`` input."""
 
 
-def loads(text: str, name: str = "bench") -> Circuit:
-    """Parse ``.bench`` source text into a validated :class:`Circuit`."""
-    inputs: list[str] = []
-    outputs: list[str] = []
-    assigns: dict[str, tuple[str, list[str]]] = {}
+def loads(text: str, name: str = "bench", check: bool = True) -> Circuit:
+    """Parse ``.bench`` source text into a validated :class:`Circuit`.
+
+    Every malformed construct raises :class:`BenchFormatError` (a
+    :class:`~repro.circuit.netlist.CircuitError`) carrying the 1-based
+    source line it came from.  ``check=False`` skips the final structural
+    validation — the lint pass uses it to report *all* problems of a
+    parseable-but-broken netlist instead of the first.
+    """
+    inputs: list[tuple[str, int]] = []
+    outputs: list[tuple[str, int]] = []
+    assigns: dict[str, tuple[str, list[str], int]] = {}
 
     for line_no, raw_line in enumerate(text.splitlines(), start=1):
         line = raw_line.split("#", 1)[0].strip()
@@ -74,7 +81,7 @@ def loads(text: str, name: str = "bench") -> Circuit:
         decl = _DECL_RE.match(line)
         if decl:
             target = inputs if decl.group("kind") == "INPUT" else outputs
-            target.append(decl.group("name").strip())
+            target.append((decl.group("name").strip(), line_no))
             continue
         assign = _ASSIGN_RE.match(line)
         if assign:
@@ -84,11 +91,11 @@ def loads(text: str, name: str = "bench") -> Circuit:
             if lhs in assigns:
                 raise BenchFormatError(f"line {line_no}: {lhs!r} defined twice")
             if func in ("VDD", "1"):
-                assigns[lhs] = ("CONST1", args)
+                assigns[lhs] = ("CONST1", args, line_no)
             elif func in ("VSS", "GND", "0"):
-                assigns[lhs] = ("CONST0", args)
+                assigns[lhs] = ("CONST0", args, line_no)
             elif func in _FUNC_TO_TYPE:
-                assigns[lhs] = (func, args)
+                assigns[lhs] = (func, args, line_no)
             else:
                 raise BenchFormatError(f"line {line_no}: unknown function {func!r}")
             continue
@@ -97,14 +104,20 @@ def loads(text: str, name: str = "bench") -> Circuit:
     circuit = Circuit(name)
     ids: dict[str, int] = {}
 
-    for signal in inputs:
+    for signal, line_no in inputs:
+        if signal in ids:
+            raise BenchFormatError(
+                f"line {line_no}: {signal!r} declared INPUT twice"
+            )
         ids[signal] = circuit.add_node(GateType.INPUT, (), signal)
 
     # First pass: create every defined node with empty fanins so forward
     # references resolve; second pass wires them up.
-    for signal, (func, _args) in assigns.items():
+    for signal, (func, _args, line_no) in assigns.items():
         if signal in ids:
-            raise BenchFormatError(f"{signal!r} defined as both INPUT and gate")
+            raise BenchFormatError(
+                f"line {line_no}: {signal!r} defined as both INPUT and gate"
+            )
         if func == "CONST0":
             gate_type = GateType.CONST0
         elif func == "CONST1":
@@ -113,30 +126,50 @@ def loads(text: str, name: str = "bench") -> Circuit:
             gate_type = _FUNC_TO_TYPE[func]
         ids[signal] = circuit.add_node(gate_type, (), signal)
 
-    for signal, (func, args) in assigns.items():
+    for signal, (func, args, line_no) in assigns.items():
         if func in ("CONST0", "CONST1"):
             if args:
-                raise BenchFormatError(f"{signal!r}: constants take no operands")
+                raise BenchFormatError(
+                    f"line {line_no}: {signal!r}: constants take no operands"
+                )
             continue
         try:
             fanins = tuple(ids[a] for a in args)
         except KeyError as exc:
-            raise BenchFormatError(f"{signal!r}: undefined signal {exc.args[0]!r}") from None
+            raise BenchFormatError(
+                f"line {line_no}: {signal!r}: undefined signal {exc.args[0]!r}"
+            ) from None
         circuit.set_fanins(ids[signal], fanins)
 
-    for signal in outputs:
+    seen_po: set[str] = set()
+    for signal, line_no in outputs:
         if signal not in ids:
-            raise BenchFormatError(f"OUTPUT names undefined signal {signal!r}")
+            raise BenchFormatError(
+                f"line {line_no}: OUTPUT names undefined signal {signal!r}"
+            )
+        if signal in seen_po:
+            raise BenchFormatError(
+                f"line {line_no}: {signal!r} declared OUTPUT twice"
+            )
+        seen_po.add(signal)
         circuit.add_node(GateType.OUTPUT, (ids[signal],), f"{signal}_po")
 
-    validate(circuit)
+    if check:
+        validate(circuit)
     return circuit
 
 
-def load(path: str | Path) -> Circuit:
-    """Read a ``.bench`` file from disk."""
+def load(path: str | Path, check: bool = True) -> Circuit:
+    """Read a ``.bench`` file from disk.
+
+    Parse and validation errors are re-raised with the file name
+    prefixed, so ``file: line N: ...`` locates the defect exactly.
+    """
     path = Path(path)
-    return loads(path.read_text(), name=path.stem)
+    try:
+        return loads(path.read_text(), name=path.stem, check=check)
+    except CircuitError as exc:
+        raise BenchFormatError(f"{path.name}: {exc}") from None
 
 
 def dumps(circuit: Circuit) -> str:

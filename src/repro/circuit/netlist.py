@@ -316,27 +316,171 @@ class Circuit:
         )
 
 
-def validate(circuit: Circuit) -> None:
-    """Check structural well-formedness; raise :class:`CircuitError` if bad.
+@dataclass(frozen=True)
+class Violation:
+    """One structural well-formedness violation found by :func:`check`.
 
-    Verifies fanin arities, fanin id ranges, the absence of combinational
-    cycles and that every OUTPUT/DFF has its single driver.
+    ``code`` is a stable machine-readable tag (``"arity"``,
+    ``"multi-driven"``, ``"missing-fanin"``, ``"output-fanin"``,
+    ``"comb-cycle"``); ``nodes`` names the offending node(s) by id — for
+    ``"comb-cycle"`` it is the full cycle path, first node repeated last.
     """
+
+    code: str
+    message: str
+    nodes: tuple[int, ...] = ()
+
+    def __str__(self) -> str:
+        return self.message
+
+
+def _comb_cycles(circuit: Circuit) -> list[tuple[int, ...]]:
+    """Every combinational cycle, one representative path per SCC.
+
+    Runs an iterative Tarjan SCC pass over the combinational fanin edges
+    (DFF D-input edges are not followed, out-of-range fanins skipped); each
+    non-trivial SCC — and each self-loop — yields one concrete cycle path
+    ``(n0, n1, ..., n0)``.
+    """
+    num_nodes = circuit.num_nodes
+
+    def comb_fanins(node: int) -> tuple[int, ...]:
+        if circuit.types[node] not in COMBINATIONAL_TYPES:
+            return ()
+        return tuple(
+            f for f in circuit.fanins[node] if 0 <= f < num_nodes
+        )
+
+    index = [0] * num_nodes
+    low = [0] * num_nodes
+    on_stack = bytearray(num_nodes)
+    visited = bytearray(num_nodes)
+    stack: list[int] = []
+    sccs: list[list[int]] = []
+    counter = 1
+
+    for root in range(num_nodes):
+        if visited[root]:
+            continue
+        work: list[tuple[int, int]] = [(root, 0)]
+        while work:
+            node, pos = work[-1]
+            if pos == 0:
+                visited[node] = 1
+                index[node] = low[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack[node] = 1
+            fanins = comb_fanins(node)
+            advanced = False
+            while pos < len(fanins):
+                child = fanins[pos]
+                pos += 1
+                if not visited[child]:
+                    work[-1] = (node, pos)
+                    work.append((child, 0))
+                    advanced = True
+                    break
+                if on_stack[child]:
+                    low[node] = min(low[node], index[child])
+            if advanced:
+                continue
+            work.pop()
+            if low[node] == index[node]:
+                component: list[int] = []
+                while True:
+                    member = stack.pop()
+                    on_stack[member] = 0
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in comb_fanins(node):
+                    sccs.append(component)
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+
+    cycles: list[tuple[int, ...]] = []
+    for component in sccs:
+        members = set(component)
+        start = min(members)
+        # Walk fanin edges inside the SCC until a node repeats; strong
+        # connectivity guarantees every member has such an edge.
+        path = [start]
+        seen_at = {start: 0}
+        while True:
+            here = path[-1]
+            nxt = next(f for f in comb_fanins(here) if f in members)
+            if nxt in seen_at:
+                cycle = path[seen_at[nxt]:] + [nxt]
+                cycles.append(tuple(cycle))
+                break
+            seen_at[nxt] = len(path)
+            path.append(nxt)
+    cycles.sort(key=lambda c: min(c))
+    return cycles
+
+
+def check(circuit: Circuit) -> list[Violation]:
+    """Collect *every* structural violation of ``circuit``.
+
+    Unlike :func:`validate` this never raises: it returns one
+    :class:`Violation` per problem — fanin-arity errors (multi-driven
+    OUTPUT/DFF nodes reported under their own code), dangling fanin ids,
+    OUTPUT nodes used as fanins, and every combinational cycle with its
+    full path.  An empty list means the netlist is well formed.
+    """
+    violations: list[Violation] = []
     for node_id in range(circuit.num_nodes):
         gate_type = circuit.types[node_id]
         fanins = circuit.fanins[node_id]
         if not fanin_arity_ok(gate_type, len(fanins)):
-            raise CircuitError(
-                f"node {circuit.names[node_id]!r} ({gate_type.name}) has "
-                f"{len(fanins)} fanins"
-            )
+            if gate_type in (GateType.OUTPUT, GateType.DFF) and len(fanins) > 1:
+                violations.append(Violation(
+                    "multi-driven",
+                    f"node {circuit.names[node_id]!r} ({gate_type.name}) has "
+                    f"{len(fanins)} fanins (multiple drivers)",
+                    (node_id,),
+                ))
+            else:
+                violations.append(Violation(
+                    "arity",
+                    f"node {circuit.names[node_id]!r} ({gate_type.name}) has "
+                    f"{len(fanins)} fanins",
+                    (node_id,),
+                ))
         for fanin in fanins:
             if not 0 <= fanin < circuit.num_nodes:
-                raise CircuitError(
-                    f"node {circuit.names[node_id]!r} references missing id {fanin}"
-                )
-            if circuit.types[fanin] == GateType.OUTPUT:
-                raise CircuitError(
-                    f"OUTPUT node {circuit.names[fanin]!r} used as a fanin"
-                )
-    circuit.topo_order()  # raises on combinational cycles
+                violations.append(Violation(
+                    "missing-fanin",
+                    f"node {circuit.names[node_id]!r} references missing id {fanin}",
+                    (node_id,),
+                ))
+            elif circuit.types[fanin] == GateType.OUTPUT:
+                violations.append(Violation(
+                    "output-fanin",
+                    f"OUTPUT node {circuit.names[fanin]!r} used as a fanin",
+                    (node_id, fanin),
+                ))
+    for cycle in _comb_cycles(circuit):
+        path = " -> ".join(circuit.names[n] for n in cycle)
+        violations.append(Violation(
+            "comb-cycle",
+            f"combinational cycle through {path}",
+            cycle,
+        ))
+    return violations
+
+
+def validate(circuit: Circuit) -> None:
+    """Check structural well-formedness; raise :class:`CircuitError` if bad.
+
+    Verifies fanin arities, fanin id ranges, the absence of combinational
+    cycles and that every OUTPUT/DFF has its single driver.  Raising
+    wrapper around :func:`check`, which collects *all* violations instead
+    of stopping at the first — the diagnostic lint pass
+    (:mod:`repro.analysis.lint`) builds on that.
+    """
+    violations = check(circuit)
+    if violations:
+        raise CircuitError(str(violations[0]))

@@ -51,102 +51,145 @@ class VerilogFormatError(CircuitError):
     """Raised on Verilog text outside the supported structural subset."""
 
 
+def _blank(match: re.Match[str]) -> str:
+    """Replace a match with whitespace of identical shape (newlines kept)."""
+    return re.sub(r"[^\n]", " ", match.group(0))
+
+
 def _strip_comments(text: str) -> str:
-    text = re.sub(r"/\*.*?\*/", " ", text, flags=re.S)
-    return re.sub(r"//[^\n]*", " ", text)
+    # Comments are blanked rather than removed so every character keeps
+    # its original offset — error messages can then name source lines.
+    text = re.sub(r"/\*.*?\*/", _blank, text, flags=re.S)
+    return re.sub(r"//[^\n]*", _blank, text)
 
 
-def loads(text: str, name: str | None = None) -> Circuit:
-    """Parse structural Verilog into a validated :class:`Circuit`."""
+def loads(text: str, name: str | None = None, check: bool = True) -> Circuit:
+    """Parse structural Verilog into a validated :class:`Circuit`.
+
+    Text outside the supported subset raises :class:`VerilogFormatError`
+    (a :class:`~repro.circuit.netlist.CircuitError`) naming the 1-based
+    source line.  ``check=False`` skips the final structural validation
+    (used by the lint pass to report all problems at once).
+    """
     text = _strip_comments(text)
+
+    def line_of(offset: int) -> int:
+        return text.count("\n", 0, offset) + 1
+
     module = _MODULE_RE.search(text)
     if module is None:
         raise VerilogFormatError("no module declaration found")
-    body = text[module.end():]
+    body_start = module.end()
+    body = text[body_start:]
     end = body.find("endmodule")
     if end == -1:
-        raise VerilogFormatError("missing endmodule")
+        raise VerilogFormatError(
+            f"line {line_of(module.start())}: missing endmodule"
+        )
     body = body[:end]
 
     inputs: list[str] = []
-    outputs: list[str] = []
+    outputs: list[tuple[str, int]] = []
     for decl in _DECL_RE.finditer(body):
+        decl_line = line_of(body_start + decl.start())
         names = [n.strip() for n in decl.group("names").split(",") if n.strip()]
         if any("[" in n for n in names):
-            raise VerilogFormatError("vector ports/wires are not supported")
+            raise VerilogFormatError(
+                f"line {decl_line}: vector ports/wires are not supported"
+            )
         if decl.group("kind") == "input":
             inputs.extend(names)
         elif decl.group("kind") == "output":
-            outputs.extend(names)
-    declared = set(inputs) | set(outputs)
-    for decl in _DECL_RE.finditer(body):
-        if decl.group("kind") == "wire":
-            declared.update(
-                n.strip() for n in decl.group("names").split(",") if n.strip()
-            )
+            outputs.extend((n, decl_line) for n in names)
 
-    # Collect drivers: signal -> (gate_type, operand names).
-    drivers: dict[str, tuple[GateType, list[str]]] = {}
-    body_no_decls = _DECL_RE.sub(" ", body)
+    # Collect drivers: signal -> (gate_type, operand names, source line).
+    # Declarations and assigns are blanked in place (offsets preserved)
+    # before the next scan so one construct is never parsed twice.
+    drivers: dict[str, tuple[GateType, list[str], int]] = {}
+    body_no_decls = _DECL_RE.sub(_blank, body)
     for assign in _ASSIGN_RE.finditer(body_no_decls):
+        assign_line = line_of(body_start + assign.start())
         lhs = assign.group("lhs")
         rhs = assign.group("rhs").strip()
         if lhs in drivers:
-            raise VerilogFormatError(f"{lhs!r} driven twice")
+            raise VerilogFormatError(f"line {assign_line}: {lhs!r} driven twice")
         if rhs in ("1'b0", "1'd0", "0"):
-            drivers[lhs] = (GateType.CONST0, [])
+            drivers[lhs] = (GateType.CONST0, [], assign_line)
         elif rhs in ("1'b1", "1'd1", "1"):
-            drivers[lhs] = (GateType.CONST1, [])
+            drivers[lhs] = (GateType.CONST1, [], assign_line)
         elif re.fullmatch(r"[\w$.\[\]]+", rhs):
-            drivers[lhs] = (GateType.BUF, [rhs])
+            drivers[lhs] = (GateType.BUF, [rhs], assign_line)
         else:
-            raise VerilogFormatError(f"unsupported assign expression {rhs!r}")
+            raise VerilogFormatError(
+                f"line {assign_line}: unsupported assign expression {rhs!r}"
+            )
 
-    body_no_assigns = _ASSIGN_RE.sub(" ", body_no_decls)
+    body_no_assigns = _ASSIGN_RE.sub(_blank, body_no_decls)
     for instance in _INSTANCE_RE.finditer(body_no_assigns):
         primitive = instance.group("prim")
         if primitive in ("module", "endmodule"):
             continue
+        instance_line = line_of(body_start + instance.start())
         if primitive not in _PRIMITIVES:
-            raise VerilogFormatError(f"unknown primitive {primitive!r}")
+            raise VerilogFormatError(
+                f"line {instance_line}: unknown primitive {primitive!r}"
+            )
         terms = [t.strip() for t in instance.group("terms").split(",") if t.strip()]
         if len(terms) < 2:
             raise VerilogFormatError(
-                f"instance {instance.group('inst')!r} needs >= 2 terminals"
+                f"line {instance_line}: instance {instance.group('inst')!r} "
+                f"needs >= 2 terminals"
             )
         out, operands = terms[0], terms[1:]
         if out in drivers:
-            raise VerilogFormatError(f"{out!r} driven twice")
-        drivers[out] = (_PRIMITIVES[primitive], operands)
+            raise VerilogFormatError(
+                f"line {instance_line}: {out!r} driven twice"
+            )
+        drivers[out] = (_PRIMITIVES[primitive], operands, instance_line)
 
     circuit = Circuit(name or module.group("name"))
     ids: dict[str, int] = {}
     for signal in inputs:
-        ids[signal] = circuit.add_node(GateType.INPUT, (), signal)
-    for signal, (gate_type, _operands) in drivers.items():
         if signal in ids:
-            raise VerilogFormatError(f"input {signal!r} cannot be driven")
+            raise VerilogFormatError(f"input {signal!r} declared twice")
+        ids[signal] = circuit.add_node(GateType.INPUT, (), signal)
+    for signal, (gate_type, _operands, signal_line) in drivers.items():
+        if signal in ids:
+            raise VerilogFormatError(
+                f"line {signal_line}: input {signal!r} cannot be driven"
+            )
         ids[signal] = circuit.add_node(gate_type, (), signal)
-    for signal, (gate_type, operands) in drivers.items():
+    for signal, (gate_type, operands, signal_line) in drivers.items():
         try:
             fanins = tuple(ids[o] for o in operands)
         except KeyError as missing:
             raise VerilogFormatError(
-                f"{signal!r}: undriven signal {missing.args[0]!r}"
+                f"line {signal_line}: {signal!r}: undriven signal "
+                f"{missing.args[0]!r}"
             ) from None
         circuit.set_fanins(ids[signal], fanins)
-    for signal in outputs:
+    for signal, decl_line in outputs:
         if signal not in ids:
-            raise VerilogFormatError(f"output {signal!r} is never driven")
+            raise VerilogFormatError(
+                f"line {decl_line}: output {signal!r} is never driven"
+            )
         circuit.add_node(GateType.OUTPUT, (ids[signal],), f"{signal}__po")
-    validate(circuit)
+    if check:
+        validate(circuit)
     return circuit
 
 
-def load(path: str | Path) -> Circuit:
-    """Read a structural Verilog file from disk."""
+def load(path: str | Path, check: bool = True) -> Circuit:
+    """Read a structural Verilog file from disk.
+
+    Parse and validation errors are re-raised with the file name
+    prefixed, so ``file: line N: ...`` locates the defect exactly.
+    """
     path = Path(path)
-    return loads(path.read_text(), name=None)
+    try:
+        return loads(path.read_text(), name=None, check=check)
+    except CircuitError as exc:
+        raise VerilogFormatError(f"{path.name}: {exc}") from None
 
 
 def dumps(circuit: Circuit) -> str:

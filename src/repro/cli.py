@@ -3,6 +3,8 @@
 Commands
 --------
 analyze FILE            detect multi-cycle FF pairs (``.bench`` or ``.v``)
+lint FILES...           collect all structural findings (exit 1 on errors)
+sweep FILE              constant/duplicate/dead-logic report (+ rewrite)
 hazard FILE             detection + static hazard validation
 kcycle FILE             k-cycle pair detection for k = 2..max
 extended FILE           Condition-2 (observability) extension
@@ -42,6 +44,8 @@ def _detector_options(args: argparse.Namespace) -> DetectorOptions:
     return DetectorOptions(
         backtrack_limit=args.backtrack_limit,
         static_learning=args.static_learning,
+        implication_db=args.implication_db,
+        lint=args.lint,
         include_self_loops=not args.no_self_loops,
         search_engine=args.engine,
         scoap_guidance=args.scoap,
@@ -73,6 +77,18 @@ def _add_detector_args(parser: argparse.ArgumentParser) -> None:
                         help="ATPG backtrack limit (paper default: 50)")
     parser.add_argument("--static-learning", action="store_true",
                         help="pre-compute SOCRATES-style global implications")
+    parser.add_argument("--implication-db", action="store_true",
+                        help="use the compiled global implication database "
+                             "(transitively closed, built once per netlist) "
+                             "as the deciders' learned table; takes "
+                             "precedence over --static-learning")
+    parser.add_argument("--lint", default="off",
+                        choices=("off", "warn", "strict"),
+                        help="structural lint gate before the run: off = "
+                             "classic first-error validation, warn = full "
+                             "lint rejecting errors, strict = rejecting "
+                             "warnings too (verdicts of accepted circuits "
+                             "are identical; default: off)")
     parser.add_argument("--no-self-loops", action="store_true",
                         help="skip (FF, FF) self pairs, as [9] did")
     parser.add_argument("--engine", default="dalg",
@@ -151,6 +167,11 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         for pair in result.hazard_flagged_pairs:
             print(f"  hazard-flagged {circuit.names[pair.source]} -> "
                   f"{circuit.names[pair.sink]}")
+    db = result.implication_db
+    if db:
+        print(f"implication DB:     {db['keys']} keys, {db['edges']} edges, "
+              f"{db['impossible']} impossible literals, "
+              f"built in {db['build_seconds']:.2f}s")
     session = result.decision_session
     if session:
         print(f"decision session:   {session['implications']} implications, "
@@ -168,6 +189,48 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         for source, sink in result.multi_cycle_pair_names():
             print(f"  multicycle {source} -> {sink}")
     return 1 if result.disagreements else 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Lint netlist files; exit 1 when the chosen policy rejects any.
+
+    Collects *every* structural finding per file (parse errors included)
+    instead of stopping at the first.  ``--strict`` also fails on
+    warnings; infos never fail.
+    """
+    from repro.analysis import lint_file
+
+    exit_code = 0
+    for path in args.files:
+        report = lint_file(path)
+        if not report.diagnostics:
+            if not args.quiet:
+                print(f"{path}: clean")
+            continue
+        print(report.format())
+        if not report.ok(strict=args.strict):
+            exit_code = 1
+    return exit_code
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    """Constant/duplicate/dead-logic sweep report; optional rewrite.
+
+    Prints the annotate-only report; with ``-o`` the simplified circuit
+    (constants folded, duplicates merged, dead gates dropped, PI/PO/DFF
+    interface preserved) is written as ``.bench``.
+    """
+    from repro.analysis import simplified, sweep
+
+    circuit = load(args.file)
+    report = sweep(circuit)
+    print(report.format())
+    if args.out:
+        swept = simplified(circuit)
+        dump(swept, args.out)
+        removed = circuit.num_nodes - swept.num_nodes
+        print(f"wrote {args.out} ({removed} node(s) removed)")
+    return 0
 
 
 def cmd_hazard(args: argparse.Namespace) -> int:
@@ -349,6 +412,23 @@ def build_parser() -> argparse.ArgumentParser:
     _add_detector_args(p)
     p.set_defaults(func=cmd_analyze)
 
+    p = sub.add_parser("lint", help="collect all structural findings of "
+                                    "netlist files")
+    p.add_argument("files", nargs="+", help=".bench or .v netlists")
+    p.add_argument("--strict", action="store_true",
+                   help="exit 1 on warnings as well as errors")
+    p.add_argument("--quiet", action="store_true",
+                   help="print nothing for clean files")
+    p.set_defaults(func=cmd_lint)
+
+    p = sub.add_parser("sweep", help="constant/duplicate/dead-logic sweep "
+                                     "report")
+    p.add_argument("file", help=".bench or .v netlist")
+    p.add_argument("-o", "--out", default=None,
+                   help="also write the simplified circuit to this .bench "
+                        "file")
+    p.set_defaults(func=cmd_sweep)
+
     p = sub.add_parser("hazard", help="detection + static hazard checks")
     p.add_argument("file", help=".bench netlist")
     _add_detector_args(p)
@@ -421,9 +501,20 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
+    """CLI entry point; returns the process exit code.
+
+    Netlist problems (malformed files, lint rejections) exit with code 2
+    and a one-line ``error:`` message carrying the reader's file/line
+    context — they are user errors, not crashes.
+    """
+    from repro.circuit.netlist import CircuitError
+
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except CircuitError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -120,9 +120,24 @@ class ImplicationAtpgDecider:
         self.name = name
         self.learned_implications = 0
         self._shared_learned = None
+        #: stats block of the compiled implication DB, when one is used.
+        self.db_info: dict | None = None
 
     def prepare_shared(self, ctx: AnalysisContext):
-        """Static-learning table, computed once in the parent process."""
+        """Learned table, computed once in the parent process.
+
+        With ``options.implication_db`` this is the compiled global
+        :class:`~repro.analysis.implication_db.ImplicationDB` (cached on
+        the expanded circuit, so repeated runs reuse it); otherwise the
+        legacy per-key static-learning table, when enabled.  The DB takes
+        precedence when both options are set.
+        """
+        if ctx.options.implication_db:
+            from repro.analysis.implication_db import implication_db
+
+            db = implication_db(ctx.expansion(self.frames).comb)
+            self.db_info = db.stats()
+            return db
         if not ctx.options.static_learning:
             return None
         from repro.atpg.learning import learn_static_implications
@@ -140,10 +155,17 @@ class ImplicationAtpgDecider:
         options = ctx.options
         expansion = ctx.expansion(self.frames)
         learned = self._shared_learned
-        if learned is None and options.static_learning:
+        if learned is None and options.implication_db:
+            from repro.analysis.implication_db import implication_db
+
+            learned = implication_db(expansion.comb)
+        elif learned is None and options.static_learning:
             learned = learn_static_implications(expansion.comb)
         if learned is not None:
             self.learned_implications = count_learned(learned)
+            stats_fn = getattr(learned, "stats", None)
+            if stats_fn is not None:
+                self.db_info = stats_fn()
         self._session = DecisionSession(
             expansion,
             backtrack_limit=options.backtrack_limit,
@@ -265,12 +287,15 @@ class CrossCheckDecider:
         self.secondary_name = secondary
         self.disagreements: list[Disagreement] = []
         self._shared = None
+        self.db_info: dict | None = None
 
     def prepare_shared(self, ctx: AnalysisContext):
         """Delegate to the primary engine's shared pre-pass, if it has one."""
         primary = create_decider(self.primary_name)
         shared_fn = getattr(primary, "prepare_shared", None)
-        return shared_fn(ctx) if shared_fn is not None else None
+        shared = shared_fn(ctx) if shared_fn is not None else None
+        self.db_info = getattr(primary, "db_info", None)
+        return shared
 
     def adopt_shared(self, payload) -> None:
         self._shared = payload
@@ -287,6 +312,8 @@ class CrossCheckDecider:
         self.learned_implications = getattr(
             self._primary, "learned_implications", 0
         )
+        if self.db_info is None:
+            self.db_info = getattr(self._primary, "db_info", None)
 
     def decide(self, pair: FFPair) -> PairResult:
         first = self._primary.decide(pair)

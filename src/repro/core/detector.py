@@ -25,7 +25,7 @@ Usage::
 
 from __future__ import annotations
 
-from repro.circuit.netlist import Circuit, validate
+from repro.circuit.netlist import Circuit
 from repro.core.pipeline import (
     AnalysisContext,
     DetectorOptions,
@@ -51,9 +51,15 @@ class MultiCycleDetector:
         tracer: Tracer | None = None,
         progress: ProgressFn | None = None,
     ) -> None:
-        validate(circuit)
-        self.circuit = circuit
+        from repro.analysis.lint import enforce
+
         self.options = options or DetectorOptions()
+        #: full lint report when ``options.lint`` is "warn"/"strict";
+        #: ``None`` in "off" mode (classic first-error validation).  A
+        #: rejected circuit raises :class:`~repro.analysis.LintError`
+        #: (a :class:`~repro.circuit.netlist.CircuitError`) here.
+        self.lint_report = enforce(circuit, self.options.lint)
+        self.circuit = circuit
         self.tracer = tracer
         self.progress = progress
 

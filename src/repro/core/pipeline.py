@@ -63,6 +63,18 @@ class DetectorOptions:
     backtrack_limit: int = 50
     #: pre-compute SOCRATES-style global implications before ATPG.
     static_learning: bool = False
+    #: use the compiled global implication database
+    #: (:mod:`repro.analysis.implication_db`) as the deciders' learned
+    #: table; built once per netlist version, transitively closed, and
+    #: shipped to decision workers.  Takes precedence over
+    #: ``static_learning`` when both are set.
+    implication_db: bool = False
+    #: structural lint policy applied before the pipeline runs:
+    #: "off" (classic first-error validation), "warn" (full lint, reject
+    #: errors, surface warnings), "strict" (reject warnings too).  The
+    #: lint pass only validates — verdicts of an accepted circuit are
+    #: identical across all three modes.
+    lint: str = "off"
     #: analyse (FF, FF) self-loop pairs (the SAT baseline of [9] skipped them).
     include_self_loops: bool = True
     #: decision engine, by registry name (``repro.core.deciders``):
@@ -213,6 +225,8 @@ class PipelineState:
     disagreements: list[Disagreement] = field(default_factory=list)
     #: decision-session counter totals (None for non-session engines).
     session: dict[str, int] | None = None
+    #: implication-DB stats block (None when the DB was not enabled).
+    implication_db: dict[str, float | int] | None = None
     #: hazard-stage outcome (mode "off" when the stage was disabled).
     hazard_mode: str = "off"
     hazard_checked: int = 0
@@ -568,6 +582,12 @@ class DecisionStage:
             _emit_pair(ctx, state, result, seconds, engine=decider.name)
         state.learned_implications = learned
         state.session = session
+        # ``prepare_shared`` (parallel) and ``prepare`` (serial) both run
+        # on this instance in the parent, so the stats block is here
+        # regardless of execution mode.
+        state.implication_db = getattr(decider, "db_info", None)
+        if state.implication_db is not None:
+            ctx.emit("implication_db", engine=decider.name, **state.implication_db)
         if session is not None:
             ctx.emit("decision_session", engine=decider.name, **session)
         state.disagreements.extend(disagreements)
@@ -742,6 +762,7 @@ class Pipeline:
             engine=state.engine,
             disagreements=state.disagreements,
             decision_session=state.session,
+            implication_db=state.implication_db,
             hazard_mode=state.hazard_mode,
             hazard_checked=state.hazard_checked,
             hazard_flagged=state.hazard_flagged,

@@ -118,6 +118,10 @@ class DetectionResult:
     #: decision-session counter totals (prefix cache hits/misses, trail
     #: high-water mark, ...); ``None`` for non-session engines (sat/bdd).
     decision_session: dict[str, int] | None = None
+    #: compiled implication-DB stats (nodes/keys/edges/impossible/build
+    #: seconds); ``None`` unless ``DetectorOptions.implication_db`` was
+    #: set.  Observability only — excluded from :meth:`pair_records`.
+    implication_db: dict[str, float | int] | None = None
     #: hazard-validation mode the pipeline ran ("off" when disabled;
     #: "ternary", "sensitize" or "cosensitize" otherwise).
     hazard_mode: str = "off"

@@ -1,0 +1,186 @@
+"""Property tests for the compiled global implication database.
+
+Soundness: every edge ``(n,v) => (m,w)`` must hold in every consistent
+complete assignment of the circuit — checked by exhaustive enumeration
+of all source (PI + FF) patterns on the three-valued simulator.
+Invariance: rebuilding the database on a node-reordered clone of the
+same netlist must produce the identical name-level implication set.
+"""
+
+from __future__ import annotations
+
+import pickle
+import random
+
+from hypothesis import given, settings
+
+from repro.analysis import ImplicationDB, build_implication_db, implication_db
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+from repro.logic.simulator import Simulator
+from tests.strategies import random_sequential_circuit, seeds
+
+
+def _all_source_patterns(circuit: Circuit):
+    """Yield node-value vectors for every binary source assignment."""
+    sources = list(circuit.inputs) + list(circuit.dffs)
+    assert len(sources) <= 12, "exhaustive check only for small circuits"
+    sim = Simulator(circuit)
+    for pattern in range(2 ** len(sources)):
+        assignment = {
+            src: (pattern >> k) & 1 for k, src in enumerate(sources)
+        }
+        sim.set_inputs({s: v for s, v in assignment.items()
+                        if circuit.types[s] == GateType.INPUT})
+        sim.set_state({s: v for s, v in assignment.items()
+                       if circuit.types[s] == GateType.DFF})
+        sim.comb_eval()
+        yield list(sim.values)
+
+
+def _assert_sound(circuit: Circuit, db: ImplicationDB):
+    impossible = set(db.impossible)
+    violations = []
+    for values in _all_source_patterns(circuit):
+        for lit in impossible:
+            if values[lit >> 1] == (lit & 1):
+                violations.append(("impossible", lit >> 1, lit & 1))
+        for node, value in db.keys():
+            if 2 * node + value in impossible:
+                continue
+            if values[node] != value:
+                continue
+            for m, w in db.consequents(node, value):
+                if values[m] != w:
+                    violations.append((node, value, m, w))
+        if violations:
+            break
+    assert not violations, violations[:10]
+
+
+def test_db_sound_on_s27(s27_circuit):
+    _assert_sound(s27_circuit, build_implication_db(s27_circuit))
+
+
+def test_db_sound_on_fig1(fig1):
+    _assert_sound(fig1, build_implication_db(fig1))
+
+
+@given(seeds)
+@settings(max_examples=15)
+def test_db_sound_on_random_circuits(seed):
+    circuit = random_sequential_circuit(seed)
+    _assert_sound(circuit, build_implication_db(circuit))
+
+
+def _shuffled_clone(circuit: Circuit, seed: int) -> Circuit:
+    """Same netlist, nodes created in a different order (names kept)."""
+    rng = random.Random(seed)
+    order = list(range(circuit.num_nodes))
+    rng.shuffle(order)
+    clone = Circuit(circuit.name)
+    new_id = {}
+    for old in order:
+        new_id[old] = clone.add_node(circuit.types[old], (), circuit.names[old])
+    for old in order:
+        clone.set_fanins(
+            new_id[old], tuple(new_id[f] for f in circuit.fanins[old])
+        )
+    return clone
+
+
+def _name_level(circuit: Circuit, db: ImplicationDB):
+    names = circuit.names
+    edges = {
+        (names[n], v): frozenset((names[m], w) for m, w in db.consequents(n, v))
+        for n, v in db.keys()
+    }
+    impossible = frozenset(
+        (names[lit >> 1], lit & 1) for lit in db.impossible
+    )
+    return edges, impossible
+
+
+@given(seeds)
+@settings(max_examples=15)
+def test_db_invariant_under_node_reordering(seed):
+    circuit = random_sequential_circuit(seed)
+    clone = _shuffled_clone(circuit, seed + 1)
+    original = _name_level(circuit, build_implication_db(circuit))
+    reordered = _name_level(clone, build_implication_db(clone))
+    assert original == reordered
+
+
+def test_engine_with_db_derives_contrapositives(fig1):
+    # The compiled lists drop anything a fresh local run rederives (the
+    # SOCRATES criterion), so the contract is: an engine consuming the
+    # DB still reaches every contrapositive m=!w  =>  n=!v.
+    from repro.atpg.implication import ImplicationEngine
+    from repro.logic.values import X
+
+    db = build_implication_db(fig1)
+    impossible = set(db.impossible)
+    missing = []
+    for n, v in db.keys():
+        if 2 * n + v in impossible:
+            continue
+        for m, w in db.consequents(n, v):
+            if 2 * m + (1 - w) in impossible:
+                continue
+            engine = ImplicationEngine(fig1, learned=db)
+            assert engine.assume(m, 1 - w)
+            if engine.value(n) == X or engine.value(n) != 1 - v:
+                missing.append(((n, v), (m, w)))
+    assert not missing, missing[:5]
+
+
+def test_impossible_literal_encodes_self_contradiction():
+    c = Circuit("forced")
+    one = c.add_node(GateType.CONST1, (), "one")
+    g = c.add_node(GateType.BUF, (one,), "g")  # g can never be 0
+    c.add_node(GateType.OUTPUT, (g,), "po")
+    db = build_implication_db(c)
+    lit = 2 * g + 0
+    assert lit in db.impossible
+    assert db.consequents(g, 0) == ((g, 1),)
+
+
+def test_db_pickle_round_trip(s27_circuit):
+    db = build_implication_db(s27_circuit)
+    clone = pickle.loads(pickle.dumps(db))
+    assert clone.num_nodes == db.num_nodes
+    assert dict(clone._table) == dict(db._table)
+    assert clone.impossible == db.impossible
+
+
+def test_db_duck_types_learned_table(s27_circuit):
+    db = build_implication_db(s27_circuit)
+    key = next(iter(db.keys()))
+    assert db.get(key) == db.consequents(*key)
+    assert db.get((10**6, 0), ()) == ()
+    assert key in db
+    assert len(db) == db.num_keys
+    assert bool(db)
+
+
+def test_db_stats_block(s27_circuit):
+    stats = build_implication_db(s27_circuit).stats()
+    assert set(stats) == {"nodes", "keys", "edges", "impossible",
+                          "build_seconds"}
+    assert stats["nodes"] == s27_circuit.num_nodes
+    assert stats["edges"] >= stats["keys"]
+
+
+def test_db_cached_per_netlist_version(s27_circuit):
+    assert implication_db(s27_circuit) is implication_db(s27_circuit)
+
+
+def test_max_consequents_truncation(s27_circuit):
+    full = build_implication_db(s27_circuit)
+    capped = build_implication_db(s27_circuit, max_consequents_per_key=1)
+    impossible = set(capped.impossible)
+    for n, v in capped.keys():
+        if 2 * n + v in impossible:
+            continue
+        assert len(capped.consequents(n, v)) <= 1
+    assert capped.num_edges <= full.num_edges

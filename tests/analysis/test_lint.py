@@ -1,0 +1,168 @@
+"""Lint pass: collect-all semantics, severities, policy gate, file lint."""
+
+from __future__ import annotations
+
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    LintError,
+    LintWarning,
+    Severity,
+    enforce,
+    lint,
+    lint_file,
+)
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, CircuitError
+
+CORPUS = Path(__file__).resolve().parent.parent / "data" / "malformed"
+
+
+def _messy_circuit() -> Circuit:
+    """One circuit with an error, warnings and infos all at once."""
+    c = Circuit("messy")
+    a = c.add_node(GateType.INPUT, (), "a")
+    c.add_node(GateType.INPUT, (), "unused")
+    one = c.add_node(GateType.CONST1, (), "one")
+    c.add_node(GateType.DFF, (one,), "const_ff")
+    g1 = c.add_node(GateType.NOT, (a,), "g1")
+    g2 = c.add_node(GateType.NOT, (g1,), "g2")
+    c.add_node(GateType.AND, (a, g2), "dangling")
+    c.add_node(GateType.OUTPUT, (g2,), "po")
+    # comb cycle g1 -> g2 -> g1: the one structural ERROR.
+    c.set_fanins(g1, (g2,))
+    return c
+
+
+def test_lint_collects_all_findings_at_once():
+    report = lint(_messy_circuit())
+    codes = report.codes()
+    assert "comb-cycle" in codes
+    assert "dangling-gate" in codes
+    assert "unread-dff" in codes
+    assert "constant-dff" in codes
+    assert "unused-input" in codes
+    assert len(report.errors) == 1
+    assert not report.ok()
+
+
+def test_lint_clean_circuit_is_ok(s27_circuit):
+    report = lint(s27_circuit)
+    assert report.ok()
+    assert report.errors == []
+
+
+def test_lint_is_cached_per_netlist_version(s27_circuit):
+    assert lint(s27_circuit) is lint(s27_circuit)
+
+
+def test_lint_cache_invalidates_on_mutation():
+    c = _messy_circuit()
+    first = lint(c)
+    c.add_node(GateType.INPUT, (), "late")
+    assert lint(c) is not first
+
+
+def test_enforce_off_matches_classic_validate():
+    with pytest.raises(CircuitError):
+        enforce(_messy_circuit(), "off")
+    assert enforce(Circuit("empty"), "off") is None
+
+
+def test_enforce_warn_raises_lint_error_listing_all_errors():
+    c = _messy_circuit()
+    with pytest.raises(LintError) as excinfo:
+        enforce(c, "warn")
+    assert excinfo.value.report.errors
+    assert "comb-cycle" in excinfo.value.report.codes()
+
+
+def test_enforce_warn_emits_lint_warnings():
+    c = Circuit("warny")
+    a = c.add_node(GateType.INPUT, (), "a")
+    g = c.add_node(GateType.NOT, (a,), "g")
+    c.add_node(GateType.AND, (a, g), "dangling")
+    c.add_node(GateType.OUTPUT, (g,), "po")
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        report = enforce(c, "warn")
+    assert report is not None
+    assert any(issubclass(w.category, LintWarning) for w in caught)
+
+
+def test_enforce_strict_rejects_warnings():
+    c = Circuit("warny")
+    a = c.add_node(GateType.INPUT, (), "a")
+    g = c.add_node(GateType.NOT, (a,), "g")
+    c.add_node(GateType.AND, (a, g), "dangling")
+    c.add_node(GateType.OUTPUT, (g,), "po")
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore")
+        assert enforce(c, "warn") is not None
+    with pytest.raises(LintError, match="strict"):
+        enforce(c, "strict")
+
+
+def test_enforce_unknown_mode_rejected(s27_circuit):
+    with pytest.raises(ValueError, match="unknown lint mode"):
+        enforce(s27_circuit, "pedantic")
+
+
+def test_severity_ordering():
+    assert Severity.INFO < Severity.WARNING < Severity.ERROR
+
+
+#: corpus file -> diagnostic code the seeded defect must surface as.
+CORPUS_EXPECTED = {
+    "unknown_function.bench": "parse-error",
+    "undefined_signal.bench": "parse-error",
+    "double_definition.bench": "parse-error",
+    "input_redefined.bench": "parse-error",
+    "const_with_operands.bench": "parse-error",
+    "comb_cycle.bench": "comb-cycle",
+    "dangling_gate.bench": "dangling-gate",
+    "unknown_primitive.v": "parse-error",
+    "driven_twice.v": "parse-error",
+    "undriven_output.v": "parse-error",
+    "missing_endmodule.v": "parse-error",
+}
+
+
+def test_corpus_is_fully_covered():
+    found = {p.name for p in CORPUS.iterdir() if p.suffix in (".bench", ".v")}
+    assert found == set(CORPUS_EXPECTED)
+
+
+@pytest.mark.parametrize("filename", sorted(CORPUS_EXPECTED))
+def test_lint_file_flags_every_seeded_defect(filename):
+    report = lint_file(CORPUS / filename)
+    assert CORPUS_EXPECTED[filename] in report.codes()
+    assert not report.ok(strict=True)
+
+
+def test_lint_file_reports_all_findings_of_parseable_file():
+    # comb_cycle.bench parses; lint must deliver the full report, not
+    # just the first validation failure.
+    report = lint_file(CORPUS / "comb_cycle.bench")
+    assert "comb-cycle" in report.codes()
+    assert all(d.file for d in report.diagnostics)
+
+
+def test_lint_file_parse_error_carries_line(tmp_path):
+    bad = tmp_path / "bad.bench"
+    bad.write_text("INPUT(a)\ng = FROB(a)\n")
+    report = lint_file(bad)
+    (diag,) = report.diagnostics
+    assert diag.code == "parse-error"
+    assert diag.line == 2
+
+
+def test_lint_file_clean_circuit(tmp_path, s27_circuit):
+    from repro.circuit import bench
+
+    path = tmp_path / "s27.bench"
+    bench.dump(s27_circuit, path)
+    assert lint_file(path).ok(strict=True)

@@ -1,0 +1,119 @@
+"""Constant sweep: report contents + differential equivalence of
+``simplified`` against the original on the bit-parallel simulator."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+
+from repro.analysis import simplified, sweep
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit, validate
+from repro.logic.bitsim import BitSimulator
+from tests.strategies import random_sequential_circuit, seeds
+
+
+def test_constant_propagation_through_gates():
+    c = Circuit("consts")
+    a = c.add_node(GateType.INPUT, (), "a")
+    zero = c.add_node(GateType.CONST0, (), "zero")
+    g = c.add_node(GateType.AND, (a, zero), "g")       # = 0
+    h = c.add_node(GateType.NOR, (g, g), "h")          # = 1
+    c.add_node(GateType.OUTPUT, (h,), "po")
+    report = sweep(c)
+    # the OUTPUT shell also shows up constant — worth reporting too
+    assert report.constants == {"g": 0, "h": 1, "po": 1}
+
+
+def test_equivalent_gates_detected():
+    c = Circuit("dup")
+    a = c.add_node(GateType.INPUT, (), "a")
+    b = c.add_node(GateType.INPUT, (), "b")
+    g1 = c.add_node(GateType.NAND, (a, b), "g1")
+    g2 = c.add_node(GateType.NAND, (b, a), "g2")       # commutative dup
+    c.add_node(GateType.OUTPUT, (g1,), "po1")
+    c.add_node(GateType.OUTPUT, (g2,), "po2")
+    report = sweep(c)
+    assert report.equivalences == {"g2": "g1"}
+
+
+def test_dead_logic_detected_behind_dff_cone():
+    c = Circuit("dead")
+    a = c.add_node(GateType.INPUT, (), "a")
+    live = c.add_node(GateType.NOT, (a,), "live")
+    c.add_node(GateType.DFF, (live,), "ff")            # keeps `live` alive
+    c.add_node(GateType.BUF, (a,), "corpse")           # feeds nothing
+    c.add_node(GateType.OUTPUT, (a,), "po")
+    report = sweep(c)
+    assert report.dead == ("corpse",)
+    assert "live" not in report.dead
+
+
+def test_sweep_is_cached(s27_circuit):
+    assert sweep(s27_circuit) is sweep(s27_circuit)
+
+
+def test_report_format_mentions_counts():
+    c = Circuit("consts")
+    a = c.add_node(GateType.INPUT, (), "a")
+    zero = c.add_node(GateType.CONST0, (), "zero")
+    g = c.add_node(GateType.AND, (a, zero), "g")
+    c.add_node(GateType.OUTPUT, (g,), "po")
+    text = sweep(c).format()
+    assert "constant" in text
+
+
+def test_simplified_removes_removable_nodes(fig1):
+    report = sweep(fig1)
+    slim = simplified(fig1)
+    validate(slim)
+    assert slim.num_nodes <= fig1.num_nodes
+    assert fig1.num_nodes - slim.num_nodes >= min(1, report.num_removable)
+
+
+def _assert_simulation_equivalent(original: Circuit, slim: Circuit, seed: int):
+    """Drive both circuits with identical random source words."""
+    words = 2
+    rng = np.random.default_rng(seed)
+    sims = [BitSimulator(original, words=words), BitSimulator(slim, words=words)]
+    source_names = {
+        original.names[n]
+        for n in list(original.inputs) + list(original.dffs)
+    }
+    for name in sorted(source_names):
+        word = rng.integers(0, 2**63, size=words, dtype=np.uint64)
+        for sim in sims:
+            sim.set_word(sim.circuit.id_of(name), word)
+    for sim in sims:
+        sim.comb_eval()
+
+    def observed(sim: BitSimulator) -> dict[str, tuple[int, ...]]:
+        c = sim.circuit
+        out: dict[str, tuple[int, ...]] = {}
+        for po in c.outputs:
+            out[c.names[po]] = tuple(int(w) for w in sim.values[po])
+        for dff in c.dffs:
+            nxt = c.next_state_node(dff)
+            out[f"next:{c.names[dff]}"] = tuple(int(w) for w in sim.values[nxt])
+        return out
+
+    assert observed(sims[0]) == observed(sims[1])
+
+
+@given(seeds)
+def test_simplified_is_simulation_equivalent(seed):
+    original = random_sequential_circuit(seed)
+    slim = simplified(original)
+    assert set(slim.names) >= {
+        original.names[n]
+        for n in list(original.inputs) + list(original.dffs)
+        + list(original.outputs)
+    }
+    _assert_simulation_equivalent(original, slim, seed)
+
+
+@pytest.mark.parametrize("fixture", ["fig1", "s27_circuit", "shift4"])
+def test_simplified_library_circuits_equivalent(fixture, request):
+    original = request.getfixturevalue(fixture)
+    _assert_simulation_equivalent(original, simplified(original), seed=7)

@@ -157,3 +157,55 @@ def test_deep_linear_chain_topo_order_is_iterative():
         previous = circuit.add_node(GateType.NOT, (previous,), f"n{i}")
     order = circuit.topo_order()
     assert len(order) == circuit.num_nodes
+
+
+def test_check_collects_all_violations_at_once():
+    from repro.circuit.netlist import check
+
+    circuit = Circuit("multi-bad")
+    a = circuit.add_node(GateType.INPUT, (), "a")
+    circuit.add_node(GateType.MUX, (a, a), "bad_mux")        # arity
+    po = circuit.add_node(GateType.OUTPUT, (a,), "po")
+    circuit.add_node(GateType.NOT, (po,), "reads_po")        # OUTPUT fanin
+    g1 = circuit.add_node(GateType.AND, (), "g1")
+    g2 = circuit.add_node(GateType.AND, (), "g2")
+    circuit.set_fanins(g1, (a, g2))                          # comb cycle
+    circuit.set_fanins(g2, (a, g1))
+
+    violations = check(circuit)
+    codes = {v.code for v in violations}
+    assert {"arity", "output-fanin", "comb-cycle"} <= codes
+    assert len(violations) >= 3
+
+
+def test_check_clean_circuit_returns_empty():
+    from repro.circuit.library import s27
+    from repro.circuit.netlist import check
+
+    assert check(s27()) == []
+
+
+def test_validate_raises_first_check_violation():
+    from repro.circuit.netlist import check
+
+    circuit = Circuit("bad")
+    a = circuit.add_node(GateType.INPUT, (), "a")
+    circuit.add_node(GateType.MUX, (a, a), "m")
+    first = check(circuit)[0]
+    with pytest.raises(CircuitError, match="fanins"):
+        validate(circuit)
+    assert first.message in str(first)
+
+
+def test_check_reports_comb_cycle_path():
+    from repro.circuit.netlist import check
+
+    circuit = Circuit("loop")
+    a = circuit.add_node(GateType.INPUT, (), "a")
+    g1 = circuit.add_node(GateType.AND, (), "g1")
+    g2 = circuit.add_node(GateType.AND, (), "g2")
+    circuit.set_fanins(g1, (a, g2))
+    circuit.set_fanins(g2, (a, g1))
+    (cycle,) = [v for v in check(circuit) if v.code == "comb-cycle"]
+    assert set(cycle.nodes) == {g1, g2}
+    assert "g1" in cycle.message and "g2" in cycle.message

@@ -1,0 +1,96 @@
+"""Regression tests: reader errors carry file and line context.
+
+Runs over the malformed-netlist corpus in ``tests/data/malformed`` —
+every file seeds exactly one defect, and the reader (or the lint pass,
+for parseable-but-broken netlists) must name it precisely.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.circuit import bench, verilog
+from repro.circuit.netlist import CircuitError
+
+CORPUS = Path(__file__).resolve().parent.parent / "data" / "malformed"
+
+#: file -> (fragment the error message must contain, expected "line N")
+PARSE_FAILURES = {
+    "unknown_function.bench": ("unknown function 'FROB'", "line 3"),
+    "undefined_signal.bench": ("undefined signal 'ghost'", "line 3"),
+    "double_definition.bench": ("'b' defined twice", "line 4"),
+    "input_redefined.bench": ("defined as both INPUT and gate", "line 3"),
+    "const_with_operands.bench": ("constants take no operands", "line 3"),
+    "unknown_primitive.v": ("unknown primitive 'frob'", "line 5"),
+    "driven_twice.v": ("'y' driven twice", "line 7"),
+    "undriven_output.v": ("output 'y' is never driven", "line 4"),
+    "missing_endmodule.v": ("missing endmodule", "line 2"),
+}
+
+
+def _load(path: Path, **kwargs):
+    reader = verilog if path.suffix == ".v" else bench
+    return reader.load(path, **kwargs)
+
+
+@pytest.mark.parametrize("filename", sorted(PARSE_FAILURES))
+def test_malformed_file_error_names_file_and_line(filename):
+    fragment, line = PARSE_FAILURES[filename]
+    with pytest.raises(CircuitError) as excinfo:
+        _load(CORPUS / filename)
+    message = str(excinfo.value)
+    assert filename in message
+    assert fragment in message
+    assert line in message
+
+
+def test_comb_cycle_fails_validation_with_path():
+    with pytest.raises(CircuitError, match="combinational cycle") as excinfo:
+        bench.load(CORPUS / "comb_cycle.bench")
+    assert "comb_cycle.bench" in str(excinfo.value)
+
+
+def test_check_false_defers_structural_validation():
+    circuit = bench.load(CORPUS / "comb_cycle.bench", check=False)
+    assert circuit.num_nodes > 0  # parse succeeded; cycle left for lint
+
+
+def test_parse_errors_raise_even_without_check():
+    with pytest.raises(CircuitError, match="unknown function"):
+        bench.load(CORPUS / "unknown_function.bench", check=False)
+
+
+def test_loads_reports_line_of_later_duplicate():
+    text = "INPUT(a)\nb = NOT(a)\nc = NOT(b)\nb = BUF(c)\n"
+    with pytest.raises(CircuitError, match=r"line 4: 'b' defined twice"):
+        bench.loads(text)
+
+
+def test_verilog_line_numbers_survive_comments():
+    text = (
+        "/* multi\n"
+        "   line\n"
+        "   comment */\n"
+        "module m (a, y);\n"
+        "  input a;  // trailing comment\n"
+        "  output y;\n"
+        "  frob u0 (y, a);\n"
+        "endmodule\n"
+    )
+    with pytest.raises(CircuitError, match=r"line 7: unknown primitive"):
+        verilog.loads(text)
+
+
+def test_verilog_duplicate_input_rejected():
+    text = "module m (a);\n  input a;\n  input a;\nendmodule\n"
+    with pytest.raises(CircuitError, match="declared twice"):
+        verilog.loads(text)
+
+
+def test_bench_duplicate_declarations_rejected():
+    with pytest.raises(CircuitError, match=r"line 2: 'a' declared INPUT twice"):
+        bench.loads("INPUT(a)\nINPUT(a)\n")
+    with pytest.raises(CircuitError, match=r"line 3: 'a' declared OUTPUT twice"):
+        bench.loads("INPUT(a)\nOUTPUT(a)\nOUTPUT(a)\n")

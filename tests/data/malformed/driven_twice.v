@@ -1,0 +1,8 @@
+/* y has two drivers
+   (second one on line 7) */
+module bad (a, y);
+  input a;
+  output y;
+  not u0 (y, a);
+  buf u1 (y, a);
+endmodule

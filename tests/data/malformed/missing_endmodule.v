@@ -1,0 +1,5 @@
+// module never closes
+module bad (a, y);
+  input a;
+  output y;
+  not u0 (y, a);

@@ -1,0 +1,5 @@
+// output y is declared (line 4) but nothing drives it
+module bad (a, y);
+  input a;
+  output y;
+endmodule

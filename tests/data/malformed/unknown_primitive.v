@@ -1,0 +1,6 @@
+// the frobnicator is not a supported primitive (line 5)
+module bad (a, y);
+  input a;
+  output y;
+  frob u0 (y, a);
+endmodule

@@ -130,3 +130,95 @@ def test_sta_slack_table(fig1_file, capsys):
     out = capsys.readouterr().out
     assert "slack report at clock period 2" in out
     assert "VIOLATED" in out
+
+
+def test_lint_clean_file(fig1_file, capsys):
+    assert main(["lint", fig1_file]) == 0
+    assert "clean" in capsys.readouterr().out
+
+
+def test_lint_flags_malformed_file(tmp_path, capsys):
+    bad = tmp_path / "bad.bench"
+    bad.write_text("INPUT(a)\ng = FROB(a)\n")
+    assert main(["lint", str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "parse-error" in out
+    assert "line 2" in out
+
+
+def test_lint_strict_fails_on_warnings(tmp_path, capsys):
+    warny = tmp_path / "warny.bench"
+    warny.write_text(
+        "INPUT(a)\nb = NOT(a)\ndead = AND(a, b)\nOUTPUT(b)\n"
+    )
+    assert main(["lint", str(warny)]) == 0
+    assert main(["lint", "--strict", str(warny)]) == 1
+    assert "dangling-gate" in capsys.readouterr().out
+
+
+def test_lint_multiple_files(fig1_file, tmp_path, capsys):
+    bad = tmp_path / "bad.bench"
+    bad.write_text("what is this\n")
+    assert main(["lint", fig1_file, str(bad)]) == 1
+    out = capsys.readouterr().out
+    assert "clean" in out and "parse-error" in out
+
+
+def test_sweep_report(tmp_path, capsys):
+    src = tmp_path / "c.bench"
+    src.write_text(
+        "INPUT(a)\nzero = VSS()\ng = AND(a, zero)\nh = NOT(a)\n"
+        "dup = NOT(a)\nOUTPUT(g)\nOUTPUT(h)\nOUTPUT(dup)\n"
+    )
+    assert main(["sweep", str(src)]) == 0
+    out = capsys.readouterr().out
+    assert "constant" in out
+
+
+def test_sweep_writes_simplified(tmp_path, capsys):
+    src = tmp_path / "c.bench"
+    out_path = tmp_path / "slim.bench"
+    src.write_text(
+        "INPUT(a)\nb = NOT(a)\ndead = AND(a, b)\nOUTPUT(b)\n"
+    )
+    assert main(["sweep", str(src), "-o", str(out_path)]) == 0
+    assert "removed" in capsys.readouterr().out
+    from repro.circuit.bench import load
+
+    slim = load(out_path)
+    assert slim.num_nodes < load(src).num_nodes
+
+
+def test_analyze_with_implication_db(fig1_file, capsys):
+    assert main(["analyze", fig1_file, "--implication-db"]) == 0
+    out = capsys.readouterr().out
+    assert "implication DB" in out
+    assert "multi-cycle pairs:  5" in out
+
+
+def test_analyze_lint_strict_rejects(tmp_path, capsys):
+    warny = tmp_path / "warny.bench"
+    warny.write_text(
+        "INPUT(a)\nb = NOT(a)\ndead = AND(a, b)\nOUTPUT(b)\n"
+    )
+    with pytest.raises(SystemExit):
+        main(["analyze", str(warny), "--lint", "bogus"])
+
+
+def test_analyze_lint_strict_gate(tmp_path, capsys):
+    warny = tmp_path / "warny.bench"
+    warny.write_text(
+        "INPUT(a)\nb = NOT(a)\ndead = AND(a, b)\nOUTPUT(b)\n"
+    )
+    assert main(["analyze", str(warny), "--lint", "strict"]) == 2
+    err = capsys.readouterr().err
+    assert "error:" in err and "drives nothing" in err
+    assert main(["analyze", str(warny), "--lint", "off"]) == 0
+
+
+def test_malformed_file_exits_cleanly(tmp_path, capsys):
+    bad = tmp_path / "bad.bench"
+    bad.write_text("INPUT(a)\ng = FROB(a)\n")
+    assert main(["analyze", str(bad)]) == 2
+    err = capsys.readouterr().err
+    assert "bad.bench" in err and "line 2" in err

@@ -24,6 +24,13 @@ as the recorded baseline.
 The fixed-size ``topology_probe`` (bitset reachability vs set BFS, both
 measured back to back) is gated in both cases via its speedup ratio.
 
+The ``scale`` section (streaming-scale ladder, fresh process per rung)
+gates ``peak_rss_bytes`` the other way around: peak memory is dominated
+by data-structure sizes, not clock speed, so regardless of hardware the
+current peak must not *grow* past the baseline by more than the
+tolerance.  The gate is skipped when the current report has no scale
+section (the tier is regenerated separately via ``REPRO_BENCH_SCALE``).
+
 Usage::
 
     python check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.30]
@@ -92,6 +99,34 @@ def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
                 f"topology_probe ({base_probe.get('circuit')}): "
                 f"topology_speedup {measured:.2f} < floor {floor:.2f} "
                 f"(baseline {reference:.2f}, tolerance {tolerance:.0%})"
+            )
+    failures.extend(_check_scale(baseline, current, tolerance))
+    return failures
+
+
+def _check_scale(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Peak-RSS growth gate over the streaming-scale ladder (see docstring)."""
+    current_entries = {
+        entry["circuit"]: entry
+        for entry in (current.get("scale") or {}).get("results", [])
+    }
+    if not current_entries:
+        return []  # scale tier not regenerated in this run: no gate
+    failures = []
+    for base in (baseline.get("scale") or {}).get("results", []):
+        entry = current_entries.get(base["circuit"])
+        if entry is None:
+            continue  # partial regeneration (REPRO_BENCH_SCALE=<names>)
+        reference = base.get("peak_rss_bytes")
+        measured = entry.get("peak_rss_bytes")
+        if not reference or measured is None:
+            continue
+        ceiling = reference * (1.0 + tolerance)
+        if measured > ceiling:
+            failures.append(
+                f"{base['circuit']}: peak_rss_bytes {measured:,} > ceiling "
+                f"{ceiling:,.0f} (baseline {reference:,}, tolerance "
+                f"{tolerance:.0%})"
             )
     return failures
 

@@ -1,0 +1,135 @@
+"""One full detection run in its own process, with peak-RSS accounting.
+
+The memory claim of the streaming pipeline — bounded peak RSS on
+100k-gate circuits — can only be measured process-wide, so each scale
+point runs here, in a fresh interpreter, and reports a single JSON
+object on stdout::
+
+    {"circuit": "syn20000", "num_nodes": 19556, "num_gates": ...,
+     "num_dffs": 954, "connected_pairs": ..., "multi_cycle": ...,
+     "single_cycle": ..., "undecided": ..., "groups": ...,
+     "wall_seconds": ..., "peak_rss_bytes": ..., "streaming": "on"}
+
+``peak_rss_bytes`` is the interpreter's lifetime high-water mark
+(``getrusage(RUSAGE_SELF).ru_maxrss``, kilobytes on Linux), which is
+exactly the bound the streaming pipeline must hold — it includes the
+circuit build, the packed matrices and the final per-pair records.
+
+``--rss-limit-mb`` arms a *hard* ceiling before the run via
+``setrlimit(RLIMIT_AS, ...)``: exceeding it raises ``MemoryError``
+instead of silently swapping, which is what makes the CI smoke a real
+acceptance test.  (``RLIMIT_AS`` caps the address space — the only
+enforceable proxy on Linux, where ``RLIMIT_RSS`` is a no-op; the
+ceiling is therefore set with headroom over the expected RSS.)
+
+Usage::
+
+    python scale_runner.py syn20000 [--streaming on] [--workers 1]
+        [--rss-limit-mb 1536] [--trace FILE]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import resource
+import sys
+import time
+
+
+def peak_rss_bytes() -> int:
+    """Lifetime peak resident set of this process, in bytes."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
+
+
+def arm_rss_ceiling(limit_mb: int) -> None:
+    """Make allocations beyond ``limit_mb`` fail instead of swapping."""
+    limit = limit_mb * 1024 * 1024
+    resource.setrlimit(resource.RLIMIT_AS, (limit, limit))
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("circuit", help="suite or scale-ladder spec name")
+    parser.add_argument("--streaming", default="on",
+                        choices=("auto", "on", "off"))
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--max-pairs-in-flight", type=int, default=8192)
+    parser.add_argument("--rss-limit-mb", type=int, default=0,
+                        help="hard address-space ceiling (0 = none)")
+    parser.add_argument("--trace", default=None,
+                        help="write the run's JSONL trace to FILE")
+    args = parser.parse_args(argv)
+
+    if args.rss_limit_mb:
+        arm_rss_ceiling(args.rss_limit_mb)
+
+    # Imports after the ceiling is armed: module loading is part of the
+    # process's footprint and must fit under it too.
+    from repro.bench_gen.suite import spec_by_name
+    from repro.bench_gen.synth import generate
+    from repro.core.detector import DetectorOptions, MultiCycleDetector
+    from repro.core.result import Stage
+    from repro.core.trace import Tracer
+
+    circuit = generate(spec_by_name(args.circuit))
+    options = DetectorOptions(
+        streaming=args.streaming,
+        workers=args.workers,
+        max_pairs_in_flight=args.max_pairs_in_flight,
+    )
+
+    groups = 0
+    queue_summary = None
+
+    def run(tracer):
+        nonlocal groups, queue_summary
+        started = time.perf_counter()
+        result = MultiCycleDetector(circuit, options, tracer=tracer).run()
+        seconds = time.perf_counter() - started
+        groups = max(
+            (e["groups_total"] for e in tracer.select("launch_group")),
+            default=0,
+        )
+        queues = tracer.select("decision_queue")
+        if queues:
+            queue_summary = {
+                key: queues[-1][key]
+                for key in ("workers", "units", "unit_pairs", "split",
+                            "per_worker")
+                if key in queues[-1]
+            }
+        return result, seconds
+
+    if args.trace:
+        with open(args.trace, "w", encoding="utf-8") as fh:
+            result, seconds = run(Tracer(sink=fh, keep=True))
+    else:
+        result, seconds = run(Tracer())
+
+    report = {
+        "circuit": circuit.name,
+        "num_nodes": circuit.num_nodes,
+        "num_gates": circuit.num_gates,
+        "num_dffs": len(circuit.dffs),
+        "connected_pairs": result.connected_pairs,
+        "multi_cycle": len(result.multi_cycle_pairs),
+        "single_cycle": len(result.single_cycle_pairs),
+        "undecided": len(result.undecided_pairs),
+        "sim_dropped": result.stats[Stage.SIMULATION].single_cycle,
+        "groups": groups,
+        "streaming": args.streaming,
+        "workers": args.workers,
+        "wall_seconds": round(seconds, 3),
+        "peak_rss_bytes": peak_rss_bytes(),
+        "rss_limit_mb": args.rss_limit_mb,
+    }
+    if queue_summary is not None:
+        report["decision_queue"] = queue_summary
+    json.dump(report, sys.stdout)
+    sys.stdout.write("\n")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

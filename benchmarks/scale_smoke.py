@@ -1,0 +1,105 @@
+"""CI scale smoke: one ~20k-gate detection under a hard memory ceiling.
+
+Launches :mod:`scale_runner` on the ``syn20000`` scale-ladder circuit in
+a fresh interpreter with ``setrlimit``-enforced address-space ceiling —
+if the streaming pipeline's memory bound regresses past the ceiling the
+child dies with ``MemoryError`` and the smoke fails loudly.  On success
+the child's ``peak_rss_bytes`` is additionally gated against the
+committed baseline (the ``scale`` section of ``BENCH_pipeline.json``)
+with a growth tolerance, so creeping regressions under the hard ceiling
+are caught too.
+
+Peak RSS is stable across same-arch machines (it is dominated by data
+structure sizes, not clock speed), which is why — unlike the throughput
+gates — the RSS gate applies regardless of ``cpu_count``.
+
+Usage::
+
+    python scale_smoke.py [--circuit syn20000] [--rss-limit-mb 1024]
+        [--baseline ../BENCH_pipeline.json] [--tolerance 0.5]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+
+_RUNNER = Path(__file__).parent / "scale_runner.py"
+_DEFAULT_BASELINE = Path(__file__).parent.parent / "BENCH_pipeline.json"
+
+
+def baseline_rss(baseline_path: Path, circuit: str) -> int | None:
+    """The committed ``peak_rss_bytes`` for ``circuit``, if recorded."""
+    try:
+        report = json.loads(baseline_path.read_text())
+    except (OSError, ValueError):
+        return None
+    for entry in (report.get("scale") or {}).get("results", []):
+        if entry.get("circuit") == circuit:
+            return entry.get("peak_rss_bytes")
+    return None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--circuit", default="syn20000")
+    parser.add_argument("--rss-limit-mb", type=int, default=1024,
+                        help="hard address-space ceiling for the child "
+                             "(default: 1024)")
+    parser.add_argument("--baseline", type=Path, default=_DEFAULT_BASELINE,
+                        help="committed BENCH_pipeline.json (scale section)")
+    parser.add_argument("--tolerance", type=float, default=0.5,
+                        help="allowed fractional peak-RSS growth over the "
+                             "baseline (default: 0.5)")
+    args = parser.parse_args(argv)
+
+    command = [
+        sys.executable, str(_RUNNER), args.circuit,
+        "--streaming", "on", "--rss-limit-mb", str(args.rss_limit_mb),
+    ]
+    print("running:", " ".join(command))
+    proc = subprocess.run(command, capture_output=True, text=True)
+    if proc.returncode != 0:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        print(
+            f"SCALE SMOKE FAILED: {args.circuit} did not complete under "
+            f"the {args.rss_limit_mb} MB ceiling",
+            file=sys.stderr,
+        )
+        return 1
+    report = json.loads(proc.stdout)
+    peak_mb = report["peak_rss_bytes"] / (1024 * 1024)
+    print(
+        f"{report['circuit']}: {report['num_gates']} gates, "
+        f"{report['num_dffs']} FFs, {report['connected_pairs']} pairs, "
+        f"{report['wall_seconds']}s, peak RSS {peak_mb:.1f} MB "
+        f"(ceiling {args.rss_limit_mb} MB)"
+    )
+
+    reference = baseline_rss(args.baseline, args.circuit)
+    if reference:
+        limit = reference * (1.0 + args.tolerance)
+        if report["peak_rss_bytes"] > limit:
+            print(
+                f"SCALE SMOKE FAILED: peak_rss_bytes "
+                f"{report['peak_rss_bytes']:,} > allowed {limit:,.0f} "
+                f"(baseline {reference:,}, tolerance {args.tolerance:.0%})",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            f"peak RSS within {args.tolerance:.0%} of baseline "
+            f"({reference / (1024 * 1024):.1f} MB)"
+        )
+    else:
+        print("no scale baseline recorded; hard-ceiling check only")
+    print("scale smoke: ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -41,6 +41,31 @@ _SPECS: list[tuple[CircuitSpec, tuple[str, ...]]] = [
                  plain_registers=60, shift_tail=48, hard_enables=True, seed=97), ("large", "full")),
 ]
 
+#: The streaming-scale ladder (10k–100k gates, hundreds to thousands of
+#: FFs): the memory/wall-time curve circuits of the ``scale`` bench tier
+#: and the RSS-capped CI smoke.  Deliberately *not* part of the profile
+#: suites — a 100k-gate circuit in ``suite("full")`` would drag every
+#: experiment, while the scale runner only needs one circuit per process
+#: (``spec_by_name`` + :func:`~repro.bench_gen.synth.generate`).  The
+#: ``plain_registers`` counts stay small on purpose: always-loading
+#: registers observe every bank, so they contribute ``num_ffs × plain``
+#: connected pairs — dense pair growth belongs to the profile ladder,
+#: the scale ladder grows *circuit* size at a decidable pair count.
+SCALE_SPECS: list[CircuitSpec] = [
+    CircuitSpec("syn12000", num_inputs=12, counter_width=5, num_banks=16,
+                bank_width=36, logic_per_bank=640, spacing=3,
+                plain_registers=10, shift_tail=40, hard_enables=True, seed=101),
+    CircuitSpec("syn20000", num_inputs=14, counter_width=5, num_banks=18,
+                bank_width=44, logic_per_bank=900, spacing=3,
+                plain_registers=12, shift_tail=60, hard_enables=True, seed=113),
+    CircuitSpec("syn50000", num_inputs=16, counter_width=6, num_banks=28,
+                bank_width=72, logic_per_bank=1700, spacing=3,
+                plain_registers=14, shift_tail=80, hard_enables=True, seed=127),
+    CircuitSpec("syn100000", num_inputs=20, counter_width=6, num_banks=36,
+                bank_width=84, logic_per_bank=2500, spacing=3,
+                plain_registers=16, shift_tail=100, hard_enables=True, seed=131),
+]
+
 PROFILES = ("tiny", "small", "medium", "large", "full")
 
 
@@ -63,11 +88,19 @@ def suite(profile: str = "small") -> list[Circuit]:
 
 
 def spec_by_name(name: str) -> CircuitSpec:
-    """Look up a suite spec by circuit name (raises ``KeyError``)."""
+    """Look up a suite or scale-ladder spec by name (raises ``KeyError``)."""
     for spec, _tags in _SPECS:
         if spec.name == name:
             return spec
+    for spec in SCALE_SPECS:
+        if spec.name == name:
+            return spec
     raise KeyError(name)
+
+
+def scale_specs() -> list[CircuitSpec]:
+    """The streaming-scale ladder (10k–100k gates), smallest first."""
+    return list(SCALE_SPECS)
 
 
 def all_specs() -> list[CircuitSpec]:

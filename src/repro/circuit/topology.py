@@ -21,12 +21,31 @@ survives as :func:`source_ffs_of_sink_bfs` / ``connected_ff_pairs_bfs``
 against.  Pair order is unchanged: ascending bit index is ascending DFF
 node id, and the final ``(source, sink)`` sort reproduces the legacy
 order exactly.
+
+Scaling
+-------
+Two size regimes get dedicated treatment:
+
+* *Tiny* circuits (``num_nodes * num_dffs`` below :data:`BFS_CUTOFF`)
+  answer :func:`connected_ff_pairs` / :func:`source_ffs_of_sink` with
+  the per-sink BFS outright — the vectorized pass has a fixed numpy
+  setup cost that dwarfs such inputs.
+* *Large* circuits never materialize the full ``num_nodes × words``
+  reach matrix.  :func:`sink_reach` builds only the D-driver rows, and
+  above :data:`FULL_REACH_BUDGET_WORDS` it does so in fixed-size source
+  blocks: one ``num_nodes × SINK_BLOCK_WORDS`` scratch matrix is seeded
+  with a block of source bits, swept, harvested at the driver rows, and
+  reused for the next block — peak memory is bounded by the scratch plus
+  the ``num_dffs × words`` result regardless of circuit size.
+  :func:`iter_launch_groups` then streams the connected relation one
+  launching FF at a time (via a blocked bit-transpose of the sink-reach
+  matrix) without ever building the full pair list.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import NamedTuple
+from typing import Iterator, NamedTuple
 
 import numpy as np
 
@@ -36,6 +55,27 @@ from repro.circuit.netlist import Circuit
 
 #: :meth:`Circuit.derived` cache key for the packed FF-reach matrix.
 _DERIVED_KEY = "ff-reach"
+#: cache key for the levelized sweep schedule shared by every reach pass.
+_SWEEP_KEY = "reach-sweep-plan"
+#: cache key for the sink-major packed source sets (D-driver rows only).
+_SINK_KEY = "sink-reach"
+#: cache key for the source-major packed sink sets (the transpose).
+_LAUNCH_KEY = "launch-reach"
+
+#: ``num_nodes * num_dffs`` products below this answer the pair queries
+#: with the per-sink BFS — the vectorized pass pays a fixed numpy setup
+#: cost that dominates tiny circuits (the s27-class bench regression).
+BFS_CUTOFF = 120_000
+
+#: full per-node reach matrices above this many uint64 words (16 MiB of
+#: packed rows) are never materialized; the sink-reach pass goes blocked.
+FULL_REACH_BUDGET_WORDS = 1 << 21
+
+#: source words per blocked sink-reach sweep (256 launching FFs at a time).
+SINK_BLOCK_WORDS = 4
+
+#: source bits unpacked per blocked bit-transpose step.
+_TRANSPOSE_BLOCK_WORDS = 16
 
 _COMB_CODES = np.array(sorted(int(t) for t in COMBINATIONAL_TYPES),
                        dtype=np.uint8)
@@ -54,6 +94,92 @@ class FFPair(NamedTuple):
     sink: int
 
 
+class LaunchGroup(NamedTuple):
+    """One launching FF and its connected sink FFs.
+
+    ``sinks`` holds ascending DFF node ids; chaining the groups yielded
+    by :func:`iter_launch_groups` therefore reproduces the canonical
+    :func:`connected_ff_pairs` order pair for pair.
+    """
+
+    source: int
+    sinks: np.ndarray
+
+
+# ----------------------------------------------------------------------
+# Levelized OR-sweep core (shared by every packed reach pass).
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _SweepPlan:
+    """Precomputed schedule for the levelized packed-row OR sweep.
+
+    Combinational nodes sorted by level, their flat fanin gather index,
+    and the per-level bounds — everything the sweep needs that does not
+    depend on the row payload, cached once per netlist version so the
+    blocked builders can re-run the sweep per source block cheaply.
+    """
+
+    node_ids: np.ndarray
+    counts: np.ndarray
+    excl: np.ndarray
+    flat_fanins: np.ndarray
+    bounds: np.ndarray
+    top: int
+
+
+def _build_sweep_plan(circuit: Circuit) -> _SweepPlan:
+    csr = csr_arrays(circuit)
+    comb = np.isin(csr.types_np, _COMB_CODES)
+    node_ids = np.nonzero(comb)[0].astype(np.intp)
+    if not len(node_ids):
+        empty = np.empty(0, dtype=np.intp)
+        return _SweepPlan(empty, empty, empty, empty,
+                          np.zeros(2, dtype=np.intp), 0)
+    levels = csr.levels_np[node_ids]
+    order = np.argsort(levels, kind="stable")
+    node_ids = node_ids[order]
+    levels = levels[order]
+    offsets = csr.fanin_offsets_np
+    starts = offsets[node_ids]
+    counts = offsets[node_ids + 1] - starts
+    top = int(levels[-1])
+    bounds = np.searchsorted(levels, np.arange(top + 2))
+    # Flat fanin node ids of every sorted node, computed once; each
+    # level then slices its span out of it.
+    excl = np.concatenate(([0], np.cumsum(counts)[:-1]))
+    total = int(excl[-1] + counts[-1])
+    flat_fanins = csr.fanin_flat_np[
+        np.repeat(starts - excl, counts) + np.arange(total)
+    ]
+    return _SweepPlan(node_ids, counts, excl, flat_fanins, bounds, top)
+
+
+def _sweep_plan(circuit: Circuit) -> _SweepPlan:
+    return circuit.derived(_SWEEP_KEY, _build_sweep_plan)
+
+
+def _or_sweep(rows: np.ndarray, plan: _SweepPlan) -> None:
+    """Propagate packed rows through the circuit, level by level, in place.
+
+    Equal-level nodes never read each other, so each level is one flat
+    fanin gather plus a segmented OR (``reduceat`` handles the ragged
+    fanin counts without padding).
+    """
+    for level in range(1, plan.top + 1):
+        lo, hi = int(plan.bounds[level]), int(plan.bounds[level + 1])
+        if hi == lo:
+            continue
+        base = int(plan.excl[lo])
+        stop = int(plan.excl[hi - 1] + plan.counts[hi - 1])
+        gathered = rows[plan.flat_fanins[base:stop]]
+        rows[plan.node_ids[lo:hi]] = np.bitwise_or.reduceat(
+            gathered, plan.excl[lo:hi] - base, axis=0
+        )
+
+
+# ----------------------------------------------------------------------
+# Full per-node reach matrix (small/medium circuits and cone queries).
+# ----------------------------------------------------------------------
 @dataclass(frozen=True)
 class FFReach:
     """Packed FF-reachability of one circuit (see module docstring).
@@ -83,45 +209,12 @@ def build_ff_reach(circuit: Circuit) -> FFReach:
     Callers normally want :func:`ff_reach`; the raw builder exists for
     benchmarks that time the pass itself.
     """
-    csr = csr_arrays(circuit)
     dffs = tuple(circuit.dffs)
     words = max(1, -(-len(dffs) // 64))
     rows = np.zeros((circuit.num_nodes, words), dtype=np.uint64)
     for k, dff in enumerate(dffs):
         rows[dff, k // 64] |= np.uint64(1) << np.uint64(k % 64)
-
-    comb = np.isin(csr.types_np, _COMB_CODES)
-    node_ids = np.nonzero(comb)[0].astype(np.intp)
-    if len(node_ids):
-        levels = csr.levels_np[node_ids]
-        order = np.argsort(levels, kind="stable")
-        node_ids = node_ids[order]
-        levels = levels[order]
-        offsets = csr.fanin_offsets_np
-        starts = offsets[node_ids]
-        counts = offsets[node_ids + 1] - starts
-        top = int(levels[-1])
-        bounds = np.searchsorted(levels, np.arange(top + 2))
-        # Flat fanin node ids of every sorted node, computed once; each
-        # level then slices its span out of it.
-        excl = np.concatenate(([0], np.cumsum(counts)[:-1]))
-        total = int(excl[-1] + counts[-1])
-        flat_fanins = csr.fanin_flat_np[
-            np.repeat(starts - excl, counts) + np.arange(total)
-        ]
-        # Sweep level by level: equal-level nodes never read each other,
-        # so each level is one flat fanin gather + segmented OR
-        # (``reduceat`` handles the ragged fanin counts without padding).
-        for level in range(1, top + 1):
-            lo, hi = int(bounds[level]), int(bounds[level + 1])
-            if hi == lo:
-                continue
-            base = int(excl[lo])
-            stop = int(excl[hi - 1] + counts[hi - 1])
-            gathered = rows[flat_fanins[base:stop]]
-            rows[node_ids[lo:hi]] = np.bitwise_or.reduceat(
-                gathered, excl[lo:hi] - base, axis=0
-            )
+    _or_sweep(rows, _sweep_plan(circuit))
     rows.flags.writeable = False
     return FFReach(dffs=dffs, words=words, rows=rows)
 
@@ -131,8 +224,190 @@ def ff_reach(circuit: Circuit) -> FFReach:
     return circuit.derived(_DERIVED_KEY, build_ff_reach)
 
 
+# ----------------------------------------------------------------------
+# Sink-reach: only the D-driver rows, blocked above a size threshold.
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SinkReach:
+    """Packed source sets of every sink DFF's next-state cone.
+
+    Bit ``k`` of ``rows[j]`` is set iff flip-flop ``dffs[k]`` reaches
+    the D input of ``dffs[j]`` — exactly ``ff_reach(circuit).rows``
+    restricted to the D-driver rows, but buildable without the full
+    per-node matrix.  ``blocked`` records which builder produced it.
+    """
+
+    dffs: tuple[int, ...]
+    words: int
+    rows: np.ndarray
+    blocked: bool
+
+
+def build_sink_reach(
+    circuit: Circuit, block_words: int = SINK_BLOCK_WORDS
+) -> SinkReach:
+    """Uncached :class:`SinkReach` construction.
+
+    Small circuits slice the (cached) full reach matrix.  Above
+    :data:`FULL_REACH_BUDGET_WORDS` the pass runs in source blocks of
+    ``block_words * 64`` flip-flops: one ``num_nodes × block_words``
+    scratch matrix is seeded, swept and harvested per block, then
+    reused — peak memory stays bounded by the scratch plus the
+    ``num_dffs × words`` result however large the circuit grows.
+    """
+    dffs = tuple(circuit.dffs)
+    words = max(1, -(-len(dffs) // 64))
+    if not dffs:
+        rows = np.zeros((0, words), dtype=np.uint64)
+        rows.flags.writeable = False
+        return SinkReach(dffs=dffs, words=words, rows=rows, blocked=False)
+    drivers = np.fromiter(
+        (circuit.next_state_node(d) for d in dffs), dtype=np.intp,
+        count=len(dffs),
+    )
+    if circuit.num_nodes * words <= FULL_REACH_BUDGET_WORDS:
+        rows = np.ascontiguousarray(ff_reach(circuit).rows[drivers])
+        rows.flags.writeable = False
+        return SinkReach(dffs=dffs, words=words, rows=rows, blocked=False)
+
+    plan = _sweep_plan(circuit)
+    block_words = max(1, block_words)
+    rows = np.zeros((len(dffs), words), dtype=np.uint64)
+    scratch = np.empty(
+        (circuit.num_nodes, min(block_words, words)), dtype=np.uint64
+    )
+    dff_ids = np.asarray(dffs, dtype=np.intp)
+    for w0 in range(0, words, block_words):
+        w1 = min(w0 + block_words, words)
+        view = scratch[:, : w1 - w0]
+        view[:] = 0
+        k0, k1 = w0 * 64, min(w1 * 64, len(dffs))
+        local = np.arange(k1 - k0)
+        view[dff_ids[k0:k1], local // 64] |= (
+            np.uint64(1) << (local % 64).astype(np.uint64)
+        )
+        _or_sweep(view, plan)
+        rows[:, w0:w1] = view[drivers]
+    rows.flags.writeable = False
+    return SinkReach(dffs=dffs, words=words, rows=rows, blocked=True)
+
+
+def sink_reach(circuit: Circuit) -> SinkReach:
+    """The circuit's sink-major source sets (built once per version)."""
+    return circuit.derived(_SINK_KEY, build_sink_reach)
+
+
+def _build_launch_matrix(circuit: Circuit) -> np.ndarray:
+    """Source-major packed sink sets: the bit-transpose of sink-reach.
+
+    Row ``k`` holds bit ``j`` iff (``dffs[k]``, ``dffs[j]``) is a
+    connected pair.  The transpose runs in blocks of
+    :data:`_TRANSPOSE_BLOCK_WORDS` source words so the unpacked byte
+    matrix never exceeds ``num_dffs × 1024`` bytes.
+    """
+    reach = sink_reach(circuit)
+    n = len(reach.dffs)
+    sink_words = max(1, -(-n // 64))
+    out = np.zeros((n, sink_words), dtype=np.uint64)
+    for w0 in range(0, reach.words, _TRANSPOSE_BLOCK_WORDS):
+        if w0 * 64 >= n:
+            break
+        w1 = min(w0 + _TRANSPOSE_BLOCK_WORDS, reach.words)
+        bits = np.unpackbits(
+            np.ascontiguousarray(reach.rows[:, w0:w1]).view(np.uint8),
+            axis=1, bitorder="little",
+        )
+        nbits = min(n - w0 * 64, (w1 - w0) * 64)
+        packed = np.packbits(
+            np.ascontiguousarray(bits[:, :nbits].T),
+            axis=1, bitorder="little",
+        )
+        padded = np.zeros((nbits, sink_words * 8), dtype=np.uint8)
+        padded[:, : packed.shape[1]] = packed
+        out[w0 * 64: w0 * 64 + nbits] = padded.view(np.uint64)
+    out.flags.writeable = False
+    return out
+
+
+def launch_matrix(circuit: Circuit) -> np.ndarray:
+    """Source-major packed connectivity matrix (built once per version)."""
+    return circuit.derived(_LAUNCH_KEY, _build_launch_matrix)
+
+
+def iter_launch_groups(
+    circuit: Circuit, include_self_loops: bool = True
+) -> Iterator[LaunchGroup]:
+    """Stream the connected relation one launching FF at a time.
+
+    Yields a :class:`LaunchGroup` for every source FF with at least one
+    connected sink, in ascending source id, sinks ascending within each
+    group — chained, the groups enumerate exactly the
+    :func:`connected_ff_pairs` order without materializing the full pair
+    list.  Peak memory follows :func:`sink_reach` (blocked above the
+    size threshold) plus one unpacked sink row at a time.
+    """
+    reach = sink_reach(circuit)
+    dffs = reach.dffs
+    if not dffs:
+        return
+    matrix = launch_matrix(circuit)
+    dff_ids = np.asarray(dffs, dtype=np.intp)
+    for k, source in enumerate(dffs):
+        bits = np.unpackbits(
+            matrix[k].view(np.uint8), bitorder="little"
+        )[: len(dffs)]
+        if not include_self_loops:
+            bits[k] = 0
+        idx = np.nonzero(bits)[0]
+        if len(idx):
+            yield LaunchGroup(int(source), dff_ids[idx])
+
+
+def launch_group_stats(
+    circuit: Circuit, include_self_loops: bool = True
+) -> tuple[int, int]:
+    """``(non-empty launch groups, total connected pairs)`` by popcount.
+
+    Reads the cached launch matrix — no pair or group enumeration — so
+    streaming runs can report ``groups_total`` and the connected-pair
+    count before folding the first group.
+    """
+    n = len(sink_reach(circuit).dffs)
+    if not n:
+        return 0, 0
+    matrix = launch_matrix(circuit)
+    counts = np.bitwise_count(matrix).sum(axis=1).astype(np.int64)
+    if not include_self_loops:
+        k = np.arange(n)
+        self_bits = (
+            matrix[k, k // 64] >> (k % 64).astype(np.uint64)
+        ) & np.uint64(1)
+        counts -= self_bits.astype(np.int64)
+    return int((counts > 0).sum()), int(counts.sum())
+
+
+# ----------------------------------------------------------------------
+# Pair queries (BFS below the tiny-circuit cutoff, packed above it).
+# ----------------------------------------------------------------------
+def _prefer_bfs(circuit: Circuit) -> bool:
+    """Whether the per-sink BFS should answer pair queries outright."""
+    return circuit.num_nodes * max(1, len(circuit.dffs)) < BFS_CUTOFF
+
+
+def prefers_bfs(circuit: Circuit) -> bool:
+    """True when pair queries auto-select the per-sink BFS path.
+
+    Exposed for benchmarks/telemetry: below :data:`BFS_CUTOFF` the
+    vectorized bitset pass cannot amortise its fixed numpy setup cost,
+    so tiny circuits are answered by the reference BFS instead.
+    """
+    return _prefer_bfs(circuit)
+
+
 def source_ffs_of_sink(circuit: Circuit, sink_dff: int) -> set[int]:
     """Flip-flops with a combinational path into ``sink_dff``'s D input."""
+    if _prefer_bfs(circuit):
+        return source_ffs_of_sink_bfs(circuit, sink_dff)
     reach = ff_reach(circuit)
     # A DFF row carries its own bit, so a direct DFF->DFF edge reports
     # the driving flip-flop without special casing.
@@ -154,18 +429,13 @@ def connected_pair_arrays(
     the array-level core of :func:`connected_ff_pairs` for consumers
     that operate on the relation wholesale and do not need pair objects.
     """
-    reach = ff_reach(circuit)
+    reach = sink_reach(circuit)
     dffs = reach.dffs
     if not dffs:
         empty = np.empty(0, dtype=np.intp)
         return empty, empty
-    drivers = np.fromiter(
-        (circuit.next_state_node(d) for d in dffs), dtype=np.intp,
-        count=len(dffs),
-    )
-    sink_rows = reach.rows[drivers]
     bits = np.unpackbits(
-        sink_rows.view(np.uint8), axis=1, bitorder="little"
+        reach.rows.view(np.uint8), axis=1, bitorder="little"
     )[:, : len(dffs)]
     # Transposed nonzero enumerates (source, sink) in row-major order;
     # ascending bit/DFF-list index is ascending node id, so the result is
@@ -187,8 +457,12 @@ def connected_ff_pairs(
 
     Pairs are returned sorted by (source, sink) id for determinism.  The
     paper analyses self-loop pairs too (its SAT-based comparison excluded
-    them), so they are included by default.
+    them), so they are included by default.  Tiny circuits (below
+    :data:`BFS_CUTOFF`) take the BFS path — same pairs, none of the
+    vectorized pass's fixed setup cost.
     """
+    if _prefer_bfs(circuit):
+        return connected_ff_pairs_bfs(circuit, include_self_loops)
     sources, sinks = connected_pair_arrays(circuit, include_self_loops)
     # ``_make`` binds straight to ``tuple.__new__`` — materialising
     # thousands of pairs this way is measurably cheaper than calling the

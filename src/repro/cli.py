@@ -58,6 +58,8 @@ def _detector_options(args: argparse.Namespace) -> DetectorOptions:
         parallel_threshold=args.parallel_threshold,
         chunk_pairs=args.chunk_pairs,
         hazard_check=getattr(args, "hazard_check", "off"),
+        streaming=args.streaming,
+        max_pairs_in_flight=args.max_pairs_in_flight,
     )
 
 
@@ -126,6 +128,17 @@ def _add_detector_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--chunk-pairs", type=int, default=0,
                         help="pairs per chunk dispatched to the worker "
                              "pool (default: 0 = automatic)")
+    parser.add_argument("--streaming", default="auto",
+                        choices=("auto", "on", "off"),
+                        help="streaming launch-group execution: folds "
+                             "topology/random-sim/decide/hazard one launch "
+                             "group at a time with bounded peak memory; "
+                             "results are identical to the staged pipeline "
+                             "(default: auto = on for large circuits)")
+    parser.add_argument("--max-pairs-in-flight", type=int, default=8192,
+                        help="streaming only: cap on pairs submitted to "
+                             "the decision queue but not yet folded "
+                             "(default: 8192)")
     parser.add_argument("--hazard-check", default="off",
                         choices=("off", "ternary", "sensitize",
                                  "cosensitize"),
@@ -304,7 +317,10 @@ def cmd_kcycle(args: argparse.Namespace) -> int:
                 include_self_loops=not args.no_self_loops,
                 workers=args.workers,
                 parallel_threshold=args.parallel_threshold,
-                chunk_pairs=args.chunk_pairs, tracer=tracer,
+                chunk_pairs=args.chunk_pairs,
+                streaming=args.streaming,
+                max_pairs_in_flight=args.max_pairs_in_flight,
+                tracer=tracer,
             ).run()
             print(f"k={k}: {len(result.k_cycle_pairs)} of "
                   f"{result.connected_pairs} pairs are {k}-cycle "

@@ -64,13 +64,24 @@ class MultiCycleDetector:
         self.progress = progress
 
     def run(self) -> DetectionResult:
-        """Run the pipeline and classify every connected FF pair."""
+        """Run the pipeline and classify every connected FF pair.
+
+        ``options.streaming`` picks the execution model: the staged
+        pipeline ("off", and "auto" below the size threshold) or the
+        bounded-memory streaming launch-group pipeline
+        (:mod:`repro.core.streaming`).  Results are identical — only
+        peak memory and trace shape differ.
+        """
+        from repro.core.streaming import streaming_enabled, streaming_pipeline
+
         ctx = AnalysisContext(
             self.circuit,
             self.options,
             tracer=self.tracer,
             progress=self.progress,
         )
+        if streaming_enabled(self.options, self.circuit):
+            return streaming_pipeline().run(ctx)
         return default_pipeline().run(ctx)
 
 

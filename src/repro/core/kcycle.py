@@ -289,6 +289,8 @@ class KCycleDetector:
         workers: int = 1,
         parallel_threshold: int = 128,
         chunk_pairs: int = 0,
+        streaming: str = "auto",
+        max_pairs_in_flight: int = 8192,
         tracer: Tracer | None = None,
         progress: ProgressFn | None = None,
     ) -> None:
@@ -307,6 +309,8 @@ class KCycleDetector:
         self.workers = workers
         self.parallel_threshold = parallel_threshold
         self.chunk_pairs = chunk_pairs
+        self.streaming = streaming
+        self.max_pairs_in_flight = max_pairs_in_flight
         self.tracer = tracer
         self.progress = progress
 
@@ -319,6 +323,7 @@ class KCycleDetector:
             RandomFilterStage,
             TopologyStage,
         )
+        from repro.core.streaming import StreamingStage, streaming_enabled
 
         options = DetectorOptions(
             sim_words=self.sim_words,
@@ -331,15 +336,21 @@ class KCycleDetector:
             workers=self.workers,
             parallel_threshold=self.parallel_threshold,
             chunk_pairs=self.chunk_pairs,
+            streaming=self.streaming,
+            max_pairs_in_flight=self.max_pairs_in_flight,
         )
         ctx = AnalysisContext(
             self.circuit, options, tracer=self.tracer, progress=self.progress
         )
-        pipeline = Pipeline([
-            TopologyStage(),
-            RandomFilterStage(frames=self.k),
-            DecisionStage(KCycleDecider(self.k, self.backtrack_limit)),
-        ])
+        decider = KCycleDecider(self.k, self.backtrack_limit)
+        if streaming_enabled(options, self.circuit):
+            pipeline = Pipeline([StreamingStage(decider, frames=self.k)])
+        else:
+            pipeline = Pipeline([
+                TopologyStage(),
+                RandomFilterStage(frames=self.k),
+                DecisionStage(decider),
+            ])
         detection = pipeline.run(ctx)
         results = [
             KCycleResult(r.pair, self.k, r.classification)

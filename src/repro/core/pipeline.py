@@ -23,8 +23,7 @@ around :func:`default_pipeline`.
 from __future__ import annotations
 
 import time
-from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Protocol, Sequence
 
 from repro.circuit.netlist import Circuit
@@ -35,6 +34,11 @@ from repro.core.hazard import HazardChecker
 from repro.core.random_filter import random_filter, random_filter_k
 from repro.core.sensitization import mode_from_flag
 from repro.core.ternary_hazard import TernaryHazardChecker
+from repro.core.workqueue import (
+    WorkStealingPool,
+    launch_units,
+    split_threshold,
+)
 from repro.logic.bitsim import BitSimulator
 from repro.core.result import (
     Classification,
@@ -110,6 +114,15 @@ class DetectorOptions:
     hazard_check: str = "off"
     #: backtrack limit for the hazard stage's witness/path searches.
     hazard_backtrack_limit: int = 200
+    #: streaming launch-group execution: "auto" (selected for circuits
+    #: above :data:`repro.core.streaming.STREAMING_AUTO_DFFS` flip-flops),
+    #: "on", or "off".  The streaming pipeline folds topology →
+    #: random-sim → decide → hazard one launch group at a time with
+    #: bounded peak memory; pair records are byte-identical either way.
+    streaming: str = "auto"
+    #: streaming only: cap on pairs submitted to the decision queue but
+    #: not yet folded (bounds parent-side memory on huge circuits).
+    max_pairs_in_flight: int = 8192
 
 
 @dataclass
@@ -136,7 +149,7 @@ class AnalysisContext:
         default_factory=dict, repr=False
     )
     #: persistent decision-worker pool (created lazily, closed with the run).
-    _pool: "DecisionWorkerPool | None" = field(default=None, repr=False)
+    _pool: WorkStealingPool | None = field(default=None, repr=False)
 
     def expansion(self, frames: int = 2) -> TimeFrameExpansion:
         """The shared ``frames``-frame expansion of the circuit (cached)."""
@@ -171,14 +184,14 @@ class AnalysisContext:
         decider: PairDecider,
         expansion: TimeFrameExpansion,
         shared=None,
-    ) -> "DecisionWorkerPool":
+    ) -> WorkStealingPool:
         """The run's persistent worker pool, created on first use.
 
         Workers build their :class:`AnalysisContext` and prepare the
-        decider once, in the pool initializer; ``shared`` (e.g. the
-        parent-computed static-learning table) ships with it.
-        Subsequent chunks only carry pair lists.  Asking for a different
-        decider/expansion/worker count replaces the pool.
+        decider once, from the spawn arguments; ``shared`` (e.g. the
+        parent-computed static-learning table) ships with them.
+        Subsequent work units only carry pair lists.  Asking for a
+        different decider/expansion/worker count replaces the pool.
         """
         workers = max(1, self.options.workers)
         key = (
@@ -192,7 +205,7 @@ class AnalysisContext:
             self._pool.shutdown()
             self._pool = None
         if self._pool is None:
-            self._pool = DecisionWorkerPool(
+            self._pool = WorkStealingPool(
                 self.circuit, self.options, decider, expansion, workers, key,
                 shared=shared,
             )
@@ -384,126 +397,31 @@ def _launch_chunks(pairs: Sequence[FFPair], size: int) -> list[list[FFPair]]:
     same chunk, so the decision session's prefix cache keeps working
     inside each worker; a group larger than ``size`` becomes its own
     chunk.  Ordering is preserved, which keeps the merged results
-    byte-identical to serial.
+    byte-identical to serial.  The splitting variant used by the
+    work-stealing queue is :func:`repro.core.workqueue.launch_units`.
     """
-    from repro.core.session import launch_runs
-
-    size = max(1, size)
-    chunks: list[list[FFPair]] = []
-    current: list[FFPair] = []
-    for start, end in launch_runs(pairs):
-        group = list(pairs[start:end])
-        if current and len(current) + len(group) > size:
-            chunks.append(current)
-            current = []
-        current.extend(group)
-        if len(current) >= size:
-            chunks.append(current)
-            current = []
-    if current:
-        chunks.append(current)
-    return chunks
+    return launch_units(pairs, size, split=None)
 
 
-#: per-worker-process decider, built once by :func:`_init_decision_worker`.
-_WORKER_DECIDER: PairDecider | None = None
+def merge_session_stats(
+    total: dict[str, int] | None, delta: dict[str, int] | None
+) -> dict[str, int] | None:
+    """Fold one work unit's session-counter delta into running totals.
 
-
-def _init_decision_worker(circuit, options, decider, expansion, shared) -> None:
-    """Pool initializer: build this worker's context and decider *once*.
-
-    Runs in each worker process when the persistent pool spins it up.
-    The decider arrives unprepared; it rebuilds its engines (implication
-    engine, SAT encoding, BDDs) from the shared expansion.  Expensive
-    process-independent artifacts — the static-learning table — arrive
-    pre-computed as the ``shared`` payload instead of being re-derived
-    per worker.  Every chunk dispatched afterwards reuses the prepared
-    decider, so per-chunk cost is just the pair list pickle plus the
-    decisions themselves.
+    Counters sum across units; ``trail_high_water`` is each worker's
+    running maximum (reported absolutely) and merges by max — together
+    this makes the merged totals independent of unit→worker placement.
     """
-    global _WORKER_DECIDER
-    ctx = AnalysisContext(circuit, options)
-    ctx.adopt_expansion(expansion)
-    if shared is not None:
-        adopt = getattr(decider, "adopt_shared", None)
-        if adopt is not None:
-            adopt(shared)
-    decider.prepare(ctx)
-    _WORKER_DECIDER = decider
-
-
-def _decide_pairs(pairs: Sequence[FFPair]):
-    """Worker entry point: settle one chunk on the prepared decider.
-
-    Returns per-pair results with wall seconds, the disagreements *new
-    to this chunk*, and the session-counter changes *of this chunk*
-    (the decider persists across chunks, so both are reported as deltas
-    to keep the parent's merge independent of chunk→worker placement;
-    ``trail_high_water`` is the worker's running maximum, merged by max).
-    """
-    decider = _WORKER_DECIDER
-    flags_before = len(getattr(decider, "disagreements", ()))
-    stats_fn = getattr(decider, "session_stats", None)
-    stats_before = stats_fn() if stats_fn is not None else None
-    group_fn = getattr(decider, "decide_group", None)
-    if group_fn is not None:
-        decided = list(group_fn(pairs))
-    else:
-        decided = []
-        for pair in pairs:
-            started = time.perf_counter()
-            result = decider.decide(pair)
-            decided.append((result, time.perf_counter() - started))
-    flags = list(getattr(decider, "disagreements", ()))[flags_before:]
-    stats = None
-    if stats_fn is not None:
-        after = stats_fn()
-        stats = {
-            key: value - stats_before.get(key, 0)
-            for key, value in after.items()
-        }
-        stats["trail_high_water"] = after["trail_high_water"]
-    return decided, flags, stats
-
-
-class DecisionWorkerPool:
-    """Persistent process pool for the decision stage.
-
-    Created once per pipeline run (lazily, by
-    :meth:`AnalysisContext.decision_pool`); the initializer ships the
-    circuit, options, unprepared decider and shared expansion to every
-    worker exactly once.  Chunk dispatches afterwards carry only pair
-    lists, and :meth:`map_chunks` preserves submission order, which keeps
-    the merged results byte-identical to serial.
-    """
-
-    def __init__(
-        self,
-        circuit: Circuit,
-        options: DetectorOptions,
-        decider: PairDecider,
-        expansion: TimeFrameExpansion,
-        workers: int,
-        key: tuple,
-        shared=None,
-    ) -> None:
-        self.key = key
-        self.workers = workers
-        self._pool = ProcessPoolExecutor(
-            max_workers=workers,
-            initializer=_init_decision_worker,
-            initargs=(
-                circuit, replace(options, workers=1), decider, expansion,
-                shared,
-            ),
-        )
-
-    def map_chunks(self, chunks: Sequence[Sequence[FFPair]]):
-        """Run every chunk, yielding results in submission order."""
-        return self._pool.map(_decide_pairs, chunks)
-
-    def shutdown(self) -> None:
-        self._pool.shutdown()
+    if delta is None:
+        return total
+    if total is None:
+        return dict(delta)
+    for key, value in delta.items():
+        if key == "trail_high_water":
+            total[key] = max(total.get(key, 0), value)
+        else:
+            total[key] = total.get(key, 0) + value
+    return total
 
 
 class DecisionStage:
@@ -626,22 +544,22 @@ class DecisionStage:
             learned = count_learned(shared)
         pool = ctx.decision_pool(decider, expansion, shared=shared)
         size = ctx.options.chunk_pairs or _auto_chunk_size(len(pairs), workers)
-        chunks = _launch_chunks(pairs, size)
+        units = launch_units(pairs, size, split=split_threshold(size))
         decided: list[tuple[PairResult, float]] = []
         disagreements: list[Disagreement] = []
         session: dict[str, int] | None = None
-        for chunk_decided, chunk_flags, chunk_stats in pool.map_chunks(chunks):
-            decided.extend(chunk_decided)
-            disagreements.extend(chunk_flags)
-            if chunk_stats is not None:
-                if session is None:
-                    session = dict(chunk_stats)
-                else:
-                    for key, value in chunk_stats.items():
-                        if key == "trail_high_water":
-                            session[key] = max(session[key], value)
-                        else:
-                            session[key] = session.get(key, 0) + value
+        for unit in pool.map_units(units):
+            decided.extend(unit.decided)
+            disagreements.extend(unit.flags)
+            session = merge_session_stats(session, unit.stats)
+        ctx.emit(
+            "decision_queue",
+            workers=pool.workers,
+            units=len(units),
+            unit_pairs=size,
+            split=split_threshold(size),
+            per_worker=pool.worker_summary(),
+        )
         return decided, learned, disagreements, session
 
 

@@ -33,11 +33,28 @@ The filter is built for throughput, not just correctness:
   and the drop/stop logic is replayed round by round on word slices, so
   the dropped-pair sets, round counts and pattern counts are identical
   to the unbatched execution (``round_batch=1``).
+
+Two drop representations share one round engine
+-----------------------------------------------
+:func:`_run_rounds` owns the super-round loop — the RNG draw order, the
+wide simulation pass and the per-round drop/stop replay — and delegates
+only the representation of "which pairs are still alive" to a strategy
+object.  :func:`random_filter` keeps the original pair-list strategy
+(one bool per input pair).  :func:`random_filter_packed` runs the very
+same rounds over a *packed pair matrix* (bit ``k`` of sink row ``j`` =
+pair ``(dffs[k], dffs[j])``), never materializing a pair list — the
+bounded-memory representation the streaming pipeline folds launch group
+by launch group.  Because the engine is shared, the two executions draw
+identical random words, stop at the identical quiet round, and drop the
+identical pair set: a pair is dropped iff its first simulated hit round
+is at most the global stop round, and hits are masked by the alive set
+only for *counting*, never for outcome.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Protocol
 
 import numpy as np
 
@@ -48,6 +65,10 @@ from repro.logic.bitsim import BitSimulator
 #: default cap for rounds evaluated per super-round; the batch grows
 #: 1, 2, 4, ... toward it so early-exiting runs waste little work.
 ROUND_BATCH = 8
+
+#: sink rows evaluated per block in the packed drop check (bounds the
+#: broadcast temporary at ``block * num_dffs * words`` uint64 words).
+_PACKED_BLOCK_ROWS = 256
 
 
 @dataclass
@@ -70,9 +91,121 @@ class RandomFilterReport:
         return len(self.dropped_pairs)
 
 
-def _filter_core(
+@dataclass
+class PackedFilterReport:
+    """Outcome of :func:`random_filter_packed`.
+
+    ``alive`` is the survivor matrix in sink-major packed form: bit
+    ``k`` of row ``j`` is set iff pair ``(dffs[k], dffs[j])`` survived.
+    ``initial`` counts the pairs that entered the filter.
+    """
+
+    alive: np.ndarray
+    rounds: int
+    patterns: int
+    initial: int
+
+    @property
+    def survivors(self) -> int:
+        """Number of pairs still alive after the filter."""
+        return int(np.bitwise_count(self.alive).sum())
+
+    @property
+    def dropped(self) -> int:
+        """Number of pairs refuted by simulation."""
+        return self.initial - self.survivors
+
+
+class _DropStrategy(Protocol):
+    """How the round engine represents and updates the alive pair set."""
+
+    def any_alive(self) -> bool: ...
+
+    def drop_round(
+        self,
+        source_toggles: np.ndarray,
+        sink_changes: np.ndarray,
+        window: slice,
+    ) -> bool:
+        """Apply one round's hits; True iff any alive pair was dropped."""
+        ...
+
+
+class _PairListDrops:
+    """The original representation: one bool per pair in a flat list."""
+
+    def __init__(self, circuit: Circuit, pairs: list[FFPair]) -> None:
+        dff_index = {dff: k for k, dff in enumerate(circuit.dffs)}
+        self.source_rows = np.array([dff_index[p.source] for p in pairs])
+        self.sink_rows = np.array([dff_index[p.sink] for p in pairs])
+        self.alive = np.ones(len(pairs), dtype=bool)
+
+    def any_alive(self) -> bool:
+        return bool(self.alive.any())
+
+    def drop_round(
+        self,
+        source_toggles: np.ndarray,
+        sink_changes: np.ndarray,
+        window: slice,
+    ) -> bool:
+        live_idx = np.flatnonzero(self.alive)
+        hits = (
+            source_toggles[self.source_rows[live_idx], window]
+            & sink_changes[self.sink_rows[live_idx], window]
+        ).any(axis=1)
+        if hits.any():
+            self.alive[live_idx[hits]] = False
+            return True
+        return False
+
+
+class _PackedDrops:
+    """Packed pair-matrix representation (sink rows × source bits).
+
+    One round's hit relation ``H[j, k] = ∃ pattern: changes[j] &
+    toggles[k]`` is evaluated in sink-row blocks with a broadcast AND
+    over the packed pattern words, repacked to source bits and cleared
+    from the alive matrix.  Only rows with a surviving bit are visited,
+    so the work shrinks as pairs die.
+    """
+
+    def __init__(self, alive: np.ndarray, block_rows: int = _PACKED_BLOCK_ROWS) -> None:
+        self.alive = alive
+        self.block_rows = max(1, block_rows)
+
+    def any_alive(self) -> bool:
+        return bool(self.alive.any())
+
+    def drop_round(
+        self,
+        source_toggles: np.ndarray,
+        sink_changes: np.ndarray,
+        window: slice,
+    ) -> bool:
+        toggles = np.ascontiguousarray(source_toggles[:, window])
+        changes = sink_changes[:, window]
+        words = self.alive.shape[1]
+        rows = np.flatnonzero(self.alive.any(axis=1))
+        dropped = False
+        for b0 in range(0, len(rows), self.block_rows):
+            blk = rows[b0: b0 + self.block_rows]
+            hits = (
+                changes[blk][:, None, :] & toggles[None, :, :]
+            ).any(axis=2)
+            packed = np.packbits(hits, axis=1, bitorder="little")
+            padded = np.zeros((len(blk), words * 8), dtype=np.uint8)
+            padded[:, : packed.shape[1]] = packed
+            hit_words = padded.view(np.uint64)
+            if (hit_words & self.alive[blk]).any():
+                dropped = True
+            self.alive[blk] &= ~hit_words
+        return dropped
+
+
+def _run_rounds(
     circuit: Circuit,
-    pairs: list[FFPair],
+    strategy: _DropStrategy,
     frames: int,
     words: int,
     max_rounds: int,
@@ -80,22 +213,17 @@ def _filter_core(
     sim: BitSimulator | None,
     plan: str,
     round_batch: int,
-) -> RandomFilterReport:
-    """Shared engine of :func:`random_filter` and :func:`random_filter_k`.
+) -> tuple[int, int]:
+    """The shared super-round engine; returns ``(rounds, patterns)``.
 
-    ``frames`` is the number of clock cycles simulated per round; the
-    source must toggle across the first edge and the sink change across
-    any later edge for a pair to be dropped.
+    Every stochastic and control decision lives here — the RNG draw
+    order, the wide simulation pass, the per-round replay and the
+    quiet-stop — so any two strategies presented with the same circuit
+    and the same initial alive set see identical rounds and identical
+    hit matrices.
     """
-    if not pairs:
-        return RandomFilterReport([], [], 0, 0)
     round_batch = max(1, round_batch)
-
     rng = np.random.default_rng(seed)
-    dff_index = {dff: k for k, dff in enumerate(circuit.dffs)}
-    source_rows = np.array([dff_index[p.source] for p in pairs])
-    sink_rows = np.array([dff_index[p.sink] for p in pairs])
-    alive = np.ones(len(pairs), dtype=bool)
 
     # One simulator per super-round width, reused across the whole run.
     sims: dict[int, BitSimulator] = {}
@@ -116,7 +244,7 @@ def _filter_core(
     patterns = 0
     batch = 1
     quiet = False
-    while rounds < max_rounds and alive.any() and not quiet:
+    while rounds < max_rounds and strategy.any_alive() and not quiet:
         k = min(batch, max_rounds - rounds)
         width = k * words
         wide = sims.get(width)
@@ -163,24 +291,44 @@ def _filter_core(
 
         # Replay the per-round drop/stop logic on word slices.
         for r in range(k):
-            if not alive.any():
+            if not strategy.any_alive():
                 break
             rounds += 1
             patterns += 64 * words
             window = slice(r * words, (r + 1) * words)
-            live_idx = np.flatnonzero(alive)
-            hits = (
-                source_toggles[source_rows[live_idx], window]
-                & sink_changes[sink_rows[live_idx], window]
-            ).any(axis=1)
-            if hits.any():
-                alive[live_idx[hits]] = False
-            else:
+            if not strategy.drop_round(source_toggles, sink_changes, window):
                 # No pair dropped during >= 32 consecutive patterns: stop.
                 quiet = True
                 break
         batch = min(batch * 2, round_batch)
+    return rounds, patterns
 
+
+def _filter_core(
+    circuit: Circuit,
+    pairs: list[FFPair],
+    frames: int,
+    words: int,
+    max_rounds: int,
+    seed: int,
+    sim: BitSimulator | None,
+    plan: str,
+    round_batch: int,
+) -> RandomFilterReport:
+    """Shared core of :func:`random_filter` and :func:`random_filter_k`.
+
+    ``frames`` is the number of clock cycles simulated per round; the
+    source must toggle across the first edge and the sink change across
+    any later edge for a pair to be dropped.
+    """
+    if not pairs:
+        return RandomFilterReport([], [], 0, 0)
+    strategy = _PairListDrops(circuit, pairs)
+    rounds, patterns = _run_rounds(
+        circuit, strategy, frames, words, max_rounds, seed, sim, plan,
+        round_batch,
+    )
+    alive = strategy.alive
     survivors = [p for p, live in zip(pairs, alive) if live]
     dropped_pairs = [p for p, live in zip(pairs, alive) if not live]
     return RandomFilterReport(
@@ -236,4 +384,49 @@ def random_filter_k(
         raise ValueError("k must be >= 2")
     return _filter_core(
         circuit, pairs, k, words, max_rounds, seed, sim, plan, round_batch
+    )
+
+
+def random_filter_packed(
+    circuit: Circuit,
+    alive: np.ndarray,
+    frames: int = 2,
+    words: int = 4,
+    max_rounds: int = 256,
+    seed: int = 2002,
+    sim: BitSimulator | None = None,
+    plan: str = "compiled",
+    round_batch: int = ROUND_BATCH,
+) -> PackedFilterReport:
+    """The random filter over a packed pair matrix (streaming pipeline).
+
+    ``alive`` is the sink-major connected-pair matrix (bit ``k`` of row
+    ``j`` = pair ``(dffs[k], dffs[j])``, e.g. the
+    :func:`~repro.circuit.topology.sink_reach` rows with unwanted pairs
+    masked off); it is copied, never mutated.  The run shares
+    :func:`_run_rounds` with the pair-list path, so for the same circuit
+    and the same connected relation it consumes the identical RNG
+    stream, stops at the identical quiet round and drops the identical
+    pair set — only the representation differs, with peak memory bounded
+    by the packed matrix instead of per-pair arrays.
+    """
+    if frames < 2:
+        raise ValueError("random filtering needs at least 2 frames")
+    num_dffs = len(circuit.dffs)
+    expected = (num_dffs, max(1, -(-num_dffs // 64)))
+    if alive.shape != expected:
+        raise ValueError(
+            f"alive matrix shape {alive.shape} != expected {expected}"
+        )
+    alive = alive.astype(np.uint64, copy=True)
+    initial = int(np.bitwise_count(alive).sum())
+    if not initial:
+        return PackedFilterReport(alive, 0, 0, 0)
+    strategy = _PackedDrops(alive)
+    rounds, patterns = _run_rounds(
+        circuit, strategy, frames, words, max_rounds, seed, sim, plan,
+        round_batch,
+    )
+    return PackedFilterReport(
+        alive=alive, rounds=rounds, patterns=patterns, initial=initial
     )

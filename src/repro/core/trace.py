@@ -25,6 +25,21 @@ Event types emitted by the pipeline:
     One per run with ``--hazard-check`` enabled: the mode, how many
     multi-cycle pairs were checked/flagged, the packed-lane counts
     (``lanes``/``batches``, ternary mode only) and seconds.
+``decision_queue``
+    One per parallel decision run: worker count, work-unit count and
+    sizing (``unit_pairs``/``split``) plus per-worker unit/pair/second
+    totals from the work-stealing queue.
+
+The streaming pipeline (:mod:`repro.core.streaming`) additionally emits:
+
+``stream_topology``
+    One per streaming run: launch-group and connected-pair totals, and
+    whether the packed reachability matrix was built in row blocks.
+``launch_group``
+    One per launch group as it is folded into the result:
+    ``group_index``/``groups_total``, the launching FF, the group's
+    pair count, how many the random filter dropped, and ``folded`` —
+    the number of pair results settled so far (streaming progress).
 
 A tracer writes each record to an optional JSON-lines sink as soon as it
 is emitted (crash-safe for long runs) and keeps the records in memory

@@ -1,0 +1,314 @@
+"""Work-stealing decision pool: persistent workers, one shared queue.
+
+The decision stage used to shard surviving pairs into static chunks and
+``ProcessPoolExecutor.map`` them — a straggler chunk (one hard launch
+group) serialized the tail of every run.  Here the executor is a plain
+work-stealing queue instead:
+
+* ``workers`` persistent processes are spawned once per pipeline run;
+  each builds its :class:`~repro.core.pipeline.AnalysisContext` and
+  prepares its decider exactly once (the initializer arguments ship the
+  circuit, options, unprepared decider, shared expansion and any
+  pre-computed shared payload, exactly like the old pool initializer);
+* work units — launch-group-aligned pair lists — go into one shared
+  *buffered* task queue; idle workers *pull* whatever is next, so a
+  slow unit only occupies the worker that took it while the rest drain
+  the queue.  Both queues are :class:`multiprocessing.Queue` (feeder
+  thread, unbounded buffer) so neither bulk submission nor bulky
+  results can wedge on raw pipe capacity;
+* results return on a shared result queue tagged with the unit index,
+  the worker id and the unit's wall seconds; the caller merges them in
+  unit order, which keeps the merged output byte-identical to a serial
+  run regardless of which worker settled which unit.
+
+Unit formation (:func:`launch_units`) never splits a launch group below
+``split`` pairs, preserving the decision session's launch-prefix reuse
+and its counter totals; groups *larger* than ``split`` are cut into
+consecutive slices so one giant group cannot serialize the run.  A split
+group re-derives its launch prefix once per slice — pair verdicts and
+records are unchanged (the session's confluence argument), only the
+``prefix_misses`` observability counter drifts upward.
+
+Per-unit results carry the *deltas* of the worker-side session counters
+(the decider persists across units), so the merged totals are
+independent of unit→worker placement; ``trail_high_water`` merges by
+maximum.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import time
+import traceback
+from dataclasses import replace
+from typing import Any, NamedTuple, Sequence
+
+from repro.circuit.topology import FFPair
+
+#: a group larger than ``split_threshold(size)`` is sliced; the floor
+#: keeps small test circuits (and their pinned counter totals) unsplit.
+MIN_SPLIT_PAIRS = 128
+
+
+class WorkUnit(NamedTuple):
+    """One queue entry: a launch-group-aligned slice of the pair list."""
+
+    index: int
+    pairs: list[FFPair]
+
+
+class UnitResult(NamedTuple):
+    """One settled unit, tagged for ordered merging and telemetry."""
+
+    index: int
+    decided: list[Any]
+    flags: list[Any]
+    stats: dict[str, int] | None
+    worker: int
+    seconds: float
+
+
+class _UnitFailure(NamedTuple):
+    """A worker's unhandled exception, re-raised in the parent."""
+
+    worker: int
+    error: str
+
+
+def split_threshold(size: int) -> int:
+    """Pairs above which one launch group is sliced into several units."""
+    return max(4 * max(1, size), MIN_SPLIT_PAIRS)
+
+
+def launch_units(
+    pairs: Sequence[FFPair], size: int, split: int | None = None
+) -> list[list[FFPair]]:
+    """Contiguous work units of ~``size`` pairs, launch-group aligned.
+
+    Consecutive same-source pairs (one launch group) stay in one unit so
+    the decision session's prefix cache keeps working inside each
+    worker.  A group larger than ``split`` (``None`` = never) is cut
+    into consecutive slices of at most ``size`` pairs — the on-the-fly
+    split that stops one giant group from serializing the run.
+    Concatenating the units in order reproduces ``pairs`` exactly.
+    """
+    from repro.core.session import launch_runs
+
+    size = max(1, size)
+    units: list[list[FFPair]] = []
+    current: list[FFPair] = []
+    for start, end in launch_runs(pairs):
+        group = list(pairs[start:end])
+        if split is not None and len(group) > split:
+            if current:
+                units.append(current)
+                current = []
+            units.extend(
+                group[lo: lo + size] for lo in range(0, len(group), size)
+            )
+            continue
+        if current and len(current) + len(group) > size:
+            units.append(current)
+            current = []
+        current.extend(group)
+        if len(current) >= size:
+            units.append(current)
+            current = []
+    if current:
+        units.append(current)
+    return units
+
+
+def _decide_unit(decider: Any, pairs: Sequence[FFPair]) -> tuple:
+    """Settle one unit on a prepared decider, reporting counter deltas.
+
+    Shared by the queue workers and any in-process caller; the decider
+    persists across units, so disagreements and session counters are
+    sliced/differenced against the pre-unit snapshot to keep the merge
+    placement-independent (``trail_high_water`` is a running maximum and
+    is reported absolutely, merged by max).
+    """
+    flags_before = len(getattr(decider, "disagreements", ()))
+    stats_fn = getattr(decider, "session_stats", None)
+    stats_before = stats_fn() if stats_fn is not None else None
+    group_fn = getattr(decider, "decide_group", None)
+    if group_fn is not None:
+        decided = list(group_fn(pairs))
+    else:
+        decided = []
+        for pair in pairs:
+            started = time.perf_counter()
+            result = decider.decide(pair)
+            decided.append((result, time.perf_counter() - started))
+    flags = list(getattr(decider, "disagreements", ()))[flags_before:]
+    stats = None
+    if stats_fn is not None:
+        after = stats_fn()
+        stats = {
+            key: value - stats_before.get(key, 0)
+            for key, value in after.items()
+        }
+        stats["trail_high_water"] = after["trail_high_water"]
+    return decided, flags, stats
+
+
+def _worker_main(
+    worker_id: int,
+    tasks: Any,
+    results: Any,
+    circuit: Any,
+    options: Any,
+    decider: Any,
+    expansion: Any,
+    shared: Any,
+) -> None:
+    """Queue worker: prepare once, then pull units until the sentinel."""
+    # Imported here, not at module top: the pipeline module imports this
+    # one, and under the fork start method nothing else is needed before
+    # the worker begins pulling.
+    from repro.core.pipeline import AnalysisContext
+
+    try:
+        ctx = AnalysisContext(circuit, options)
+        ctx.adopt_expansion(expansion)
+        if shared is not None:
+            adopt = getattr(decider, "adopt_shared", None)
+            if adopt is not None:
+                adopt(shared)
+        decider.prepare(ctx)
+    except Exception:
+        results.put(_UnitFailure(worker_id, traceback.format_exc()))
+        return
+    while True:
+        task = tasks.get()
+        if task is None:
+            return
+        started = time.perf_counter()
+        try:
+            decided, flags, stats = _decide_unit(decider, task.pairs)
+        except Exception:
+            results.put(_UnitFailure(worker_id, traceback.format_exc()))
+            return
+        results.put(UnitResult(
+            task.index, decided, flags, stats, worker_id,
+            time.perf_counter() - started,
+        ))
+
+
+class WorkStealingPool:
+    """Persistent decision workers pulling from one shared task queue.
+
+    Created once per pipeline run (lazily, by
+    :meth:`~repro.core.pipeline.AnalysisContext.decision_pool`).  Units
+    are submitted with :meth:`submit` and collected — in completion
+    order — with :meth:`next_result`; :meth:`map_units` wraps the two
+    for callers that want the whole batch back in unit order.  The pool
+    records per-unit ``(worker, seconds)`` telemetry for the
+    ``decision_queue`` trace event.
+    """
+
+    def __init__(
+        self,
+        circuit: Any,
+        options: Any,
+        decider: Any,
+        expansion: Any,
+        workers: int,
+        key: tuple,
+        shared: Any = None,
+    ) -> None:
+        self.key = key
+        self.workers = workers
+        ctx = mp.get_context()
+        # Buffered queues (feeder thread + unbounded deque), NOT
+        # SimpleQueue: a SimpleQueue is a bare ~64 KiB pipe, and with
+        # units submitted ahead of result draining the result pipe
+        # fills, workers block writing, stop pulling tasks, the task
+        # pipe fills and the parent blocks in submit() — a three-way
+        # deadlock that first bit on a 10k-gate parallel run.  With
+        # buffered queues both put() ends never block.
+        self._tasks = ctx.Queue()
+        self._results = ctx.Queue()
+        self._pending = 0
+        self.unit_log: list[dict[str, int | float]] = []
+        self._procs = [
+            ctx.Process(
+                target=_worker_main,
+                args=(
+                    wid, self._tasks, self._results, circuit,
+                    replace(options, workers=1), decider, expansion, shared,
+                ),
+                daemon=True,
+            )
+            for wid in range(workers)
+        ]
+        for proc in self._procs:
+            proc.start()
+
+    @property
+    def pending(self) -> int:
+        """Units submitted but not yet collected."""
+        return self._pending
+
+    def submit(self, index: int, pairs: Sequence[FFPair]) -> None:
+        """Enqueue one work unit; any idle worker may take it."""
+        self._tasks.put(WorkUnit(index, list(pairs)))
+        self._pending += 1
+
+    def next_result(self) -> UnitResult:
+        """Block for the next settled unit, in completion order."""
+        outcome = self._results.get()
+        if isinstance(outcome, _UnitFailure):
+            self.shutdown()
+            raise RuntimeError(
+                f"decision worker {outcome.worker} failed:\n{outcome.error}"
+            )
+        self._pending -= 1
+        self.unit_log.append({
+            "unit": outcome.index,
+            "pairs": len(outcome.decided),
+            "worker": outcome.worker,
+            "seconds": round(outcome.seconds, 6),
+        })
+        return outcome
+
+    def map_units(self, units: Sequence[Sequence[FFPair]]) -> list[UnitResult]:
+        """Run every unit; results returned in unit (submission) order."""
+        for index, unit in enumerate(units):
+            self.submit(index, unit)
+        collected: dict[int, UnitResult] = {}
+        while len(collected) < len(units):
+            result = self.next_result()
+            collected[result.index] = result
+        return [collected[index] for index in range(len(units))]
+
+    def worker_summary(self) -> list[dict[str, int | float]]:
+        """Per-worker totals over the run's unit log (for telemetry)."""
+        summary = [
+            {"worker": wid, "units": 0, "pairs": 0, "seconds": 0.0}
+            for wid in range(self.workers)
+        ]
+        for entry in self.unit_log:
+            row = summary[int(entry["worker"])]
+            row["units"] = int(row["units"]) + 1
+            row["pairs"] = int(row["pairs"]) + int(entry["pairs"])
+            row["seconds"] = round(
+                float(row["seconds"]) + float(entry["seconds"]), 6
+            )
+        return summary
+
+    def shutdown(self) -> None:
+        """Stop the workers (sentinel per worker, then join)."""
+        for _ in self._procs:
+            try:
+                self._tasks.put(None)
+            except (OSError, ValueError):
+                break
+        for proc in self._procs:
+            proc.join(timeout=5)
+            if proc.is_alive():
+                proc.terminate()
+                proc.join(timeout=5)
+        for queue in (self._tasks, self._results):
+            queue.close()
+            queue.cancel_join_thread()

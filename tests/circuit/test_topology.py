@@ -164,3 +164,61 @@ def test_wide_circuit_spills_into_second_word():
     reach = ff_reach(circuit)
     assert reach.words == 2
     assert connected_ff_pairs(circuit) == connected_ff_pairs_bfs(circuit)
+
+
+def test_iter_launch_groups_chain_to_connected_pairs(fig1):
+    from repro.circuit.topology import iter_launch_groups
+
+    for self_loops in (True, False):
+        chained = [
+            FFPair(group.source, int(sink))
+            for group in iter_launch_groups(fig1, self_loops)
+            for sink in group.sinks
+        ]
+        assert chained == connected_ff_pairs(
+            fig1, include_self_loops=self_loops
+        )
+
+
+@given(seeds)
+def test_launch_group_stats_count_pairs(seed):
+    from repro.circuit.topology import iter_launch_groups, launch_group_stats
+
+    circuit = random_sequential_circuit(seed, max_dffs=6, max_gates=20)
+    for self_loops in (True, False):
+        groups, pairs = launch_group_stats(circuit, self_loops)
+        listed = list(iter_launch_groups(circuit, self_loops))
+        assert groups == len(listed)
+        assert pairs == sum(len(group.sinks) for group in listed)
+        assert pairs == len(
+            connected_ff_pairs(circuit, include_self_loops=self_loops)
+        )
+
+
+@given(seeds)
+def test_blocked_sink_reach_matches_full_build(seed):
+    """Row-blocked packed reachability is byte-identical to the full pass."""
+    import numpy as np
+
+    from repro.circuit import topology as topo
+
+    circuit = random_sequential_circuit(seed, max_dffs=8, max_gates=24)
+    full = topo.build_sink_reach(circuit)
+    budget = topo.FULL_REACH_BUDGET_WORDS
+    topo.FULL_REACH_BUDGET_WORDS = 0  # force the blocked path
+    try:
+        blocked = topo.build_sink_reach(circuit, block_words=1)
+    finally:
+        topo.FULL_REACH_BUDGET_WORDS = budget
+    assert blocked.blocked and not full.blocked
+    assert np.array_equal(full.rows, blocked.rows)
+    assert full.dffs == blocked.dffs
+
+
+def test_prefers_bfs_threshold():
+    from repro.circuit.library import fig1_circuit
+    from repro.circuit.topology import BFS_CUTOFF, prefers_bfs
+
+    fig1 = fig1_circuit()
+    assert prefers_bfs(fig1)  # tiny: nodes * dffs far below the cutoff
+    assert fig1.num_nodes * len(fig1.dffs) < BFS_CUTOFF

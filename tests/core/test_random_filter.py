@@ -141,3 +141,94 @@ def test_mismatched_simulator_rejected(fig1):
     pairs = connected_ff_pairs(fig1)
     with pytest.raises(ValueError):
         random_filter(fig1, pairs, words=4, sim=BitSimulator(fig1, words=2))
+
+
+def _packed_alive(circuit, include_self_loops=True):
+    """The connected-pair matrix the streaming pipeline filters over."""
+    import numpy as np
+
+    from repro.circuit.topology import sink_reach
+
+    reach = sink_reach(circuit)
+    alive = np.array(reach.rows, dtype=np.uint64)
+    n = len(reach.dffs)
+    if n and not include_self_loops:
+        diag = np.arange(n)
+        alive[diag, diag // 64] &= ~(
+            np.uint64(1) << (diag % 64).astype(np.uint64)
+        )
+    return reach, alive
+
+
+def _packed_survivor_pairs(reach, report):
+    import numpy as np
+
+    pairs = set()
+    for j in range(len(reach.dffs)):
+        for k in np.nonzero(
+            np.unpackbits(
+                report.alive[j].view(np.uint8), bitorder="little"
+            )[: len(reach.dffs)]
+        )[0]:
+            pairs.add((reach.dffs[int(k)], reach.dffs[j]))
+    return pairs
+
+
+@given(seeds)
+def test_packed_filter_matches_pair_list(seed):
+    """The packed filter replays the exact pair-list RNG/drop discipline."""
+    from repro.core.random_filter import random_filter_packed
+
+    circuit = random_sequential_circuit(seed, max_dffs=7, max_gates=24)
+    for include_self_loops in (True, False):
+        pairs = connected_ff_pairs(
+            circuit, include_self_loops=include_self_loops
+        )
+        reference = random_filter(circuit, pairs)
+        reach, alive = _packed_alive(circuit, include_self_loops)
+        packed = random_filter_packed(circuit, alive)
+        assert packed.rounds == reference.rounds
+        assert packed.patterns == reference.patterns
+        assert packed.initial == len(pairs)
+        assert packed.dropped == len(reference.dropped_pairs)
+        assert _packed_survivor_pairs(reach, packed) == {
+            (p.source, p.sink) for p in reference.survivors
+        }
+
+
+def test_packed_filter_matches_k_frame_variant(fig1):
+    from repro.core.random_filter import random_filter_k, random_filter_packed
+
+    pairs = connected_ff_pairs(fig1)
+    reference = random_filter_k(fig1, pairs, 3)
+    reach, alive = _packed_alive(fig1)
+    packed = random_filter_packed(fig1, alive, frames=3)
+    assert packed.rounds == reference.rounds
+    assert packed.dropped == len(reference.dropped_pairs)
+    assert _packed_survivor_pairs(reach, packed) == {
+        (p.source, p.sink) for p in reference.survivors
+    }
+
+
+def test_packed_filter_empty_matrix(fig1):
+    import numpy as np
+
+    from repro.core.random_filter import random_filter_packed
+
+    words = max(1, -(-len(fig1.dffs) // 64))
+    alive = np.zeros((len(fig1.dffs), words), dtype=np.uint64)
+    report = random_filter_packed(fig1, alive)
+    assert report.rounds == 0 and report.dropped == 0
+    assert report.initial == 0 and report.survivors == 0
+
+
+def test_packed_filter_rejects_bad_shape(fig1):
+    import numpy as np
+    import pytest
+
+    from repro.core.random_filter import random_filter_packed
+
+    with pytest.raises(ValueError):
+        random_filter_packed(
+            fig1, np.zeros((1, 1), dtype=np.uint64)
+        )

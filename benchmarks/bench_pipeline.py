@@ -24,6 +24,14 @@ Two measurements per circuit of the selected suite profile, recorded to
   premise re-derived per case), measured back-to-back on one session
   engine.  The regression gate applies the same same-hardware /
   cross-hardware metric choice as for stage 1.
+* **Decide kernel**: the packed bit-parallel implication closure
+  (``decide_speedup``) — all four ``(a, b)`` cases of every surviving
+  pair evaluated 64 lanes per word in one shared closure — against the
+  scalar per-case loop (checkpoint, three-literal premise, target
+  readback, X-stability probe, backtrack) over the *same* cases on one
+  engine.  Search is excluded on both sides, so the ratio isolates the
+  closure kernels and is hardware-independent; both kernels must
+  classify every case identically.
 * **Hazard stage**: detected multi-cycle pairs validated per second by
   the ternary checker (``hazard_pairs_per_sec``, full check including
   witness search), plus the hardware-independent ``hazard_speedup`` —
@@ -226,6 +234,140 @@ def _sustained_decision(circuit) -> tuple[int, float, float]:
     return len(survivors), timed(True), timed(False)
 
 
+def _sustained_packed_decision(circuit) -> dict[str, float | int]:
+    """Decide-kernel isolation: scalar per-case closure vs packed lanes.
+
+    Builds the decision stage's actual case list — four ``(a, b)``
+    cases per surviving pair, each the premise
+    ``FF_i(t)=a, FF_i(t+1)=1-a, FF_j(t+1)=b`` with target ``FF_j(t+2)``
+    — and classifies every case twice, back to back on one machine:
+
+    * scalar: one :class:`ImplicationEngine`, per case
+      checkpoint → ``assume_all`` → target readback → X-stability
+      probe → backtrack (what the session pays per case without the
+      pre-pass, search excluded);
+    * packed: one :class:`PackedImplicationEngine` closure per
+      ``MAX_LANES`` block — ``close_matrix`` + conflict/target
+      readback + one batched probe ``extend`` (what the pre-pass
+      pays, same classification rules).
+
+    The classifications must match case for case; the ratio
+    (``decide_speedup``) isolates the closure kernels and is
+    hardware-independent.  With no survivors both timings are pure
+    noise, so the ratio records neutral 1.0 (same convention as
+    ``decision_speedup``)."""
+    from repro.atpg.implication import ImplicationEngine
+    from repro.atpg.packed_implication import (
+        MAX_LANES,
+        PackedImplicationEngine,
+    )
+
+    pairs = connected_ff_pairs(circuit)
+    survivors = random_filter(
+        circuit, pairs, words=_SIM_WORDS, round_batch=_ROUND_BATCH
+    ).survivors
+    if not survivors:
+        return {
+            "decide_cases": 0, "decide_scalar_seconds": 0.0,
+            "decide_packed_seconds": 0.0, "decide_speedup": 1.0,
+        }
+    expansion = expand_cached(circuit, frames=2)
+    comb = expansion.comb
+    ff_at = expansion.ff_at
+    cases = []
+    for pair in survivors:
+        source_index = expansion.ff_index(pair.source)
+        sink_index = expansion.ff_index(pair.sink)
+        for a in (0, 1):
+            for b in (0, 1):
+                cases.append((
+                    [
+                        (ff_at[0][source_index], a),
+                        (ff_at[1][source_index], 1 - a),
+                        (ff_at[1][sink_index], b),
+                    ],
+                    ff_at[2][sink_index],
+                    b,
+                ))
+
+    def scalar_kernel() -> list[str]:
+        engine = ImplicationEngine(comb)
+        out = []
+        for literals, target, b in cases:
+            mark = engine.checkpoint()
+            if not engine.assume_all(literals):
+                out.append("conflict")
+            else:
+                value = engine.value(target)
+                if value == b:
+                    out.append("implied")
+                elif value == 1 - b:
+                    out.append("open")
+                elif engine.assume(target, 1 - b):
+                    out.append("open")
+                else:
+                    out.append("implied")
+            engine.backtrack(mark)
+        return out
+
+    def packed_kernel() -> list[str]:
+        engine = PackedImplicationEngine(comb)
+        out = []
+        for start in range(0, len(cases), MAX_LANES):
+            block = cases[start:start + MAX_LANES]
+            lanes = len(block)
+            nodes = np.array(
+                [[n for n, _ in lits] for lits, _, _ in block], dtype=np.intp
+            )
+            values = np.array(
+                [[v for _, v in lits] for lits, _, _ in block], dtype=np.uint8
+            )
+            targets = np.array([t for _, t, _ in block], dtype=np.intp)
+            engine.close_matrix(nodes, values)
+            lane_ids = np.arange(lanes)
+            conflicted = engine.conflict_lanes(lane_ids)
+            known, value = engine.read_nodes(targets, lane_ids)
+            open_lanes = np.flatnonzero(~conflicted & (known == 0))
+            probe_conflict = np.zeros(lanes, dtype=bool)
+            if len(open_lanes):
+                engine.extend(
+                    (int(lane), int(targets[lane]), 1 - block[lane][2])
+                    for lane in open_lanes
+                )
+                probe_conflict[open_lanes] = engine.conflict_lanes(open_lanes)
+            for lane in range(lanes):
+                b = block[lane][2]
+                if conflicted[lane]:
+                    out.append("conflict")
+                elif known[lane]:
+                    out.append("implied" if value[lane] == b else "open")
+                elif probe_conflict[lane]:
+                    out.append("implied")
+                else:
+                    out.append("open")
+        return out
+
+    scalar_kernel()  # warmup (CSR + expansion caches)
+    packed_kernel()  # warmup (plan lowering + scratch buffers)
+    started = time.perf_counter()
+    reference = scalar_kernel()
+    scalar_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    candidate = packed_kernel()
+    packed_seconds = time.perf_counter() - started
+    assert candidate == reference, (
+        f"packed decide kernel changed a case verdict on {circuit.name}"
+    )
+    return {
+        "decide_cases": len(cases),
+        "decide_scalar_seconds": round(scalar_seconds, 6),
+        "decide_packed_seconds": round(packed_seconds, 6),
+        "decide_speedup": round(
+            scalar_seconds / packed_seconds if packed_seconds else 0.0, 3
+        ),
+    }
+
+
 def _sustained_hazard(circuit, detection) -> dict[str, float | int]:
     """Hazard-stage metrics over the run's detected multi-cycle pairs.
 
@@ -344,7 +486,7 @@ def test_pipeline_report(bench_circuits):
         f"{'circuit':>10}  {'pairs':>6}  {'serial(s)':>10}  "
         f"{'workers=' + str(_WORKERS) + '(s)':>14}  {'speedup':>8}  "
         f"{'Mpat/s':>8}  {'simx':>6}  {'dec p/s':>8}  {'decx':>6}  "
-        f"{'hazx':>6}  {'impl db/base':>12}  {'db build':>9}",
+        f"{'pdecx':>6}  {'hazx':>6}  {'impl db/base':>12}  {'db build':>9}",
     ]
     for circuit in bench_circuits:
         _run(circuit, workers=1)  # warmup (plan + expansion caches)
@@ -384,6 +526,7 @@ def test_pipeline_report(bench_circuits):
             # on s27 from exactly this), so record a neutral ratio.
             dps, decision_speedup = 0.0, 1.0
 
+        packed_decide = _sustained_packed_decision(circuit)
         hazard = _sustained_hazard(circuit, serial)
         topology = _topology_metrics(circuit)
         implication = _implication_metrics(circuit, serial)
@@ -404,6 +547,7 @@ def test_pipeline_report(bench_circuits):
                 "decision_pairs": survivors,
                 "decision_pairs_per_sec": round(dps),
                 "decision_speedup": round(decision_speedup, 3),
+                **packed_decide,
                 **hazard,
                 **topology,
                 **implication,
@@ -414,6 +558,7 @@ def test_pipeline_report(bench_circuits):
             f"{serial_seconds:>10.3f}  {parallel_seconds:>14.3f}  "
             f"{speedup:>8.2f}  {pps / 1e6:>8.2f}  {sim_speedup:>6.1f}  "
             f"{dps:>8.0f}  {decision_speedup:>6.2f}  "
+            f"{packed_decide['decide_speedup']:>6.1f}  "
             f"{hazard['hazard_speedup']:>6.1f}  "
             f"{implication['implication_proved_db']:>5}/"
             f"{implication['implication_proved']:<5} "
@@ -423,6 +568,14 @@ def test_pipeline_report(bench_circuits):
         # shard (auto-serial) — never pay dispatch overhead for a loss.
         assert speedup >= 0.8 or auto_serial, (
             f"parallel executor lost without auto-serial on {circuit.name}"
+        )
+    # Acceptance: on the largest circuit with surviving pairs the packed
+    # implication closure must beat the scalar per-case kernel at least 4x.
+    with_cases = [e for e in entries if e["decide_cases"]]
+    if with_cases:
+        assert with_cases[-1]["decide_speedup"] >= 4.0, (
+            f"decide_speedup {with_cases[-1]['decide_speedup']} < 4 on "
+            f"{with_cases[-1]['circuit']}"
         )
     # Acceptance: on the largest circuit with detected MC pairs the packed
     # verdict sweep must beat the scalar evaluation at least 3x.

@@ -16,6 +16,10 @@ metrics are chosen per the recorded ``cpu_count``:
   pre-optimisation counterparts, measured back-to-back on the same
   machine, hence hardware-independent.
 
+``decide_speedup`` — the packed bit-parallel implication closure over
+the scalar per-case kernel, measured back to back on the same cases —
+is itself such a ratio, so it is gated in both cases.
+
 ``implication_proved_db`` — pairs the implication stage settles when fed
 the compiled global implication database — is a count, not a rate, so it
 is gated in both cases: the DB must keep proving at least as many pairs
@@ -54,14 +58,17 @@ def _metrics(baseline: dict, current: dict) -> tuple[str, ...]:
         return (
             "patterns_per_sec",
             "decision_pairs_per_sec",
+            "decide_speedup",
             "hazard_pairs_per_sec",
             "implication_proved_db",
         )
-    # implication_proved_db is a pair count, hardware-independent — it is
+    # implication_proved_db (a pair count) and decide_speedup (a
+    # back-to-back kernel ratio) are hardware-independent — both are
     # gated either way.
     return (
         "sim_speedup",
         "decision_speedup",
+        "decide_speedup",
         "hazard_speedup",
         "implication_proved_db",
     )

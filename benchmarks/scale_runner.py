@@ -53,6 +53,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("circuit", help="suite or scale-ladder spec name")
     parser.add_argument("--streaming", default="on",
                         choices=("auto", "on", "off"))
+    parser.add_argument("--packed-implication", default="auto",
+                        choices=("auto", "on", "off"),
+                        help="packed decide-stage pre-pass mode")
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--max-pairs-in-flight", type=int, default=8192)
     parser.add_argument("--rss-limit-mb", type=int, default=0,
@@ -77,6 +80,7 @@ def main(argv: list[str] | None = None) -> int:
         streaming=args.streaming,
         workers=args.workers,
         max_pairs_in_flight=args.max_pairs_in_flight,
+        packed_implication=args.packed_implication,
     )
 
     groups = 0
@@ -119,6 +123,7 @@ def main(argv: list[str] | None = None) -> int:
         "sim_dropped": result.stats[Stage.SIMULATION].single_cycle,
         "groups": groups,
         "streaming": args.streaming,
+        "packed_implication": args.packed_implication,
         "workers": args.workers,
         "wall_seconds": round(seconds, 3),
         "peak_rss_bytes": peak_rss_bytes(),

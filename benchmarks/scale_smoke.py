@@ -1,7 +1,9 @@
 """CI scale smoke: one ~20k-gate detection under a hard memory ceiling.
 
 Launches :mod:`scale_runner` on the ``syn20000`` scale-ladder circuit in
-a fresh interpreter with ``setrlimit``-enforced address-space ceiling —
+a fresh interpreter with ``setrlimit``-enforced address-space ceiling,
+with the packed decide-stage pre-pass forced on so its lane planes and
+plan lowering are part of the bounded footprint —
 if the streaming pipeline's memory bound regresses past the ceiling the
 child dies with ``MemoryError`` and the smoke fails loudly.  On success
 the child's ``peak_rss_bytes`` is additionally gated against the
@@ -58,7 +60,8 @@ def main(argv: list[str] | None = None) -> int:
 
     command = [
         sys.executable, str(_RUNNER), args.circuit,
-        "--streaming", "on", "--rss-limit-mb", str(args.rss_limit_mb),
+        "--streaming", "on", "--packed-implication", "on",
+        "--rss-limit-mb", str(args.rss_limit_mb),
     ]
     print("running:", " ".join(command))
     proc = subprocess.run(command, capture_output=True, text=True)

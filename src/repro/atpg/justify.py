@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
+from repro.circuit.csr import csr_arrays
 from repro.circuit.gates import CONTROLLING, GateType
 from repro.logic.values import ONE, X, ZERO
 from repro.atpg.implication import ImplicationEngine, Mark
@@ -77,12 +78,15 @@ def _pick(engine: ImplicationEngine) -> int:
 
 
 def extract_witness(engine: ImplicationEngine) -> dict[int, int]:
-    """Free-input values of the current (satisfying) assignment."""
-    return {
-        node: engine.value(node)
-        for node in range(engine.circuit.num_nodes)
-        if engine.types[node] == GateType.INPUT
-    }
+    """Free-input values of the current (satisfying) assignment.
+
+    Reads the cached INPUT-node list of the circuit's shared
+    :class:`~repro.circuit.csr.CsrArrays` — every SAT case used to
+    type-scan all ``num_nodes`` rows to find the same handful of free
+    inputs.
+    """
+    value = engine.value
+    return {node: value(node) for node in csr_arrays(engine.circuit).inputs}
 
 
 def justify(

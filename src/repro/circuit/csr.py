@@ -15,6 +15,8 @@ circuit once into compressed-sparse-row form:
   data, which is what CPython iterates fastest in the hot loop,
 * ``levels`` — combinational level per node,
 * ``const0``/``const1`` — constant nodes the engine presets,
+* ``inputs`` — free INPUT nodes (witness extraction reads exactly
+  these instead of type-scanning every node per SAT case),
 * ``*_np`` — zero-copy read-only numpy views of the same buffers, for
   consumers that slice the adjacency with array arithmetic (the packed
   bitset reachability pass in :mod:`repro.circuit.topology`) rather than
@@ -55,6 +57,7 @@ class CsrArrays:
     levels: tuple[int, ...]
     const0: tuple[int, ...]
     const1: tuple[int, ...]
+    inputs: tuple[int, ...]
     # Read-only numpy views: types/levels are copies of the scalar data,
     # the offset/flat views alias the ``array('i')`` buffers zero-copy.
     types_np: np.ndarray
@@ -116,6 +119,7 @@ def _build(circuit: Circuit) -> CsrArrays:
         levels=levels,
         const0=tuple(circuit.ids_of_type(GateType.CONST0)),
         const1=tuple(circuit.ids_of_type(GateType.CONST1)),
+        inputs=tuple(circuit.ids_of_type(GateType.INPUT)),
         types_np=types_np,
         levels_np=levels_np,
         fanin_offsets_np=_np_view(fanin_offsets),

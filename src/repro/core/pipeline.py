@@ -91,6 +91,13 @@ class DetectorOptions:
     #: the decision session; disabling re-derives the full premise per
     #: case (ablation — verdicts are identical either way).
     launch_prefix: bool = True
+    #: bit-parallel implication pre-pass in the decision session: "auto"
+    #: (enabled above :data:`repro.core.session.PACKED_AUTO_MIN_NODES`
+    #: expanded nodes), "on", or "off".  Up to 64 ``(pair, a, b)`` cases
+    #: share one packed closure per uint64 word; cases needing a
+    #: backtrack search fall back to the scalar engine, so verdicts and
+    #: ``pair_records`` are byte-identical in every mode.
+    packed_implication: str = "auto"
     #: worker processes for the decision stage (1 = in-process serial).
     workers: int = 1
     #: simulation evaluator: "compiled" (levelized batched plan, default)
@@ -240,6 +247,8 @@ class PipelineState:
     session: dict[str, int] | None = None
     #: implication-DB stats block (None when the DB was not enabled).
     implication_db: dict[str, float | int] | None = None
+    #: packed-implication totals (None when lane packing was disabled).
+    packed_implication: dict[str, int] | None = None
     #: hazard-stage outcome (mode "off" when the stage was disabled).
     hazard_mode: str = "off"
     hazard_checked: int = 0
@@ -403,6 +412,25 @@ def _launch_chunks(pairs: Sequence[FFPair], size: int) -> list[list[FFPair]]:
     return launch_units(pairs, size, split=None)
 
 
+def packed_summary(session: dict[str, int] | None) -> dict[str, int] | None:
+    """Extract the packed-implication block from session counter totals.
+
+    The decision session reports its lane-packing counters as
+    ``packed_*`` keys (present only when packing is enabled, summed
+    across workers by :func:`merge_session_stats`); this strips the
+    prefix into the block stored on the result and emitted as the
+    ``packed_implication`` trace event.  ``None`` when packing was off.
+    """
+    if not session or "packed_lanes" not in session:
+        return None
+    prefix = "packed_"
+    return {
+        key[len(prefix):]: value
+        for key, value in session.items()
+        if key.startswith(prefix)
+    }
+
+
 def merge_session_stats(
     total: dict[str, int] | None, delta: dict[str, int] | None
 ) -> dict[str, int] | None:
@@ -508,6 +536,14 @@ class DecisionStage:
             ctx.emit("implication_db", engine=decider.name, **state.implication_db)
         if session is not None:
             ctx.emit("decision_session", engine=decider.name, **session)
+        state.packed_implication = packed_summary(session)
+        if state.packed_implication is not None:
+            ctx.emit(
+                "packed_implication",
+                engine=decider.name,
+                mode=ctx.options.packed_implication,
+                **state.packed_implication,
+            )
         state.disagreements.extend(disagreements)
         for disagreement in disagreements:
             names = ctx.circuit.names
@@ -681,6 +717,7 @@ class Pipeline:
             disagreements=state.disagreements,
             decision_session=state.session,
             implication_db=state.implication_db,
+            packed_implication=state.packed_implication,
             hazard_mode=state.hazard_mode,
             hazard_checked=state.hazard_checked,
             hazard_flagged=state.hazard_flagged,

@@ -122,6 +122,11 @@ class DetectionResult:
     #: seconds); ``None`` unless ``DetectorOptions.implication_db`` was
     #: set.  Observability only — excluded from :meth:`pair_records`.
     implication_db: dict[str, float | int] | None = None
+    #: packed-implication pre-pass totals (lanes packed, lanes resolved,
+    #: scalar fallbacks, closures/visits/microseconds); ``None`` when
+    #: lane packing was disabled.  Observability only — the packed path
+    #: never changes classifications or :meth:`pair_records`.
+    packed_implication: dict[str, int] | None = None
     #: hazard-validation mode the pipeline ran ("off" when disabled;
     #: "ternary", "sensitize" or "cosensitize" otherwise).
     hazard_mode: str = "off"

@@ -37,6 +37,8 @@ from __future__ import annotations
 import time
 from typing import Callable, Sequence
 
+import numpy as np
+
 from repro.circuit.timeframe import TimeFrameExpansion
 from repro.circuit.topology import FFPair
 from repro.logic.values import BINARY
@@ -52,6 +54,19 @@ from repro.core.result import (
 
 #: available backtrack-search engines (paper §4.5 compares these styles)
 SEARCH_ENGINES = ("dalg", "podem")
+
+#: ``packed`` modes accepted by :class:`DecisionSession` (and the CLI).
+PACKED_MODES = ("auto", "on", "off")
+
+#: ``packed="auto"`` enables lane packing at this many expanded
+#: combinational nodes.  Below it the per-closure bookkeeping of the
+#: packed engine rivals what the scalar cases cost outright; above it
+#: the shared closure wins and keeps winning as circuits grow.
+PACKED_AUTO_MIN_NODES = 160
+
+#: a decided case resolved by the packed closure — mapping key is
+#: ``(pair index in the group, a, b)``.
+PackedResolved = dict[tuple[int, int, int], CaseResult]
 
 
 def launch_runs(pairs: Sequence[FFPair]) -> list[tuple[int, int]]:
@@ -85,6 +100,16 @@ class DecisionSession:
     cache (each case re-derives the full three-assumption premise, the
     pre-session behaviour) — an ablation switch, reached through
     ``DetectorOptions.launch_prefix`` / ``--no-launch-prefix``.
+
+    ``packed`` ("auto"/"on"/"off", via ``--packed-implication``) runs
+    the group's cases through the bit-parallel closure of
+    :mod:`repro.atpg.packed_implication` first: up to 64 cases per
+    uint64 word share one implication fixpoint, and every case it
+    proves contradicted or implied-stable skips the scalar engine
+    entirely.  Cases needing a backtrack search fall back to the scalar
+    path, so verdicts and ``pair_records`` are byte-identical in every
+    mode; "auto" enables packing at :data:`PACKED_AUTO_MIN_NODES`
+    expanded nodes.
     """
 
     def __init__(
@@ -96,15 +121,25 @@ class DecisionSession:
         search_engine: str = "dalg",
         scoap_guidance: bool = False,
         share_prefix: bool = True,
+        packed: str = "off",
         clock: Callable[[], float] = time.perf_counter,
     ) -> None:
         if expansion.frames < 2:
             raise ValueError("pair decisions need at least a 2-frame expansion")
         if search_engine not in SEARCH_ENGINES:
             raise ValueError(f"unknown search engine {search_engine!r}")
+        if packed not in PACKED_MODES:
+            raise ValueError(f"unknown packed mode {packed!r}")
         self.expansion = expansion
         self.backtrack_limit = backtrack_limit
         self.share_prefix = share_prefix
+        self.packed_mode = packed
+        self.packed_enabled = packed == "on" or (
+            packed == "auto"
+            and expansion.comb.num_nodes >= PACKED_AUTO_MIN_NODES
+        )
+        self._learned = learned
+        self._packed_engine = None
         self.clock = clock
         if search_engine == "podem":
             from repro.atpg.podem import podem_justify
@@ -129,10 +164,23 @@ class DecisionSession:
         self.prefix_misses = 0
         self.launch_conflicts = 0
         self.trail_high_water = 0
+        self.packed_lanes = 0
+        self.packed_resolved = 0
+        self.packed_fallbacks = 0
+        self.packed_us = 0
 
     def stats(self) -> dict[str, int]:
-        """Counter snapshot for the ``decision_session`` summary event."""
-        return {
+        """Counter snapshot for the ``decision_session`` summary event.
+
+        The packed counters appear only when lane packing is enabled, so
+        the default-off snapshot (and the reports built from it) is
+        unchanged.  Packing shifts work between counters — lanes the
+        packed closure settles never touch the scalar engine, so
+        ``implications`` and the prefix counters drop while the case
+        records stay byte-identical; the packed block is what accounts
+        for the difference.
+        """
+        stats = {
             "pairs": self.pairs_decided,
             "prefix_hits": self.prefix_hits,
             "prefix_misses": self.prefix_misses,
@@ -140,6 +188,15 @@ class DecisionSession:
             "implications": self.engine.implications,
             "trail_high_water": self.trail_high_water,
         }
+        if self.packed_enabled:
+            packed = self._packed_engine
+            stats["packed_lanes"] = self.packed_lanes
+            stats["packed_resolved"] = self.packed_resolved
+            stats["packed_fallbacks"] = self.packed_fallbacks
+            stats["packed_closures"] = packed.closures if packed else 0
+            stats["packed_visits"] = packed.visits if packed else 0
+            stats["packed_us"] = self.packed_us
+        return stats
 
     # ------------------------------------------------------------------
     # Deciding.
@@ -153,14 +210,111 @@ class DecisionSession:
     ) -> list[tuple[PairResult, float]]:
         """Settle ``pairs`` in order; returns ``(result, seconds)`` each."""
         out: list[tuple[PairResult, float] | None] = [None] * len(pairs)
+        resolved: PackedResolved | None = None
+        packed_share = 0.0
+        if self.packed_enabled and pairs:
+            started = self.clock()
+            resolved = self._packed_resolve(pairs)
+            packed_share = (self.clock() - started) / len(pairs)
         if self.share_prefix:
             for start, end in launch_runs(pairs):
-                self._decide_run(pairs, start, end, out)
+                self._decide_run(pairs, start, end, out, resolved)
         else:
             for index, pair in enumerate(pairs):
-                out[index] = self._decide_fresh(pair)
+                out[index] = self._decide_fresh(pair, index, resolved)
         self.pairs_decided += len(pairs)
+        if packed_share:
+            # The shared closure's cost is attributed evenly — per-pair
+            # seconds stay meaningful and the group total is exact.
+            for index, entry in enumerate(out):
+                if entry is not None:
+                    out[index] = (entry[0], entry[1] + packed_share)
         return out  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Packed pre-pass.
+    # ------------------------------------------------------------------
+    def _packed_resolve(self, pairs: Sequence[FFPair]) -> PackedResolved:
+        """Settle search-free cases of ``pairs`` in packed closures.
+
+        Every pair contributes its four ``(a, b)`` cases as lanes of a
+        :class:`~repro.atpg.packed_implication.PackedImplicationEngine`
+        closure (chunked at the engine's lane capacity).  A lane whose
+        premise conflicts is a ``CONTRADICTION``; a lane whose closure
+        forces the target ``FF_j(t+2)`` to ``b`` — or leaves it X but
+        contradicts on the stability probe ``FF_j(t+2) = 1-b`` — is
+        ``IMPLIED_STABLE``.  Exactly those outcomes carry no search
+        effort in the scalar path, so the returned records are
+        byte-identical to what the fallback would have produced; every
+        other lane (a search is required) is left to the scalar engine.
+        """
+        from repro.atpg.packed_implication import (
+            MAX_LANES,
+            PackedImplicationEngine,
+        )
+
+        started = self.clock()
+        engine = self._packed_engine
+        if engine is None:
+            engine = PackedImplicationEngine(
+                self.expansion.comb, learned=self._learned
+            )
+            self._packed_engine = engine
+        expansion = self.expansion
+        ff_at = expansion.ff_at
+        resolved: PackedResolved = {}
+        chunk = MAX_LANES // 4
+        for chunk_start in range(0, len(pairs), chunk):
+            block = pairs[chunk_start:chunk_start + chunk]
+            lanes = len(block) * 4
+            nodes = np.empty((lanes, 3), dtype=np.intp)
+            values = np.empty((lanes, 3), dtype=np.uint8)
+            targets = np.empty(lanes, dtype=np.intp)
+            lane = 0
+            for pair in block:
+                source_index = expansion.ff_index(pair.source)
+                sink_index = expansion.ff_index(pair.sink)
+                ffi_t = ff_at[0][source_index]
+                ffi_t1 = ff_at[1][source_index]
+                ffj_t1 = ff_at[1][sink_index]
+                ffj_t2 = ff_at[2][sink_index]
+                for a in BINARY:
+                    for b in BINARY:
+                        nodes[lane] = (ffi_t, ffi_t1, ffj_t1)
+                        values[lane] = (a, 1 - a, b)
+                        targets[lane] = ffj_t2
+                        lane += 1
+            engine.close_matrix(nodes, values)
+            lane_ids = np.arange(lanes)
+            conflicted = engine.conflict_lanes(lane_ids)
+            known, value = engine.read_nodes(targets, lane_ids)
+            open_lanes = np.flatnonzero(~conflicted & (known == 0))
+            probe_stable = np.zeros(lanes, dtype=bool)
+            if len(open_lanes):
+                engine.extend(
+                    (int(l), int(targets[l]), 1 - (int(l) & 1))
+                    for l in open_lanes
+                )
+                probe_stable[open_lanes] = engine.conflict_lanes(open_lanes)
+            for lane in range(lanes):
+                a, b = (lane >> 1) & 1, lane & 1
+                if conflicted[lane]:
+                    outcome = CaseOutcome.CONTRADICTION
+                elif known[lane]:
+                    if value[lane] != b:
+                        continue  # implied unstable: search required
+                    outcome = CaseOutcome.IMPLIED_STABLE
+                elif probe_stable[lane]:
+                    outcome = CaseOutcome.IMPLIED_STABLE
+                else:
+                    continue  # target free both ways: search required
+                key = (chunk_start + (lane >> 2), a, b)
+                resolved[key] = CaseResult(a, b, outcome)
+            self.packed_lanes += lanes
+        self.packed_resolved += len(resolved)
+        self.packed_fallbacks += 4 * len(pairs) - len(resolved)
+        self.packed_us += int((self.clock() - started) * 1e6)
+        return resolved
 
     def _decide_run(
         self,
@@ -168,6 +322,7 @@ class DecisionSession:
         start: int,
         end: int,
         out: list,
+        resolved: PackedResolved | None = None,
     ) -> None:
         """Settle one same-source run, sharing the launch prefixes.
 
@@ -176,6 +331,11 @@ class DecisionSession:
         are interleaved across the run's pairs so each prefix is pushed
         exactly once.  The prefix propagation is timed (and its
         implications counted) inside the first unsettled pair's block.
+
+        ``resolved`` (the packed pre-pass) supplies finished case
+        records keyed by ``(pair index, a, b)``; the prefix push is lazy
+        — it happens at the first case the packed closure left open, so
+        a fully packed-settled round never touches the scalar engine.
         """
         expansion = self.expansion
         engine = self.engine
@@ -201,44 +361,51 @@ class DecisionSession:
                     continue
                 started = clock()
                 posted_before = engine.implications
-                if prefix_ok is None:
-                    mark = engine.checkpoint()
-                    prefix_ok = engine.assume_all([(ffi_t, a), (ffi_t1, 1 - a)])
-                    self.prefix_misses += 1
-                    misses[i] += 1
-                    if not prefix_ok:
-                        self.launch_conflicts += 1
-                    self._note_high_water()
-                else:
-                    self.prefix_hits += 1
-                    hits[i] += 1
-                if not prefix_ok:
-                    # The launch assumption itself is impossible: both
-                    # capture cases of every pair under it are contradicted.
-                    pair_cases = cases[i]
-                    for b in BINARY:
-                        pair_cases.append(
-                            CaseResult(a, b, CaseOutcome.CONTRADICTION)
-                        )
-                else:
-                    pair = pairs[start + i]
-                    sink_index = expansion.ff_index(pair.sink)
-                    ffj_t1 = expansion.ff_at[1][sink_index]
-                    ffj_t2 = expansion.ff_at[2][sink_index]
-                    for b in BINARY:
-                        case = self._capture_case(ffj_t1, ffj_t2, a, b)
-                        cases[i].append(case)
-                        if case.decisions:
-                            used_search[i] = True
-                        if case.outcome is CaseOutcome.VIOLATED:
-                            verdict[i] = (
-                                Classification.SINGLE_CYCLE,
-                                Stage.ATPG if case.decisions else Stage.IMPLICATION,
+                prefix_counted = False
+                ffj_t1 = ffj_t2 = -1
+                for b in BINARY:
+                    case = None
+                    if resolved is not None:
+                        case = resolved.get((start + i, a, b))
+                    if case is None:
+                        if prefix_ok is None:
+                            mark = engine.checkpoint()
+                            prefix_ok = engine.assume_all(
+                                [(ffi_t, a), (ffi_t1, 1 - a)]
                             )
-                            break
-                        if case.outcome is CaseOutcome.ABORTED:
-                            verdict[i] = (Classification.UNDECIDED, Stage.ATPG)
-                            break
+                            self.prefix_misses += 1
+                            misses[i] += 1
+                            if not prefix_ok:
+                                self.launch_conflicts += 1
+                            self._note_high_water()
+                            prefix_counted = True
+                        elif not prefix_counted:
+                            self.prefix_hits += 1
+                            hits[i] += 1
+                            prefix_counted = True
+                        if not prefix_ok:
+                            # The launch assumption itself is impossible:
+                            # the capture case is contradicted outright.
+                            case = CaseResult(a, b, CaseOutcome.CONTRADICTION)
+                        else:
+                            if ffj_t1 < 0:
+                                pair = pairs[start + i]
+                                sink_index = expansion.ff_index(pair.sink)
+                                ffj_t1 = expansion.ff_at[1][sink_index]
+                                ffj_t2 = expansion.ff_at[2][sink_index]
+                            case = self._capture_case(ffj_t1, ffj_t2, a, b)
+                    cases[i].append(case)
+                    if case.decisions:
+                        used_search[i] = True
+                    if case.outcome is CaseOutcome.VIOLATED:
+                        verdict[i] = (
+                            Classification.SINGLE_CYCLE,
+                            Stage.ATPG if case.decisions else Stage.IMPLICATION,
+                        )
+                        break
+                    if case.outcome is CaseOutcome.ABORTED:
+                        verdict[i] = (Classification.UNDECIDED, Stage.ATPG)
+                        break
                 implications[i] += engine.implications - posted_before
                 seconds[i] += clock() - started
             if mark is not None:
@@ -263,7 +430,12 @@ class DecisionSession:
             )
             out[start + i] = (result, seconds[i])
 
-    def _decide_fresh(self, pair: FFPair) -> tuple[PairResult, float]:
+    def _decide_fresh(
+        self,
+        pair: FFPair,
+        index: int = 0,
+        resolved: PackedResolved | None = None,
+    ) -> tuple[PairResult, float]:
         """Full-premise path (``share_prefix=False``): the pre-session flow."""
         expansion = self.expansion
         engine = self.engine
@@ -281,7 +453,13 @@ class DecisionSession:
         used_search = False
         for a in BINARY:
             for b in BINARY:
-                case = self._premise_case(ffi_t, ffi_t1, ffj_t1, ffj_t2, a, b)
+                case = None
+                if resolved is not None:
+                    case = resolved.get((index, a, b))
+                if case is None:
+                    case = self._premise_case(
+                        ffi_t, ffi_t1, ffj_t1, ffj_t2, a, b
+                    )
                 cases.append(case)
                 if case.decisions:
                     used_search = True

@@ -59,6 +59,7 @@ from repro.core.pipeline import (
     _auto_chunk_size,
     _emit_pair,
     merge_session_stats,
+    packed_summary,
 )
 from repro.core.random_filter import random_filter_packed
 from repro.core.result import Classification, Disagreement, PairResult, Stage
@@ -226,6 +227,14 @@ class StreamingStage:
         if fold.session is not None:
             ctx.emit(
                 "decision_session", engine=decider.name, **fold.session
+            )
+        state.packed_implication = packed_summary(fold.session)
+        if state.packed_implication is not None:
+            ctx.emit(
+                "packed_implication",
+                engine=decider.name,
+                mode=options.packed_implication,
+                **state.packed_implication,
             )
         fold.disagreements.sort(key=lambda d: (d.pair.source, d.pair.sink))
         state.disagreements.extend(fold.disagreements)

@@ -29,6 +29,11 @@ Event types emitted by the pipeline:
     One per parallel decision run: worker count, work-unit count and
     sizing (``unit_pairs``/``split``) plus per-worker unit/pair/second
     totals from the work-stealing queue.
+``packed_implication``
+    One per run with lane packing enabled (``--packed-implication``):
+    the resolved mode plus the packed pre-pass totals — lanes packed,
+    lanes resolved without the scalar engine, scalar fallbacks, and the
+    closure/visit/microsecond counters of the packed engine.
 
 The streaming pipeline (:mod:`repro.core.streaming`) additionally emits:
 

@@ -55,6 +55,15 @@ Two measurements per circuit of the selected suite profile, recorded to
   fewer pairs; ``implication_proved_db`` is the hardware-independent
   count the regression gate tracks.
 
+* **Artifact store**: cold against warm full-detection wall time on a
+  fixed syn6000 probe sharing one content-addressed store directory
+  (``warm_speedup``, back-to-back on one machine so the gate applies on
+  any hardware; the warm run's hit/miss counters prove SimPlan, FF-reach
+  and implication-DB builds were loaded, not rebuilt), plus the ECO
+  probe: one gate-type flip re-analysed incrementally against the prior
+  run's pair-record bundle, recording ``eco_re_decide_fraction`` — the
+  share of decide survivors the incremental path actually re-decided.
+
 Every timed section runs one warmup iteration first and is clocked with
 ``time.perf_counter``.  Per-stage wall times come from the structured
 trace (``stage_end`` events), not ad-hoc timers.
@@ -614,18 +623,134 @@ def test_pipeline_report(bench_circuits):
         "results": entries,
         "topology_probe": probe,
     }
-    # Carry the scale section (peak-RSS/wall-time curves) over from the
-    # existing report: it is regenerated separately (REPRO_BENCH_SCALE)
-    # because its 10k–100k-gate runs take minutes, not seconds.
+    # Carry the scale section (peak-RSS/wall-time curves, regenerated
+    # separately via REPRO_BENCH_SCALE because its 10k–100k-gate runs
+    # take minutes) and the cache section (written by test_cache_report,
+    # which may run after this test) over from the existing report.
     try:
         previous = json.loads(_RESULT_PATH.read_text())
     except (OSError, ValueError):
         previous = {}
-    if "scale" in previous:
-        report["scale"] = previous["scale"]
+    for section in ("scale", "cache"):
+        if section in previous:
+            report[section] = previous[section]
     _RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
     lines.append(f"  written to {_RESULT_PATH.name}")
     record_report("\n".join(lines))
+
+
+#: fixed circuit for the artifact-store cold/warm and ECO probes.
+_CACHE_PROBE = "syn6000"
+
+
+def test_cache_report(tmp_path):
+    """Artifact-store cold/warm wall time and the ECO re-decide fraction.
+
+    Two full ``implication_db=True`` detections of the same generated
+    circuit share one store directory: the warm run must *load* every
+    expensive artifact (SimPlan, reach matrix, implication DB — hit
+    counters prove it, a build would be a miss) and beat the cold run's
+    wall time (``warm_speedup``, a back-to-back same-machine ratio, so
+    the regression gate applies it on any hardware).
+
+    The ECO probe flips one gate type and re-analyses incrementally
+    against the cold run's pair-record bundle; the fraction of decide
+    survivors actually re-decided (``eco_re_decide_fraction``) is the
+    incremental path's effectiveness and is gated as a ceiling."""
+    from repro.circuit.gates import GateType
+    from repro.circuit.netlist import Circuit, clear_derived_caches
+    from repro.core.incremental import incremental_detect, result_bundle
+    from repro.store.runtime import deactivate_store
+
+    store_dir = str(tmp_path / "store")
+
+    def fresh_circuit():
+        clear_derived_caches()
+        deactivate_store()
+        return generate(spec_by_name(_CACHE_PROBE))
+
+    def timed_run(options):
+        circuit = fresh_circuit()
+        started = time.perf_counter()
+        result = MultiCycleDetector(circuit, options).run()
+        return circuit, result, time.perf_counter() - started
+
+    db_options = DetectorOptions(implication_db=True, cache_dir=store_dir)
+    _, cold_result, cold_seconds = timed_run(db_options)
+    _, warm_result, warm_seconds = timed_run(db_options)
+    assert cold_result.pair_records() == warm_result.pair_records()
+    # The warm run must have loaded every expensive artifact instead of
+    # rebuilding: hits prove the skips, zero misses proves no rebuild.
+    assert warm_result.cache["misses"] == 0, warm_result.cache
+    assert warm_result.cache["hits"] >= 3, warm_result.cache
+    warm_speedup = cold_seconds / warm_seconds if warm_seconds else 0.0
+    assert warm_speedup > 1.0, (
+        f"warm run not faster: {warm_seconds:.2f}s vs {cold_seconds:.2f}s"
+    )
+
+    # ECO probe on plain options (the implication DB is globally
+    # sensitive and would soundly re-decide everything).
+    plain = DetectorOptions()
+    base = fresh_circuit()
+    bundle = result_bundle(MultiCycleDetector(base, plain).run(), plain)
+    edited = Circuit(base.name)
+    flips = {
+        GateType.AND: GateType.OR, GateType.OR: GateType.AND,
+        GateType.NAND: GateType.NOR, GateType.NOR: GateType.NAND,
+        GateType.XOR: GateType.XNOR, GateType.XNOR: GateType.XOR,
+    }
+    # The victim must sit inside at least one capture cone — flip a
+    # gate driving a DFF data input, not one feeding only outputs.
+    victim = next(
+        base.fanins[ff][0] for ff in base.dffs
+        if base.fanins[ff] and base.types[base.fanins[ff][0]] in flips
+    )
+    for node_id in range(base.num_nodes):
+        gate_type = base.types[node_id]
+        if node_id == victim:
+            gate_type = flips[gate_type]
+        edited.add_node(gate_type, (), base.names[node_id])
+    for node_id in range(base.num_nodes):
+        edited.set_fanins(node_id, tuple(base.fanins[node_id]))
+    started = time.perf_counter()
+    eco_result = incremental_detect(edited, plain, bundle)
+    eco_seconds = time.perf_counter() - started
+    stats = eco_result.incremental
+    fraction = (
+        stats["re_decided"] / stats["survivors"] if stats["survivors"]
+        else 0.0
+    )
+    assert fraction < 1.0, (
+        f"single-gate ECO re-decided every survivor: {stats}"
+    )
+    deactivate_store()
+
+    cache_section = {
+        "circuit": _CACHE_PROBE,
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_seconds, 6),
+        "warm_speedup": round(warm_speedup, 3),
+        "warm_hits": warm_result.cache["hits"],
+        "warm_misses": warm_result.cache["misses"],
+        "eco_survivors": stats["survivors"],
+        "eco_inherited": stats["inherited"],
+        "eco_re_decided": stats["re_decided"],
+        "eco_re_decide_fraction": round(fraction, 4),
+        "eco_seconds": round(eco_seconds, 6),
+    }
+    try:
+        report = json.loads(_RESULT_PATH.read_text())
+    except (OSError, ValueError):
+        report = {}
+    report["cache"] = cache_section
+    _RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    record_report(
+        f"Artifact store ({_CACHE_PROBE}): cold {cold_seconds:.2f}s, warm "
+        f"{warm_seconds:.2f}s ({warm_speedup:.2f}x, "
+        f"{warm_result.cache['hits']} hits); ECO re-decided "
+        f"{stats['re_decided']}/{stats['survivors']} survivors "
+        f"({fraction:.1%}) in {eco_seconds:.2f}s"
+    )
 
 
 def _scale_circuits() -> list[str]:

@@ -35,6 +35,13 @@ current peak must not *grow* past the baseline by more than the
 tolerance.  The gate is skipped when the current report has no scale
 section (the tier is regenerated separately via ``REPRO_BENCH_SCALE``).
 
+The ``cache`` section (artifact-store cold/warm probe) gates
+``warm_speedup`` as a floor — a back-to-back same-machine ratio, so it
+applies on any hardware — and ``eco_re_decide_fraction`` as a ceiling:
+the incremental ECO path must not re-decide a larger share of the
+decide survivors than the baseline allows.  Both gates are skipped when
+the current report carries no cache section.
+
 Usage::
 
     python check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.30]
@@ -108,6 +115,7 @@ def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
                 f"(baseline {reference:.2f}, tolerance {tolerance:.0%})"
             )
     failures.extend(_check_scale(baseline, current, tolerance))
+    failures.extend(_check_cache(baseline, current, tolerance))
     return failures
 
 
@@ -134,6 +142,42 @@ def _check_scale(baseline: dict, current: dict, tolerance: float) -> list[str]:
                 f"{base['circuit']}: peak_rss_bytes {measured:,} > ceiling "
                 f"{ceiling:,.0f} (baseline {reference:,}, tolerance "
                 f"{tolerance:.0%})"
+            )
+    return failures
+
+
+def _check_cache(baseline: dict, current: dict, tolerance: float) -> list[str]:
+    """Artifact-store gates: warm speedup floor, ECO re-decide ceiling.
+
+    ``warm_speedup`` is a back-to-back cold/warm ratio on one machine,
+    so it is gated regardless of hardware.  ``eco_re_decide_fraction``
+    is a pure pair count ratio and is gated the other way around: the
+    incremental path must not start re-deciding a larger share of the
+    survivors than the baseline allows."""
+    base = baseline.get("cache") or {}
+    entry = current.get("cache") or {}
+    if not entry:
+        return []  # cache tier not regenerated in this run: no gate
+    failures = []
+    reference = base.get("warm_speedup")
+    measured = entry.get("warm_speedup")
+    if reference and measured is not None:
+        floor = reference * (1.0 - tolerance)
+        if measured < floor:
+            failures.append(
+                f"cache ({base.get('circuit')}): warm_speedup "
+                f"{measured:.2f} < floor {floor:.2f} "
+                f"(baseline {reference:.2f}, tolerance {tolerance:.0%})"
+            )
+    reference = base.get("eco_re_decide_fraction")
+    measured = entry.get("eco_re_decide_fraction")
+    if reference and measured is not None:
+        ceiling = reference * (1.0 + tolerance)
+        if measured > ceiling:
+            failures.append(
+                f"cache ({base.get('circuit')}): eco_re_decide_fraction "
+                f"{measured:.4f} > ceiling {ceiling:.4f} "
+                f"(baseline {reference:.4f}, tolerance {tolerance:.0%})"
             )
     return failures
 

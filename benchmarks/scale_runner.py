@@ -60,6 +60,10 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--max-pairs-in-flight", type=int, default=8192)
     parser.add_argument("--rss-limit-mb", type=int, default=0,
                         help="hard address-space ceiling (0 = none)")
+    parser.add_argument("--cache-dir", default=None,
+                        help="content-addressed artifact store directory; "
+                             "derived artifacts persist across runner "
+                             "invocations (cold vs warm wall time)")
     parser.add_argument("--trace", default=None,
                         help="write the run's JSONL trace to FILE")
     args = parser.parse_args(argv)
@@ -81,6 +85,7 @@ def main(argv: list[str] | None = None) -> int:
         workers=args.workers,
         max_pairs_in_flight=args.max_pairs_in_flight,
         packed_implication=args.packed_implication,
+        cache_dir=args.cache_dir,
     )
 
     groups = 0
@@ -129,6 +134,8 @@ def main(argv: list[str] | None = None) -> int:
         "peak_rss_bytes": peak_rss_bytes(),
         "rss_limit_mb": args.rss_limit_mb,
     }
+    if result.cache is not None:
+        report["cache"] = result.cache
     if queue_summary is not None:
         report["decision_queue"] = queue_summary
     json.dump(report, sys.stdout)

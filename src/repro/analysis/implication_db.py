@@ -293,5 +293,12 @@ def _iter_bits(bits: int) -> Iterator[int]:
 
 
 def implication_db(circuit: Circuit) -> ImplicationDB:
-    """The circuit's global implication DB (cached per netlist version)."""
-    return circuit.derived(_DERIVED_KEY, build_implication_db)
+    """The circuit's global implication DB (cached per netlist version).
+
+    Persisted to the on-disk artifact store when one is active; the DB
+    pickles as CSR arrays only, so warm runs skip the fixpoint probe and
+    the transitive closure entirely (``build_seconds`` reads 0.0 then).
+    """
+    return circuit.derived(
+        _DERIVED_KEY, build_implication_db, persist="implication-db"
+    )

@@ -93,8 +93,14 @@ def _build(circuit: Circuit) -> LintReport:
 
 
 def lint(circuit: Circuit) -> LintReport:
-    """The circuit's full lint report (cached per netlist version)."""
-    return circuit.derived(_DERIVED_KEY, _build)
+    """The circuit's full lint report (cached; store-persisted).
+
+    Diagnostics embed node names, so the cache entry is name-scoped and
+    the store address includes the name table.
+    """
+    return circuit.derived(
+        _DERIVED_KEY, _build, scope="names", persist="lint-report"
+    )
 
 
 def enforce(circuit: Circuit, mode: str) -> LintReport | None:

@@ -27,17 +27,12 @@ from dataclasses import dataclass
 
 from repro.circuit.gates import COMBINATIONAL_TYPES, GateType
 from repro.circuit.netlist import Circuit, validate
+from repro.circuit.structhash import COMMUTATIVE as _COMMUTATIVE
 from repro.logic.simulator import evaluate_gate
 from repro.logic.values import BINARY, ONE, X, ZERO
 
 #: :meth:`Circuit.derived` cache key for the sweep report.
 _DERIVED_KEY = "sweep-report"
-
-#: Gate types whose fanin order does not matter for structural hashing.
-_COMMUTATIVE = frozenset({
-    GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
-    GateType.XOR, GateType.XNOR,
-})
 
 #: Types the sweep may fold or drop.  OUTPUT nodes are combinational but
 #: part of the circuit interface, so they are annotated only.
@@ -163,8 +158,14 @@ def _build(circuit: Circuit) -> SweepReport:
 
 
 def sweep(circuit: Circuit) -> SweepReport:
-    """The circuit's sweep report (cached per netlist version)."""
-    return circuit.derived(_DERIVED_KEY, _build)
+    """The circuit's sweep report (cached; persisted when a store is on).
+
+    The report embeds node names, so the cache entry is name-scoped and
+    the store address includes the name table.
+    """
+    return circuit.derived(
+        _DERIVED_KEY, _build, scope="names", persist="sweep-report"
+    )
 
 
 def _fresh_name(circuit: Circuit, base: str) -> str:

@@ -98,6 +98,18 @@ class CircuitBuilder:
         """Mark ``fanin`` as a primary output (adds an OUTPUT buffer node)."""
         return self._gate(GateType.OUTPUT, (fanin,), name)
 
+    def rename(self, node: int, new_name: str) -> int:
+        """Rename a node; a metadata-only edit.
+
+        Delegates to :meth:`Circuit.rename_node
+        <repro.circuit.netlist.Circuit.rename_node>`: the structural
+        version is untouched, so structure-scoped derived artifacts
+        (simulation plans, reach matrices, implication tables) stay
+        alive across the rename.
+        """
+        self._circuit.rename_node(node, new_name)
+        return node
+
     # ------------------------------------------------------------------
     # Composite helpers used by the example library and the generator.
     # ------------------------------------------------------------------

@@ -80,9 +80,16 @@ class Circuit:
     names: list[str] = field(default_factory=list)
     _name_to_id: dict[str, int] = field(default_factory=dict)
     _fanouts: list[list[int]] | None = None
-    #: structural revision counter; bumped on every mutation so derived
-    #: caches (e.g. the time-frame expansion cache) can detect staleness.
+    #: structural revision counter; bumped on every mutation of the node
+    #: arrays (``add_node`` / ``set_fanins``) so derived caches (e.g. the
+    #: time-frame expansion cache) can detect staleness.  Metadata-only
+    #: edits (:meth:`rename_node`) do *not* bump it — they bump
+    #: :attr:`_meta_version` instead, so structure-only artifacts stay
+    #: alive across renames.
     _version: int = field(default=0, repr=False, compare=False)
+    #: metadata revision counter; bumped by name-only edits.  Derived
+    #: entries registered with ``scope="names"`` key on both counters.
+    _meta_version: int = field(default=0, repr=False, compare=False)
 
     # ------------------------------------------------------------------
     # Construction primitives (used by the builder and parsers).
@@ -115,6 +122,31 @@ class Circuit:
         self._fanouts = None
         self._version += 1
 
+    def rename_node(self, node_id: int, new_name: str) -> None:
+        """Rename one node — a metadata-only edit.
+
+        The structural version is untouched, so structure-only derived
+        artifacts (compiled simulation plans, reach matrices, the
+        implication DB) stay cached; only name-scoped entries (lint and
+        sweep reports, expansions, structural hashes) are invalidated.
+        """
+        old_name = self.names[node_id]
+        if new_name == old_name:
+            return
+        if new_name in self._name_to_id:
+            raise CircuitError(f"duplicate node name: {new_name!r}")
+        del self._name_to_id[old_name]
+        self.names[node_id] = new_name
+        self._name_to_id[new_name] = node_id
+        self._meta_version += 1
+        # Purge stale name-scoped derived entries eagerly (they are keyed
+        # by meta version, so they would otherwise linger until the next
+        # structural mutation).
+        entry = _DERIVED_CACHE.get(id(self))
+        if entry is not None and entry[0] == self._version:
+            for key in [k for k in entry[1] if isinstance(k, tuple)]:
+                del entry[1][key]
+
     # ------------------------------------------------------------------
     # Basic queries.
     # ------------------------------------------------------------------
@@ -124,8 +156,17 @@ class Circuit:
 
     @property
     def version(self) -> int:
-        """Structural revision; changes whenever the netlist is mutated."""
+        """Structural revision; changes when the node arrays are mutated.
+
+        Metadata-only edits (:meth:`rename_node`) do not change it — see
+        :attr:`meta_version` for the name-table revision.
+        """
         return self._version
+
+    @property
+    def meta_version(self) -> int:
+        """Metadata revision; changes on name-only edits."""
+        return self._meta_version
 
     def node(self, node_id: int) -> Node:
         return Node(node_id, self.names[node_id], self.types[node_id], self.fanins[node_id])
@@ -182,14 +223,34 @@ class Circuit:
         """True for PI / DFF output / constant nodes."""
         return self.types[node_id] in SOURCE_TYPES
 
-    def derived(self, key: str, build: Callable[["Circuit"], _T]) -> _T:
+    def derived(
+        self,
+        key: str,
+        build: Callable[["Circuit"], _T],
+        scope: str = "structure",
+        persist: str | None = None,
+    ) -> _T:
         """Version-checked cache for derived read-only structures.
 
         ``build(self)`` runs at most once per ``(circuit, key)`` until the
         netlist is mutated, after which the whole entry is rebuilt.  The
         returned object must be treated as immutable by every caller —
         the same instance is shared.
+
+        ``scope`` selects the invalidation rule: ``"structure"`` entries
+        survive metadata-only edits (renames), ``"names"`` entries are
+        additionally keyed by :attr:`meta_version` because the built
+        object embeds node names.
+
+        ``persist`` names an artifact kind in the process-shared on-disk
+        :class:`~repro.store.ArtifactStore`: when a store is active
+        (see :mod:`repro.store.runtime`), an in-memory miss first tries
+        the store — addressed by the circuit's :meth:`content_key` — and
+        a fresh build is written back.  The object must be pickleable
+        and must not reference the circuit.
         """
+        if scope not in ("structure", "names"):
+            raise ValueError(f"unknown derived scope {scope!r}")
         ident = id(self)
         entry = _DERIVED_CACHE.get(ident)
         if entry is None or entry[0] != self._version:
@@ -197,9 +258,50 @@ class Circuit:
             _DERIVED_CACHE[ident] = entry
             weakref.finalize(self, _DERIVED_CACHE.pop, ident, None)
         cache = entry[1]
-        if key not in cache:
-            cache[key] = build(self)
-        return cache[key]  # type: ignore[return-value]
+        cache_key: str | tuple[str, int] = (
+            key if scope == "structure" else (key, self._meta_version)
+        )
+        if cache_key not in cache:
+            obj: object | None = None
+            if persist is not None:
+                from repro.store.runtime import active_store
+
+                store = active_store()
+                if store is not None:
+                    address = store.address(
+                        persist,
+                        self.content_key(include_names=(scope == "names")),
+                    )
+                    obj = store.load(persist, address)
+                    if obj is None:
+                        obj = build(self)
+                        store.save(persist, address, obj)
+            if obj is None:
+                obj = build(self)
+            cache[cache_key] = obj
+        return cache[cache_key]  # type: ignore[return-value]
+
+    def structural_hash(self) -> str:
+        """Order-invariant digest of the netlist structure and interface.
+
+        See :func:`repro.circuit.structhash.structural_hash` — invariant
+        under node reordering and internal-gate renames, sensitive to
+        gate/fanin/DFF edits and interface renames.  Cached.
+        """
+        from repro.circuit.structhash import structural_hash
+
+        return structural_hash(self)
+
+    def content_key(self, include_names: bool = False) -> str:
+        """Id-order-sensitive digest of the raw node arrays (cached).
+
+        The on-disk artifact-store address for derived structures that
+        reference nodes by id; ``include_names`` folds the name table in
+        for artifacts that embed names.
+        """
+        from repro.circuit.structhash import content_key
+
+        return content_key(self, include_names=include_names)
 
     def next_state_node(self, dff_id: int) -> int:
         """The node driving the D input of flip-flop ``dff_id``."""

@@ -1,0 +1,235 @@
+"""Canonical structural hashing of netlists and per-FF analysis cones.
+
+Three related fingerprints, all independent of node creation order and of
+internal gate names:
+
+* :func:`structural_hash` — an order-invariant digest of the whole
+  netlist: gate types, fanin structure and DFF placement, with the
+  PI/DFF/PO *names* as the identity anchors of the free leaves.  Two
+  circuits built in different node orders (or with different internal
+  gate names) hash identically iff they describe the same structure over
+  the same interface.  Commutative gates sort their fanin hashes — the
+  same canonicalisation the sweep pass uses for duplicate detection
+  (:data:`COMMUTATIVE` lives here so both share one definition).
+* :func:`content_key` — an id-order-*sensitive* digest of the raw
+  ``types``/``fanins`` arrays.  This is the address used by the on-disk
+  :class:`~repro.store.ArtifactStore`: derived artifacts such as the
+  compiled :class:`~repro.logic.simplan.SimPlan` or the packed reach
+  matrices reference nodes *by id*, so two circuits may only share them
+  when their id layouts match exactly.  ``include_names=True`` folds the
+  full name table in, for artifacts that embed names (lint/sweep
+  reports).
+* :func:`launch_cone_hashes` / :func:`capture_cone_hashes` — per-FF
+  digests of the time-frame-expanded cones the decision stage actually
+  reads for a pair: the launch FF's next-state cone and the capture FF's
+  ``frames``-deep D cone.  The expanded cone is hashed with its *node
+  layout* (relative id order) included, so a pair's decide record is a
+  pure function of its ``(launch, capture)`` hash pair — the invariant
+  the incremental ECO re-analysis (:mod:`repro.core.incremental`) relies
+  on and the hypothesis differentials enforce.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterable
+
+from repro.circuit.gates import GateType
+from repro.circuit.netlist import Circuit
+
+#: Gate types whose fanin order does not matter; their fanin hashes are
+#: sorted before hashing (shared with the sweep pass's duplicate
+#: detection in :mod:`repro.analysis.sweep`).
+COMMUTATIVE = frozenset({
+    GateType.AND, GateType.NAND, GateType.OR, GateType.NOR,
+    GateType.XOR, GateType.XNOR,
+})
+
+#: :meth:`Circuit.derived` cache key for the per-node hash table.
+_NODE_HASH_KEY = "struct-node-hashes"
+#: cache keys for the whole-netlist digests.
+_STRUCT_KEY = "structural-hash"
+_CONTENT_KEY = "content-key"
+_CONTENT_NAMES_KEY = "content-key-names"
+#: cache key prefix for the per-FF cone hash tables.
+_CONE_KEY = "cone-hashes"
+
+_SEP = b"\x1f"
+
+
+def _digest(parts: Iterable[bytes]) -> bytes:
+    h = hashlib.blake2b(digest_size=16)
+    for part in parts:
+        h.update(part)
+        h.update(_SEP)
+    return h.digest()
+
+
+def _build_node_hashes(circuit: Circuit) -> list[bytes]:
+    """Per-node structural hash with name-anchored interface leaves.
+
+    A node's hash covers its gate type and (recursively) its whole
+    combinational fanin cone.  Free leaves — primary inputs and DFF
+    outputs — are anchored by *name*: without the anchor, structurally
+    symmetric but distinct leaves would collide and reconvergence would
+    be lost.  Internal gate names never enter the hash.
+    """
+    hashes: list[bytes] = [b""] * circuit.num_nodes
+    types = circuit.types
+    names = circuit.names
+    for node_id in circuit.topo_order():
+        gate_type = types[node_id]
+        if gate_type == GateType.INPUT:
+            hashes[node_id] = _digest((b"input", names[node_id].encode()))
+        elif gate_type == GateType.DFF:
+            hashes[node_id] = _digest((b"dff", names[node_id].encode()))
+        elif gate_type in (GateType.CONST0, GateType.CONST1):
+            hashes[node_id] = _digest((gate_type.name.encode(),))
+        else:
+            fanin_hashes = [hashes[f] for f in circuit.fanins[node_id]]
+            if gate_type in COMMUTATIVE:
+                fanin_hashes.sort()
+            parts = [gate_type.name.encode()]
+            if gate_type == GateType.OUTPUT:
+                parts.append(names[node_id].encode())
+            parts.extend(fanin_hashes)
+            hashes[node_id] = _digest(parts)
+    return hashes
+
+
+def node_hashes(circuit: Circuit) -> list[bytes]:
+    """The per-node structural hash table (cached; name-scoped)."""
+    return circuit.derived(_NODE_HASH_KEY, _build_node_hashes, scope="names")
+
+
+def _build_structural_hash(circuit: Circuit) -> str:
+    hashes = node_hashes(circuit)
+    items: list[bytes] = list(hashes)
+    # DFF D-input bindings: the combinational hash of a DFF node is only
+    # its name anchor, so the sequential edge must be added explicitly.
+    for dff in circuit.dffs:
+        fanins = circuit.fanins[dff]
+        driver = hashes[fanins[0]] if fanins else b"undriven"
+        items.append(_digest((b"state", circuit.names[dff].encode(), driver)))
+    items.sort()
+    outer = hashlib.sha256()
+    for item in items:
+        outer.update(item)
+    return outer.hexdigest()
+
+
+def structural_hash(circuit: Circuit) -> str:
+    """Order-invariant digest of the whole netlist (cached; name-scoped).
+
+    Covers every node's type and fanin structure (sorted multiset of the
+    name-anchored cone hashes, so dead logic counts too) plus each DFF's
+    D binding.  Invariant under node reordering and internal-gate
+    renames; sensitive to interface renames, gate-type flips, fanin
+    rewires and DFF insertion/removal.
+    """
+    return circuit.derived(_STRUCT_KEY, _build_structural_hash, scope="names")
+
+
+def content_key(circuit: Circuit, include_names: bool = False) -> str:
+    """Id-order-sensitive digest of the raw node arrays (cached).
+
+    The on-disk store address for derived artifacts: everything the
+    expensive artifacts read (``types[]``, ``fanins[]`` in id order) and
+    nothing they do not (names, unless ``include_names``).
+    """
+
+    def build(c: Circuit) -> str:
+        h = hashlib.sha256()
+        for node_id in range(c.num_nodes):
+            h.update(str(int(c.types[node_id])).encode())
+            h.update(_SEP)
+            h.update(",".join(map(str, c.fanins[node_id])).encode())
+            h.update(_SEP)
+        if include_names:
+            for name in c.names:
+                h.update(name.encode())
+                h.update(_SEP)
+        return h.hexdigest()
+
+    if include_names:
+        return circuit.derived(_CONTENT_NAMES_KEY, build, scope="names")
+    return circuit.derived(_CONTENT_KEY, build)
+
+
+# ----------------------------------------------------------------------
+# Per-FF launch/capture cone hashes over the time-frame expansion.
+# ----------------------------------------------------------------------
+def _cone_hash(comb: Circuit, roots: list[int]) -> str:
+    """Digest of the expanded cone feeding ``roots``, layout included.
+
+    The cone's nodes are renumbered by ascending expanded id, so the
+    digest covers the gate structure, the name-anchored free leaves
+    *and* the relative node order the decision engines traverse —
+    everything that can influence a pair's decide record.
+    """
+    cone = sorted(comb.transitive_fanin(roots))
+    local = {node_id: k for k, node_id in enumerate(cone)}
+    h = hashlib.sha256()
+    for node_id in cone:
+        gate_type = comb.types[node_id]
+        h.update(gate_type.name.encode())
+        h.update(_SEP)
+        if gate_type == GateType.INPUT:
+            h.update(comb.names[node_id].encode())
+        else:
+            h.update(
+                ",".join(str(local[f]) for f in comb.fanins[node_id]).encode()
+            )
+        h.update(_SEP)
+    h.update(b"roots")
+    for root in roots:
+        h.update(_SEP)
+        h.update(str(local[root]).encode())
+    return h.hexdigest()
+
+
+def _build_cone_hashes(
+    circuit: Circuit, frames: int
+) -> tuple[dict[int, str], dict[int, str]]:
+    from repro.circuit.timeframe import expand_cached
+
+    expansion = expand_cached(circuit, frames)
+    comb = expansion.comb
+    launch: dict[int, str] = {}
+    capture: dict[int, str] = {}
+    for k, dff in enumerate(circuit.dffs):
+        launch[dff] = _cone_hash(comb, [expansion.ff_at[1][k]])
+        capture[dff] = _cone_hash(
+            comb, [expansion.ff_at[f][k] for f in range(1, frames + 1)]
+        )
+    return launch, capture
+
+
+def _cone_tables(
+    circuit: Circuit, frames: int
+) -> tuple[dict[int, str], dict[int, str]]:
+    return circuit.derived(
+        f"{_CONE_KEY}-{frames}",
+        lambda c: _build_cone_hashes(c, frames),
+        scope="names",
+    )
+
+
+def launch_cone_hashes(circuit: Circuit, frames: int = 2) -> dict[int, str]:
+    """Per-FF digest of the launch (next-state) cone, by DFF node id.
+
+    The frame-0 cone feeding ``FF@1`` in the ``frames``-frame expansion.
+    Cached per netlist version alongside the capture table.
+    """
+    return _cone_tables(circuit, frames)[0]
+
+
+def capture_cone_hashes(circuit: Circuit, frames: int = 2) -> dict[int, str]:
+    """Per-FF digest of the full ``frames``-deep capture cone, by DFF id.
+
+    Covers the cones of ``FF@1 .. FF@frames`` — every expanded node the
+    decision stage can read when the FF is a pair's capture sink.  A
+    pair's decide record is a function of ``(launch[source],
+    capture[sink])`` plus the options fingerprint.
+    """
+    return _cone_tables(circuit, frames)[1]

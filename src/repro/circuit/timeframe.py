@@ -113,19 +113,24 @@ def expand(circuit: Circuit, frames: int = 2) -> TimeFrameExpansion:
 # ``version`` counter; entries die with the circuit (weakref finalizer),
 # so holding a suite of circuits never leaks expansions of dead ones.
 # ----------------------------------------------------------------------
-_EXPANSION_CACHE: dict[int, tuple[int, dict[int, TimeFrameExpansion]]] = {}
+_EXPANSION_CACHE: dict[
+    int, tuple[tuple[int, int], dict[int, TimeFrameExpansion]]
+] = {}
 
 
 def expand_cached(circuit: Circuit, frames: int = 2) -> TimeFrameExpansion:
     """Memoised :func:`expand`; safe to share (expansions are read-only).
 
     Callers must treat the returned expansion — including its ``comb``
-    circuit — as immutable; mutate a copy instead.
+    circuit — as immutable; mutate a copy instead.  Expansions embed
+    node names (``name@frame``), so the cache keys on both the
+    structural and the metadata version — a rename rebuilds them.
     """
     key = id(circuit)
+    version = (circuit.version, circuit.meta_version)
     entry = _EXPANSION_CACHE.get(key)
-    if entry is None or entry[0] != circuit.version:
-        entry = (circuit.version, {})
+    if entry is None or entry[0] != version:
+        entry = (version, {})
         _EXPANSION_CACHE[key] = entry
         weakref.finalize(circuit, _EXPANSION_CACHE.pop, key, None)
     by_frames = entry[1]

@@ -220,8 +220,13 @@ def build_ff_reach(circuit: Circuit) -> FFReach:
 
 
 def ff_reach(circuit: Circuit) -> FFReach:
-    """The circuit's packed FF-reach matrix (built once per version)."""
-    return circuit.derived(_DERIVED_KEY, build_ff_reach)
+    """The circuit's packed FF-reach matrix (built once per version).
+
+    Persisted to the on-disk artifact store when one is active — the
+    rows are pure ``uint64`` words keyed by node id, so the matrix is
+    shared by content address across processes.
+    """
+    return circuit.derived(_DERIVED_KEY, build_ff_reach, persist="ff-reach")
 
 
 # ----------------------------------------------------------------------
@@ -293,8 +298,12 @@ def build_sink_reach(
 
 
 def sink_reach(circuit: Circuit) -> SinkReach:
-    """The circuit's sink-major source sets (built once per version)."""
-    return circuit.derived(_SINK_KEY, build_sink_reach)
+    """The circuit's sink-major source sets (built once per version).
+
+    Persisted to the on-disk artifact store when one is active (the
+    streaming pipeline's topology pass on large circuits).
+    """
+    return circuit.derived(_SINK_KEY, build_sink_reach, persist="sink-reach")
 
 
 def _build_launch_matrix(circuit: Circuit) -> np.ndarray:

@@ -13,6 +13,12 @@ table1 / table2 / table3
                         regenerate the paper's tables on the suite
 generate DIR            write the synthetic benchmark suite as .bench files
 sta FILE                timing relaxation unlocked by multi-cycle pairs
+sdc FILE                emit SDC timing exceptions (multicycle/false path)
+
+``--cache-dir DIR`` (or ``REPRO_CACHE_DIR``) activates the on-disk
+artifact store: derived artifacts persist across runs and ``analyze
+--incremental-from OLD.bench`` re-decides only the FF pairs whose
+launch/capture cones an ECO actually changed.
 """
 
 from __future__ import annotations
@@ -61,6 +67,8 @@ def _detector_options(args: argparse.Namespace) -> DetectorOptions:
         hazard_check=getattr(args, "hazard_check", "off"),
         streaming=args.streaming,
         max_pairs_in_flight=args.max_pairs_in_flight,
+        cache_dir=getattr(args, "cache_dir", None),
+        cache_max_bytes=getattr(args, "cache_max_bytes", 1 << 30),
     )
 
 
@@ -157,18 +165,58 @@ def _add_detector_args(parser: argparse.ArgumentParser) -> None:
                              "(co-)sensitization path search; flagged "
                              "pairs are reported, classifications are "
                              "unchanged (default: off)")
+    parser.add_argument("--cache-dir", metavar="DIR", default=None,
+                        help="content-addressed on-disk artifact store: "
+                             "derived artifacts (simulation plans, reach "
+                             "matrices, implication DB, pair records) "
+                             "persist here across runs and processes "
+                             "(default: $REPRO_CACHE_DIR, else disabled; "
+                             "verdicts are identical either way)")
+    parser.add_argument("--cache-max-bytes", type=int, default=1 << 30,
+                        help="artifact-store size bound; least-recently-"
+                             "used entries are evicted beyond it "
+                             "(default: 1 GiB)")
     parser.add_argument("--trace", metavar="FILE", default=None,
                         help="write per-stage/per-pair JSONL trace events "
                              "to FILE")
 
 
+def _run_incremental(circuit, options, prior_path, tracer):
+    """ECO re-analysis: inherit decide verdicts from a prior run's bundle.
+
+    The prior netlist's pair-record bundle is looked up in the artifact
+    store; a missing store or bundle degrades to a full re-decide (with
+    a warning) — the merged records are byte-identical either way.
+    """
+    from repro.core.incremental import incremental_detect, load_result_bundle
+    from repro.store.runtime import resolve_cache_dir, store_enabled
+
+    cache_dir = resolve_cache_dir(options.cache_dir)
+    bundle = None
+    if cache_dir is None:
+        print("warning: --incremental-from needs --cache-dir or "
+              "REPRO_CACHE_DIR; re-deciding every pair", file=sys.stderr)
+    else:
+        prior_circuit = load(prior_path)
+        with store_enabled(cache_dir, options.cache_max_bytes) as store:
+            bundle = load_result_bundle(store, prior_circuit, options)
+        if bundle is None:
+            print(f"warning: no cached pair records for {prior_path} under "
+                  f"these options; re-deciding every pair", file=sys.stderr)
+    return incremental_detect(circuit, options, bundle, tracer=tracer)
+
+
 def cmd_analyze(args: argparse.Namespace) -> int:
     """Detect and summarise multi-cycle FF pairs of one netlist."""
     circuit = load(args.file)
+    options = _detector_options(args)
     with _tracer_for(args) as tracer:
-        result = detect_multi_cycle_pairs(
-            circuit, _detector_options(args), tracer=tracer
-        )
+        if getattr(args, "incremental_from", None):
+            result = _run_incremental(
+                circuit, options, args.incremental_from, tracer
+            )
+        else:
+            result = detect_multi_cycle_pairs(circuit, options, tracer=tracer)
     stats = circuit.stats()
     print(f"{circuit.name}: {stats['inputs']} inputs, {stats['dffs']} FFs, "
           f"{stats['gates']} gates")
@@ -181,6 +229,16 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         s = result.stats[stage]
         print(f"  {stage.value:12s} single={s.single_cycle:6d} "
               f"multi={s.multi_cycle:6d} cpu={s.cpu_seconds:.2f}s")
+    cache = result.cache
+    if cache is not None:
+        print(f"cache:              {cache['hits']} hits, "
+              f"{cache['misses']} misses, {cache['stores']} stores, "
+              f"{cache['evictions']} evicted, {cache['corrupt']} healed")
+    incremental = result.incremental
+    if incremental is not None:
+        print(f"incremental:        {incremental['survivors']} survivors, "
+              f"{incremental['inherited']} inherited, "
+              f"{incremental['re_decided']} re-decided")
     if result.hazard_mode != "off":
         print(f"hazard check:       {result.hazard_mode}: "
               f"{result.hazard_checked} checked, "
@@ -429,6 +487,42 @@ def cmd_sta(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_sdc(args: argparse.Namespace) -> int:
+    """Emit SDC timing exceptions for detected multi-cycle pairs.
+
+    ``set_multicycle_path -setup k`` for proven multi-cycle pairs,
+    ``set_false_path`` for pairs whose implication cases all
+    contradicted; with ``--hazard-check`` active, flagged pairs are
+    emitted commented-out (relaxing them would be unsafe).
+    """
+    from repro.sta.constraints import (
+        constraints_json,
+        format_sdc,
+        sdc_constraints,
+    )
+
+    circuit = load(args.file)
+    with _tracer_for(args) as tracer:
+        result = detect_multi_cycle_pairs(
+            circuit, _detector_options(args), tracer=tracer
+        )
+    constraints = sdc_constraints(result, args.multi_cycle_budget)
+    text = format_sdc(result, args.multi_cycle_budget, constraints)
+    gated = sum(1 for c in constraints if not c.safe)
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote {args.out} ({len(constraints)} constraint(s), "
+              f"{gated} hazard-gated)")
+    else:
+        print(text, end="")
+    if args.json:
+        Path(args.json).write_text(
+            constraints_json(result, args.multi_cycle_budget, constraints)
+        )
+        print(f"wrote {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -441,6 +535,13 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("analyze", help="detect multi-cycle FF pairs")
     p.add_argument("file", help=".bench netlist")
     p.add_argument("--list-pairs", action="store_true")
+    p.add_argument("--incremental-from", metavar="PRIOR", default=None,
+                   help="prior netlist whose cached pair records (from "
+                        "the artifact store; needs --cache-dir or "
+                        "REPRO_CACHE_DIR) seed incremental ECO "
+                        "re-analysis: only pairs whose launch/capture "
+                        "cones changed are re-decided, results are "
+                        "byte-identical to a full run")
     _add_detector_args(p)
     p.set_defaults(func=cmd_analyze)
 
@@ -496,6 +597,19 @@ def build_parser() -> argparse.ArgumentParser:
                    help="rows in the slack table (default 10)")
     _add_detector_args(p)
     p.set_defaults(func=cmd_sta)
+
+    p = sub.add_parser("sdc", help="emit SDC timing exceptions "
+                                   "(set_multicycle_path / set_false_path)")
+    p.add_argument("file", help=".bench netlist")
+    p.add_argument("-o", "--out", default=None,
+                   help="write the SDC text here instead of stdout")
+    p.add_argument("--json", metavar="FILE", default=None,
+                   help="also write the JSON interchange form")
+    p.add_argument("--multi-cycle-budget", type=int, default=2,
+                   help="setup multiplier for relaxed pairs (default: 2, "
+                        "what the MC condition guarantees)")
+    _add_detector_args(p)
+    p.set_defaults(func=cmd_sdc)
 
     p = sub.add_parser("kcycle", help="k-cycle pair detection (k = 2..max)")
     p.add_argument("file", help=".bench netlist")

@@ -71,8 +71,14 @@ class MultiCycleDetector:
         bounded-memory streaming launch-group pipeline
         (:mod:`repro.core.streaming`).  Results are identical — only
         peak memory and trace shape differ.
+
+        With ``options.cache_dir`` (or ``REPRO_CACHE_DIR``) set, the
+        on-disk artifact store is active for the run: derived artifacts
+        round-trip through it and the run's pair records are published
+        as a bundle for later ``--incremental-from`` ECO runs.
         """
         from repro.core.streaming import streaming_enabled, streaming_pipeline
+        from repro.store.runtime import resolve_cache_dir, store_enabled
 
         ctx = AnalysisContext(
             self.circuit,
@@ -80,9 +86,17 @@ class MultiCycleDetector:
             tracer=self.tracer,
             progress=self.progress,
         )
-        if streaming_enabled(self.options, self.circuit):
-            return streaming_pipeline().run(ctx)
-        return default_pipeline().run(ctx)
+        cache_dir = resolve_cache_dir(self.options.cache_dir)
+        with store_enabled(cache_dir, self.options.cache_max_bytes) as store:
+            if streaming_enabled(self.options, self.circuit):
+                result = streaming_pipeline().run(ctx)
+            else:
+                result = default_pipeline().run(ctx)
+            if store is not None:
+                from repro.core.incremental import save_result_bundle
+
+                save_result_bundle(store, result, self.options)
+        return result
 
 
 def detect_multi_cycle_pairs(

@@ -130,6 +130,16 @@ class DetectorOptions:
     #: streaming only: cap on pairs submitted to the decision queue but
     #: not yet folded (bounds parent-side memory on huge circuits).
     max_pairs_in_flight: int = 8192
+    #: directory of the content-addressed on-disk artifact store
+    #: (:mod:`repro.store`); ``None`` falls back to the
+    #: ``REPRO_CACHE_DIR`` environment variable, and an empty result
+    #: disables persistence (in-memory caches only).  Derived artifacts
+    #: (SimPlan, reach matrices, implication DB, lint/sweep reports,
+    #: pair-record bundles) round-trip through the store transparently;
+    #: verdicts are identical with or without it.
+    cache_dir: str | None = None
+    #: size bound of the artifact store in bytes (LRU eviction beyond it).
+    cache_max_bytes: int = 1 << 30
 
 
 @dataclass
@@ -254,6 +264,8 @@ class PipelineState:
     hazard_checked: int = 0
     hazard_flagged: int = 0
     hazard_flagged_pairs: list[FFPair] = field(default_factory=list)
+    #: incremental re-analysis stats (set by the incremental stage only).
+    incremental: dict[str, int] | None = None
 
 
 class PipelineStage(Protocol):
@@ -679,8 +691,12 @@ class Pipeline:
         self.stages = list(stages)
 
     def run(self, ctx: AnalysisContext) -> DetectionResult:
+        from repro.store.runtime import active_store
+
         started = ctx.clock()
         state = PipelineState()
+        store = active_store()
+        store_before = store.stats() if store is not None else None
         ctx.emit(
             "run_start",
             circuit=ctx.circuit.name,
@@ -706,6 +722,13 @@ class Pipeline:
             # The persistent worker pool is scoped to one run.
             ctx.close()
         state.results.sort(key=lambda r: (r.pair.source, r.pair.sink))
+        cache_stats: dict[str, int] | None = None
+        if store is not None and store_before is not None:
+            cache_stats = {
+                key: value - store_before.get(key, 0)
+                for key, value in store.stats().items()
+            }
+            ctx.emit("cache", dir=str(store.root), **cache_stats)
         result = DetectionResult(
             circuit=ctx.circuit,
             connected_pairs=state.connected_pairs,
@@ -722,6 +745,8 @@ class Pipeline:
             hazard_checked=state.hazard_checked,
             hazard_flagged=state.hazard_flagged,
             hazard_flagged_pairs=state.hazard_flagged_pairs,
+            cache=cache_stats,
+            incremental=state.incremental,
         )
         ctx.emit(
             "run_end",

@@ -136,6 +136,15 @@ class DetectionResult:
     #: flagged (source, sink) pairs, sorted — observability only, the
     #: per-pair classifications and :meth:`pair_records` are unchanged.
     hazard_flagged_pairs: list[FFPair] = field(default_factory=list)
+    #: artifact-store counter deltas for this run (hits/misses/stores/
+    #: evictions/corrupt); ``None`` when no on-disk store was active.
+    #: Observability only — excluded from :meth:`pair_records`.
+    cache: dict[str, int] | None = None
+    #: incremental re-analysis stats (survivors/inherited/re-decided);
+    #: ``None`` for a full run.  The merged per-pair records are
+    #: byte-identical to a fresh full run — the invariant the hypothesis
+    #: differentials in ``tests/core/test_incremental.py`` enforce.
+    incremental: dict[str, int] | None = None
 
     @property
     def multi_cycle_pairs(self) -> list[PairResult]:

@@ -384,6 +384,9 @@ def compiled_plan(circuit: Circuit) -> SimPlan:
 
     Cached through :meth:`Circuit.derived`, so repeated simulator
     construction, filter rounds and pipeline stages all share one plan;
-    mutating the circuit invalidates it automatically.
+    mutating the circuit invalidates it automatically.  When an on-disk
+    :class:`~repro.store.ArtifactStore` is active, the plan (pure numpy
+    index arrays, no circuit reference) round-trips through it — warm
+    runs skip the lowering entirely.
     """
-    return circuit.derived("simplan", SimPlan)
+    return circuit.derived("simplan", SimPlan, persist="simplan")

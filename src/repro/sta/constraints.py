@@ -8,14 +8,22 @@ timing before and after applying the detector's verdicts:
 * per-pair required time ``k * period`` instead of ``period``,
 * minimum feasible clock period with and without relaxation,
 * slack distribution and the number of violating pairs at a given period.
+
+:func:`sdc_constraints` turns the verdicts into interchange form — SDC
+``set_multicycle_path`` / ``set_false_path`` commands (plus a JSON
+mirror) that downstream synthesis/STA tools consume directly.  When the
+detector's hazard stage ran, flagged pairs are *not* relaxed: the MC
+condition holds for settled values but a static hazard could latch a
+transient, so the constraint is emitted commented-out with the reason.
 """
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass
 
 from repro.circuit.netlist import Circuit
-from repro.core.result import DetectionResult
+from repro.core.result import CaseOutcome, DetectionResult
 from repro.sta.timing import DelayModel, ff_pair_delays
 
 
@@ -88,3 +96,142 @@ def relaxation_report(
     min_baseline = max((t.delay for t in timings), default=0.0)
     min_relaxed = max((t.delay / t.allowed_cycles for t in timings), default=0.0)
     return RelaxationReport(circuit, timings, min_baseline, min_relaxed)
+
+
+# ----------------------------------------------------------------------
+# SDC emission.
+# ----------------------------------------------------------------------
+@dataclass
+class SdcConstraint:
+    """One emitted timing exception for a detected multi-cycle FF pair."""
+
+    source: str
+    sink: str
+    #: "multicycle" (``set_multicycle_path``) or "false-path"
+    #: (``set_false_path`` — every implication case contradicted, so no
+    #: single-cycle transition between the FFs is possible at all).
+    kind: str
+    #: setup multiplier for "multicycle" constraints; 0 for false paths.
+    cycles: int
+    #: the hazard stage flagged this pair — the relaxation is *unsafe*
+    #: (a static hazard could latch a transient) and the SDC command is
+    #: emitted commented-out.
+    hazard_flagged: bool = False
+
+    @property
+    def safe(self) -> bool:
+        return not self.hazard_flagged
+
+
+def sdc_constraints(
+    detection: DetectionResult, multi_cycle_budget: int = 2
+) -> list[SdcConstraint]:
+    """Timing exceptions implied by one detection run, sorted by pair.
+
+    Every proven multi-cycle pair yields one constraint.  A pair whose
+    implication cases *all* ended in contradiction gets ``set_false_path``
+    (the premise — sink toggling one cycle after the source — is
+    structurally impossible); the rest get ``set_multicycle_path -setup
+    multi_cycle_budget``.  Pairs flagged by the hazard stage (when it
+    ran) are marked unsafe and rendered as comments by
+    :func:`format_sdc`; undecided and single-cycle pairs yield nothing.
+    """
+    names = detection.circuit.names
+    flagged = {
+        (p.source, p.sink) for p in detection.hazard_flagged_pairs
+    }
+    constraints: list[SdcConstraint] = []
+    for result in detection.multi_cycle_pairs:
+        pair = (result.pair.source, result.pair.sink)
+        all_contradicted = bool(result.cases) and all(
+            case.outcome is CaseOutcome.CONTRADICTION
+            for case in result.cases
+        )
+        constraints.append(
+            SdcConstraint(
+                source=names[result.pair.source],
+                sink=names[result.pair.sink],
+                kind="false-path" if all_contradicted else "multicycle",
+                cycles=0 if all_contradicted else multi_cycle_budget,
+                hazard_flagged=pair in flagged,
+            )
+        )
+    constraints.sort(key=lambda c: (c.source, c.sink))
+    return constraints
+
+
+def _sdc_command(constraint: SdcConstraint) -> str:
+    """The SDC command text for one constraint (without hazard gating)."""
+    span = (
+        f"-from [get_cells {{{constraint.source}}}] "
+        f"-to [get_cells {{{constraint.sink}}}]"
+    )
+    if constraint.kind == "false-path":
+        return f"set_false_path {span}"
+    return (
+        f"set_multicycle_path -setup {constraint.cycles} {span}\n"
+        f"set_multicycle_path -hold {constraint.cycles - 1} {span}"
+    )
+
+
+def format_sdc(
+    detection: DetectionResult,
+    multi_cycle_budget: int = 2,
+    constraints: list[SdcConstraint] | None = None,
+) -> str:
+    """Render a detection run as SDC text.
+
+    Hazard-flagged pairs appear as commented-out commands with the
+    reason, so the relaxation is visible but inert; when the hazard
+    stage did not run, a header comment says the verdicts are
+    implication-only.
+    """
+    if constraints is None:
+        constraints = sdc_constraints(detection, multi_cycle_budget)
+    lines = [
+        f"# multi-cycle path constraints for {detection.circuit.name}",
+        f"# engine: {detection.engine}; hazard check: {detection.hazard_mode}",
+    ]
+    if detection.hazard_mode == "off":
+        lines.append(
+            "# hazard stage was off: verdicts cover settled values only"
+        )
+    for constraint in constraints:
+        command = _sdc_command(constraint)
+        if constraint.hazard_flagged:
+            lines.append(
+                f"# hazard-flagged, not relaxed: "
+                f"{constraint.source} -> {constraint.sink}"
+            )
+            lines.extend(f"# {line}" for line in command.splitlines())
+        else:
+            lines.append(command)
+    return "\n".join(lines) + "\n"
+
+
+def constraints_json(
+    detection: DetectionResult,
+    multi_cycle_budget: int = 2,
+    constraints: list[SdcConstraint] | None = None,
+) -> str:
+    """The JSON interchange form of :func:`sdc_constraints`."""
+    if constraints is None:
+        constraints = sdc_constraints(detection, multi_cycle_budget)
+    payload = {
+        "circuit": detection.circuit.name,
+        "engine": detection.engine,
+        "hazard_mode": detection.hazard_mode,
+        "multi_cycle_budget": multi_cycle_budget,
+        "constraints": [
+            {
+                "source": c.source,
+                "sink": c.sink,
+                "kind": c.kind,
+                "cycles": c.cycles,
+                "hazard_flagged": c.hazard_flagged,
+                "safe": c.safe,
+            }
+            for c in constraints
+        ],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"

@@ -1,0 +1,214 @@
+"""Content-addressed, process-shared on-disk artifact store.
+
+Derived analysis structures — compiled simulation plans, packed reach
+matrices, the global implication DB, lint/sweep reports, detection pair
+records — are expensive to build and pure functions of the netlist
+content.  :class:`ArtifactStore` keeps them on disk, addressed by a
+content digest (see :meth:`~repro.circuit.netlist.Circuit.content_key`),
+so repeated runs of the same netlist — in the same process, a later
+process, or a concurrent one — load instead of rebuild.
+
+Design rules:
+
+* **Atomic writes.**  Every entry is written to a unique temporary file
+  in the same directory and published with ``os.replace`` — readers
+  never observe a partial entry, and two processes racing to publish the
+  same key both succeed (last writer wins with identical bytes).
+* **Versioned schemas.**  Each artifact kind carries a schema tag
+  (:data:`SCHEMA_VERSIONS`) baked into both the file name and the
+  pickled envelope; loading checks it, so a library upgrade that changes
+  an artifact's layout silently invalidates old entries instead of
+  unpickling garbage into the new code.
+* **Corrupt-entry self-heal.**  A truncated or unreadable entry (torn
+  disk write, version skew, bit rot) is deleted on first touch and
+  reported as a miss — the caller rebuilds and republishes.
+* **Size-bounded LRU eviction.**  ``max_bytes`` caps the store; when a
+  write pushes the total over it, the least-recently-*used* entries go
+  first (loads touch the file mtime).
+
+Counters (``hits`` / ``misses`` / ``stores`` / ``evictions`` /
+``corrupt``) accumulate per instance; :meth:`stats` snapshots them for
+the pipeline's cache trace event and the CLI summary line.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import time
+from pathlib import Path
+
+#: Schema version per artifact kind.  Bump a kind's version whenever its
+#: pickled layout changes; unknown kinds default to version 1.
+SCHEMA_VERSIONS: dict[str, int] = {
+    "simplan": 1,
+    "ff-reach": 1,
+    "sink-reach": 1,
+    "implication-db": 1,
+    "lint-report": 1,
+    "sweep-report": 1,
+    "pair-records": 1,
+}
+
+#: default store size bound: 1 GiB.
+DEFAULT_MAX_BYTES = 1 << 30
+
+_SUFFIX = ".pkl"
+
+
+def schema_version(kind: str) -> int:
+    """The current schema tag of one artifact kind."""
+    return SCHEMA_VERSIONS.get(kind, 1)
+
+
+class ArtifactStore:
+    """One on-disk artifact store rooted at ``root`` (created lazily)."""
+
+    def __init__(
+        self, root: str | Path, max_bytes: int = DEFAULT_MAX_BYTES
+    ) -> None:
+        self.root = Path(root)
+        self.max_bytes = max_bytes
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.evictions = 0
+        self.corrupt = 0
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ------------------------------------------------------------------
+    # Addressing.
+    # ------------------------------------------------------------------
+    def address(self, kind: str, content_key: str, extra: str = "") -> str:
+        """The store address of one artifact: content key plus salt.
+
+        ``extra`` folds artifact parameters (e.g. an options fingerprint)
+        into the address without the caller hashing them itself.
+        """
+        if extra:
+            import hashlib
+
+            return hashlib.sha256(
+                f"{content_key}\x1f{extra}".encode()
+            ).hexdigest()
+        return content_key
+
+    def _path(self, kind: str, address: str) -> Path:
+        return (
+            self.root / kind / f"{address}-v{schema_version(kind)}{_SUFFIX}"
+        )
+
+    # ------------------------------------------------------------------
+    # Load / save.
+    # ------------------------------------------------------------------
+    def load(self, kind: str, address: str) -> object | None:
+        """The stored artifact, or ``None`` on miss/corruption.
+
+        A successful load touches the entry's mtime (the LRU clock); a
+        corrupt entry is deleted (self-heal) and counted.
+        """
+        path = self._path(kind, address)
+        try:
+            with open(path, "rb") as fh:
+                envelope = pickle.load(fh)
+            if (
+                not isinstance(envelope, dict)
+                or envelope.get("kind") != kind
+                or envelope.get("schema") != schema_version(kind)
+            ):
+                raise ValueError("schema mismatch")
+            payload = envelope["payload"]
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except Exception:
+            # Torn write, truncation, version skew: heal by deletion.
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        try:
+            now = time.time()
+            os.utime(path, (now, now))
+        except OSError:
+            pass  # entry may have been evicted by a peer; the load stands
+        self.hits += 1
+        return payload
+
+    def save(self, kind: str, address: str, payload: object) -> None:
+        """Publish one artifact atomically, then enforce the size bound."""
+        path = self._path(kind, address)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        envelope = {
+            "kind": kind,
+            "schema": schema_version(kind),
+            "payload": payload,
+        }
+        tmp = path.parent / (
+            f".{path.name}.{os.getpid()}.{time.monotonic_ns()}.tmp"
+        )
+        try:
+            with open(tmp, "wb") as fh:
+                pickle.dump(envelope, fh, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        except OSError:
+            # A full or read-only store degrades to a no-op cache.
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            return
+        self.stores += 1
+        self._evict()
+
+    # ------------------------------------------------------------------
+    # Eviction and introspection.
+    # ------------------------------------------------------------------
+    def _entries(self) -> list[tuple[float, int, Path]]:
+        """Every published entry as ``(mtime, size, path)``."""
+        entries: list[tuple[float, int, Path]] = []
+        if not self.root.is_dir():
+            return entries
+        for kind_dir in self.root.iterdir():
+            if not kind_dir.is_dir():
+                continue
+            for path in kind_dir.glob(f"*{_SUFFIX}"):
+                try:
+                    stat = path.stat()
+                except OSError:
+                    continue  # evicted by a peer mid-scan
+                entries.append((stat.st_mtime, stat.st_size, path))
+        return entries
+
+    def total_bytes(self) -> int:
+        """Current on-disk size of every published entry."""
+        return sum(size for _, size, _ in self._entries())
+
+    def _evict(self) -> None:
+        """Delete least-recently-used entries until under ``max_bytes``."""
+        entries = self._entries()
+        total = sum(size for _, size, _ in entries)
+        if total <= self.max_bytes:
+            return
+        for _, size, path in sorted(entries):
+            try:
+                path.unlink()
+            except OSError:
+                continue  # already gone (peer eviction): size freed anyway
+            self.evictions += 1
+            total -= size
+            if total <= self.max_bytes:
+                break
+
+    def stats(self) -> dict[str, int]:
+        """Snapshot of the instance counters (for traces and the CLI)."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "evictions": self.evictions,
+            "corrupt": self.corrupt,
+        }

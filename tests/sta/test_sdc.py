@@ -1,0 +1,120 @@
+"""SDC emission from detection results."""
+
+from repro.core.detector import DetectorOptions, detect_multi_cycle_pairs
+from repro.core.result import CaseOutcome
+from repro.sta.constraints import (
+    constraints_json,
+    format_sdc,
+    sdc_constraints,
+)
+
+import json
+
+
+def test_one_constraint_per_multi_cycle_pair(fig1):
+    detection = detect_multi_cycle_pairs(fig1)
+    constraints = sdc_constraints(detection)
+    assert len(constraints) == len(detection.multi_cycle_pairs)
+    assert constraints == sorted(
+        constraints, key=lambda c: (c.source, c.sink)
+    )
+    for constraint in constraints:
+        assert constraint.kind in ("multicycle", "false-path")
+        assert constraint.safe  # hazard stage was off: nothing flagged
+
+
+def test_false_path_when_all_cases_contradict(fig1):
+    detection = detect_multi_cycle_pairs(fig1)
+    expected = set()
+    names = fig1.names
+    for result in detection.multi_cycle_pairs:
+        if result.cases and all(
+            c.outcome is CaseOutcome.CONTRADICTION for c in result.cases
+        ):
+            expected.add((names[result.pair.source],
+                          names[result.pair.sink]))
+    constraints = sdc_constraints(detection)
+    assert {
+        (c.source, c.sink) for c in constraints if c.kind == "false-path"
+    } == expected
+
+
+def test_sdc_text_shape(fig1):
+    detection = detect_multi_cycle_pairs(fig1)
+    text = format_sdc(detection)
+    assert text.startswith("# multi-cycle path constraints for fig1")
+    assert "hazard stage was off" in text
+    relaxed = [
+        line for line in text.splitlines()
+        if line.startswith("set_multicycle_path -setup")
+    ]
+    false_paths = [
+        line for line in text.splitlines()
+        if line.startswith("set_false_path")
+    ]
+    assert len(relaxed) + len(false_paths) == len(
+        detection.multi_cycle_pairs
+    )
+    for line in relaxed:
+        assert "-setup 2" in line and "get_cells" in line
+
+
+def test_hazard_flagged_pairs_are_commented_out(fig1):
+    detection = detect_multi_cycle_pairs(
+        fig1, DetectorOptions(hazard_check="ternary")
+    )
+    assert detection.hazard_flagged  # fig1 has hazard-flagged MC pairs
+    constraints = sdc_constraints(detection)
+    flagged = [c for c in constraints if c.hazard_flagged]
+    assert len(flagged) == detection.hazard_flagged
+    text = format_sdc(detection, constraints=constraints)
+    for constraint in flagged:
+        assert (
+            f"# hazard-flagged, not relaxed: "
+            f"{constraint.source} -> {constraint.sink}" in text
+        )
+    # Active (uncommented) commands cover exactly the safe constraints.
+    active = [
+        line for line in text.splitlines()
+        if line.startswith(("set_multicycle_path", "set_false_path"))
+    ]
+    safe = [c for c in constraints if c.safe]
+    assert all(f"{{{c.sink}}}" in " ".join(active) for c in safe)
+    for constraint in flagged:
+        span = (
+            f"-from [get_cells {{{constraint.source}}}] "
+            f"-to [get_cells {{{constraint.sink}}}]"
+        )
+        assert not any(span in line for line in active)
+
+
+def test_budget_controls_setup_multiplier(fig1):
+    detection = detect_multi_cycle_pairs(fig1)
+    text = format_sdc(detection, multi_cycle_budget=3)
+    assert "-setup 3" in text
+    assert "-hold 2" in text
+
+
+def test_json_interchange_roundtrip(fig1):
+    detection = detect_multi_cycle_pairs(
+        fig1, DetectorOptions(hazard_check="ternary")
+    )
+    payload = json.loads(constraints_json(detection))
+    assert payload["circuit"] == "fig1"
+    assert payload["hazard_mode"] == "ternary"
+    constraints = sdc_constraints(detection)
+    assert len(payload["constraints"]) == len(constraints)
+    for entry, constraint in zip(payload["constraints"], constraints):
+        assert entry["source"] == constraint.source
+        assert entry["sink"] == constraint.sink
+        assert entry["safe"] == constraint.safe
+        assert entry["hazard_flagged"] == constraint.hazard_flagged
+
+
+def test_single_cycle_only_circuit_emits_nothing(shift4):
+    detection = detect_multi_cycle_pairs(shift4)
+    if detection.multi_cycle_pairs:
+        return  # library change; the property below is vacuous then
+    assert sdc_constraints(detection) == []
+    text = format_sdc(detection)
+    assert "set_multicycle_path" not in text

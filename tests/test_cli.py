@@ -222,3 +222,75 @@ def test_malformed_file_exits_cleanly(tmp_path, capsys):
     assert main(["analyze", str(bad)]) == 2
     err = capsys.readouterr().err
     assert "bad.bench" in err and "line 2" in err
+
+
+def test_analyze_cache_dir_warm_hits(fig1_file, tmp_path, capsys):
+    from repro.circuit.netlist import clear_derived_caches
+    from repro.store import deactivate_store
+
+    cache = str(tmp_path / "cache")
+    assert main(["analyze", fig1_file, "--cache-dir", cache]) == 0
+    cold = capsys.readouterr().out
+    assert "cache:" in cold and "stores" in cold
+    clear_derived_caches()
+    deactivate_store()
+    assert main(["analyze", fig1_file, "--cache-dir", cache]) == 0
+    warm = capsys.readouterr().out
+    hits = int(warm.split("cache:")[1].split("hits")[0].strip())
+    assert hits >= 1
+    deactivate_store()
+
+
+def test_analyze_incremental_from(fig1_file, tmp_path, capsys):
+    from repro.circuit.netlist import clear_derived_caches
+    from repro.store import deactivate_store
+
+    cache = str(tmp_path / "cache")
+    assert main(["analyze", fig1_file, "--cache-dir", cache]) == 0
+    capsys.readouterr()
+    clear_derived_caches()
+    deactivate_store()
+    assert main([
+        "analyze", fig1_file, "--cache-dir", cache,
+        "--incremental-from", fig1_file,
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "incremental:" in out
+    assert "0 re-decided" in out
+    assert "multi-cycle pairs:  5" in out
+    deactivate_store()
+
+
+def test_analyze_incremental_from_without_store_warns(fig1_file, capsys,
+                                                      monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert main([
+        "analyze", fig1_file, "--incremental-from", fig1_file,
+    ]) == 0
+    captured = capsys.readouterr()
+    assert "re-deciding every pair" in captured.err
+    assert "multi-cycle pairs:  5" in captured.out
+
+
+def test_sdc_command(fig1_file, capsys):
+    assert main(["sdc", fig1_file]) == 0
+    out = capsys.readouterr().out
+    assert "set_multicycle_path -setup 2" in out
+
+
+def test_sdc_command_writes_files(fig1_file, tmp_path, capsys):
+    import json
+
+    sdc = tmp_path / "out.sdc"
+    js = tmp_path / "out.json"
+    assert main([
+        "sdc", fig1_file, "-o", str(sdc), "--json", str(js),
+        "--hazard-check", "ternary",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "hazard-gated" in out
+    text = sdc.read_text()
+    assert "# hazard-flagged, not relaxed:" in text
+    payload = json.loads(js.read_text())
+    assert payload["circuit"] == "fig1"
+    assert any(not c["safe"] for c in payload["constraints"])

@@ -631,7 +631,7 @@ def test_pipeline_report(bench_circuits):
         previous = json.loads(_RESULT_PATH.read_text())
     except (OSError, ValueError):
         previous = {}
-    for section in ("scale", "cache"):
+    for section in ("scale", "cache", "backplane"):
         if section in previous:
             report[section] = previous[section]
     _RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
@@ -750,6 +750,72 @@ def test_cache_report(tmp_path):
         f"{warm_result.cache['hits']} hits); ECO re-decided "
         f"{stats['re_decided']}/{stats['survivors']} survivors "
         f"({fraction:.1%}) in {eco_seconds:.2f}s"
+    )
+
+
+def test_backplane_report():
+    """Shared-memory backplane probe: spawn cost, worker RSS, identity.
+
+    Three detections of one generated circuit: serial reference, then
+    ``workers=N`` with the backplane published (``on``) and suppressed
+    (``off``).  All three must produce byte-identical ``pair_records``.
+    The ``on`` run's summary must show every worker attached without a
+    single artifact-store miss — attach *replaces* rebuild — and its
+    ``spawn_seconds_max`` / per-worker ``ru_maxrss`` land in the
+    ``backplane`` section of ``BENCH_pipeline.json``, where the CI gate
+    tracks them (spawn with generous headroom, RSS with the standard
+    tolerance)."""
+    circuit = generate(spec_by_name(_CACHE_PROBE))
+    serial, _ = _run(circuit, workers=1)  # also warms the derived caches
+    on_result, on_seconds = _run(
+        circuit, workers=_WORKERS,
+        options=DetectorOptions(workers=_WORKERS, backplane="on"),
+    )
+    off_result, off_seconds = _run(
+        circuit, workers=_WORKERS,
+        options=DetectorOptions(workers=_WORKERS, backplane="off"),
+    )
+    records = serial.pair_records()
+    assert records == on_result.pair_records(), (
+        "backplane=on changed a pair record"
+    )
+    assert records == off_result.pair_records(), (
+        "backplane=off changed a pair record"
+    )
+    summary = on_result.backplane
+    assert summary is not None, "workers>1 backplane=on published nothing"
+    assert off_result.backplane is None, "backplane=off still published"
+    assert summary["attached"] == summary["workers"], summary
+    # Attach replaces rebuild: a worker that reaches for the on-disk
+    # store during prepare would count a miss here.
+    assert summary["worker_store_misses"] == 0, summary
+
+    section = {
+        "circuit": _CACHE_PROBE,
+        "workers": summary["workers"],
+        "kinds": summary["kinds"],
+        "bytes": summary["bytes"],
+        "attached": summary["attached"],
+        "worker_spawn_seconds": summary["spawn_seconds_max"],
+        "worker_rss_max_kb": summary["worker_rss_max_kb"],
+        "worker_store_misses": summary["worker_store_misses"],
+        "parallel_seconds_on": round(on_seconds, 6),
+        "parallel_seconds_off": round(off_seconds, 6),
+    }
+    try:
+        report = json.loads(_RESULT_PATH.read_text())
+    except (OSError, ValueError):
+        report = {}
+    report["backplane"] = section
+    _RESULT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    record_report(
+        f"Backplane ({_CACHE_PROBE}, workers={summary['workers']}): "
+        f"{len(summary['kinds'])} artifacts / {summary['bytes']} bytes "
+        f"shared, {summary['attached']} attached, spawn "
+        f"{summary['spawn_seconds_max'] * 1e3:.1f}ms, worker RSS "
+        f"{summary['worker_rss_max_kb'] / 1024:.0f} MB, "
+        f"{summary['worker_store_misses']} store misses; wall "
+        f"on {on_seconds:.2f}s / off {off_seconds:.2f}s"
     )
 
 

@@ -42,6 +42,13 @@ the incremental ECO path must not re-decide a larger share of the
 decide survivors than the baseline allows.  Both gates are skipped when
 the current report carries no cache section.
 
+The ``backplane`` section (shared-memory worker-pool probe) gates
+per-worker peak RSS as a growth ceiling (a worker falling back to
+private rebuilds is an N-times aggregate-memory regression), worker
+artifact-store misses as an exact count, and worker spawn seconds with
+generous headroom; all three apply regardless of hardware and are
+skipped when the current report carries no backplane section.
+
 Usage::
 
     python check_bench_regression.py BASELINE.json CURRENT.json [--tolerance 0.30]
@@ -116,6 +123,7 @@ def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
             )
     failures.extend(_check_scale(baseline, current, tolerance))
     failures.extend(_check_cache(baseline, current, tolerance))
+    failures.extend(_check_backplane(baseline, current, tolerance))
     return failures
 
 
@@ -178,6 +186,57 @@ def _check_cache(baseline: dict, current: dict, tolerance: float) -> list[str]:
                 f"cache ({base.get('circuit')}): eco_re_decide_fraction "
                 f"{measured:.4f} > ceiling {ceiling:.4f} "
                 f"(baseline {reference:.4f}, tolerance {tolerance:.0%})"
+            )
+    return failures
+
+
+def _check_backplane(
+    baseline: dict, current: dict, tolerance: float
+) -> list[str]:
+    """Shared-memory backplane gates: worker RSS, store misses, spawn.
+
+    ``worker_rss_max_kb`` is dominated by data-structure sizes, so like
+    the scale gate it is a growth ceiling regardless of hardware: a
+    worker that quietly went back to rebuilding its own private copies
+    would blow straight through it.  ``worker_store_misses`` is an exact
+    count gated at the baseline (attach must keep replacing rebuild).
+    ``worker_spawn_seconds`` is wall time in the milliseconds and
+    jittery, so its ceiling gets 3x headroom on top of the tolerance —
+    generous, but still catching a return to full per-worker rebuilds,
+    which cost orders of magnitude more."""
+    base = baseline.get("backplane") or {}
+    entry = current.get("backplane") or {}
+    if not entry:
+        return []  # backplane probe not regenerated in this run: no gate
+    failures = []
+    reference = base.get("worker_rss_max_kb")
+    measured = entry.get("worker_rss_max_kb")
+    if reference and measured is not None:
+        ceiling = reference * (1.0 + tolerance)
+        if measured > ceiling:
+            failures.append(
+                f"backplane ({base.get('circuit')}): worker_rss_max_kb "
+                f"{measured:,} > ceiling {ceiling:,.0f} (baseline "
+                f"{reference:,}, tolerance {tolerance:.0%})"
+            )
+    reference = base.get("worker_store_misses")
+    measured = entry.get("worker_store_misses")
+    if reference is not None and measured is not None:
+        if measured > reference:
+            failures.append(
+                f"backplane ({base.get('circuit')}): worker_store_misses "
+                f"{measured} > baseline {reference} (workers rebuilt "
+                f"artifacts the backplane should have shipped)"
+            )
+    reference = base.get("worker_spawn_seconds")
+    measured = entry.get("worker_spawn_seconds")
+    if reference and measured is not None:
+        ceiling = reference * (1.0 + tolerance) * 3.0
+        if measured > ceiling:
+            failures.append(
+                f"backplane ({base.get('circuit')}): worker_spawn_seconds "
+                f"{measured:.3f} > ceiling {ceiling:.3f} (baseline "
+                f"{reference:.3f}, 3x headroom over {tolerance:.0%})"
             )
     return failures
 

@@ -42,6 +42,11 @@ def peak_rss_bytes() -> int:
     return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss * 1024
 
 
+def children_peak_rss_bytes() -> int:
+    """Largest peak resident set among reaped worker processes, bytes."""
+    return resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss * 1024
+
+
 def arm_rss_ceiling(limit_mb: int) -> None:
     """Make allocations beyond ``limit_mb`` fail instead of swapping."""
     limit = limit_mb * 1024 * 1024
@@ -57,6 +62,10 @@ def main(argv: list[str] | None = None) -> int:
                         choices=("auto", "on", "off"),
                         help="packed decide-stage pre-pass mode")
     parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--backplane", default="auto",
+                        choices=("auto", "on", "off"),
+                        help="shared-memory artifact backplane for the "
+                             "worker pool (workers > 1 only)")
     parser.add_argument("--max-pairs-in-flight", type=int, default=8192)
     parser.add_argument("--rss-limit-mb", type=int, default=0,
                         help="hard address-space ceiling (0 = none)")
@@ -83,6 +92,7 @@ def main(argv: list[str] | None = None) -> int:
     options = DetectorOptions(
         streaming=args.streaming,
         workers=args.workers,
+        backplane=args.backplane,
         max_pairs_in_flight=args.max_pairs_in_flight,
         packed_implication=args.packed_implication,
         cache_dir=args.cache_dir,
@@ -134,6 +144,21 @@ def main(argv: list[str] | None = None) -> int:
         "peak_rss_bytes": peak_rss_bytes(),
         "rss_limit_mb": args.rss_limit_mb,
     }
+    if args.workers > 1:
+        # ru_maxrss(RUSAGE_CHILDREN) is the largest peak among reaped
+        # workers; parent + workers * that bounds the aggregate fleet
+        # footprint from above (shared backplane pages are counted once
+        # per process that touched them, so this is conservative).
+        child_peak = children_peak_rss_bytes()
+        report["children_peak_rss_bytes"] = child_peak
+        report["aggregate_peak_rss_bytes"] = (
+            report["peak_rss_bytes"] + args.workers * child_peak
+        )
+    if result.backplane is not None:
+        report["backplane"] = result.backplane
+        report["worker_spawn_seconds"] = result.backplane[
+            "spawn_seconds_max"
+        ]
     if result.cache is not None:
         report["cache"] = result.cache
     if queue_summary is not None:

@@ -15,10 +15,19 @@ Peak RSS is stable across same-arch machines (it is dominated by data
 structure sizes, not clock speed), which is why — unlike the throughput
 gates — the RSS gate applies regardless of ``cpu_count``.
 
+A second child repeats the run with a worker pool (``--workers``,
+default 2) attached to the shared-memory backplane; its *aggregate*
+peak RSS — parent plus every worker, as reported by the runner — must
+fit under the same ceiling, so an N-times fleet blow-up (workers
+rebuilding private artifact copies instead of attaching) fails the
+smoke even though each individual process would stay under its own
+``RLIMIT_AS``.
+
 Usage::
 
     python scale_smoke.py [--circuit syn20000] [--rss-limit-mb 1024]
         [--baseline ../BENCH_pipeline.json] [--tolerance 0.5]
+        [--workers 2]
 """
 
 from __future__ import annotations
@@ -56,6 +65,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--tolerance", type=float, default=0.5,
                         help="allowed fractional peak-RSS growth over the "
                              "baseline (default: 0.5)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="worker count for the aggregate-RSS probe "
+                             "(0 disables it; default: 2)")
     args = parser.parse_args(argv)
 
     command = [
@@ -100,6 +112,55 @@ def main(argv: list[str] | None = None) -> int:
         )
     else:
         print("no scale baseline recorded; hard-ceiling check only")
+
+    if args.workers > 1:
+        # Aggregate-RSS probe: same circuit with a worker pool attached
+        # to the shared-memory backplane.  Parent plus every worker must
+        # *together* fit under the single-process ceiling — the fleet
+        # footprint staying ~1x instead of N-times is exactly what the
+        # backplane buys.
+        command = [
+            sys.executable, str(_RUNNER), args.circuit,
+            "--streaming", "on", "--packed-implication", "on",
+            "--workers", str(args.workers), "--backplane", "on",
+            "--rss-limit-mb", str(args.rss_limit_mb),
+        ]
+        print("running:", " ".join(command))
+        proc = subprocess.run(command, capture_output=True, text=True)
+        if proc.returncode != 0:
+            print(proc.stdout)
+            print(proc.stderr, file=sys.stderr)
+            print(
+                f"SCALE SMOKE FAILED: {args.circuit} workers="
+                f"{args.workers} did not complete under the "
+                f"{args.rss_limit_mb} MB ceiling",
+                file=sys.stderr,
+            )
+            return 1
+        report = json.loads(proc.stdout)
+        aggregate = report.get(
+            "aggregate_peak_rss_bytes", report["peak_rss_bytes"]
+        )
+        aggregate_mb = aggregate / (1024 * 1024)
+        spawn = report.get("worker_spawn_seconds")
+        misses = (report.get("backplane") or {}).get("worker_store_misses")
+        print(
+            f"{report['circuit']} workers={args.workers}: aggregate peak "
+            f"RSS {aggregate_mb:.1f} MB (parent "
+            f"{report['peak_rss_bytes'] / (1024 * 1024):.1f} MB + "
+            f"{args.workers} workers), worker spawn "
+            f"{spawn if spawn is not None else '?'}s, "
+            f"{misses if misses is not None else '?'} worker store misses"
+        )
+        if aggregate > args.rss_limit_mb * 1024 * 1024:
+            print(
+                f"SCALE SMOKE FAILED: aggregate_peak_rss_bytes "
+                f"{aggregate:,} exceeds the {args.rss_limit_mb} MB "
+                f"ceiling — the worker fleet no longer shares the "
+                f"backplane pages",
+                file=sys.stderr,
+            )
+            return 1
     print("scale smoke: ok")
     return 0
 

@@ -79,6 +79,7 @@ from repro.circuit.csr import csr_arrays
 from repro.circuit.gates import GateType
 from repro.circuit.netlist import Circuit
 from repro.logic.simplan import (
+    SimPlan,
     TernaryScratch,
     _MuxBatch,
     _ReduceBatch,
@@ -127,7 +128,9 @@ class PackedPlan:
         self.circuit_version = circuit.version
         self.num_nodes = sim.num_nodes
         self.buffer_rows = sim.buffer_rows
-        self.sim = sim
+        # Only read during lowering; absent (None) on plans decoded from
+        # the flat-buffer layout, which carry the lowered records only.
+        self.sim: SimPlan | None = sim
         num_nodes = sim.num_nodes
         is_const = bytearray(sim.buffer_rows)
         for row in csr.const0 + csr.const1:
@@ -191,7 +194,9 @@ class PackedPlan:
 
 def packed_plan(circuit: Circuit) -> PackedPlan:
     """The circuit's packed implication plan (cached per netlist version)."""
-    return circuit.derived("packed-implication", PackedPlan)
+    return circuit.derived(
+        "packed-implication", PackedPlan, persist="packed-implication"
+    )
 
 
 class PackedImplicationEngine:

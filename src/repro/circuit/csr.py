@@ -131,4 +131,4 @@ def _build(circuit: Circuit) -> CsrArrays:
 
 def csr_arrays(circuit: Circuit) -> CsrArrays:
     """The circuit's shared :class:`CsrArrays` (built once per version)."""
-    return circuit.derived(_DERIVED_KEY, _build)
+    return circuit.derived(_DERIVED_KEY, _build, persist="csr-arrays")

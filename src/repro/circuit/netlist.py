@@ -281,6 +281,34 @@ class Circuit:
             cache[cache_key] = obj
         return cache[cache_key]  # type: ignore[return-value]
 
+    def adopt_derived(
+        self, key: str, obj: object, scope: str = "structure"
+    ) -> None:
+        """Install an externally-built derived structure under ``key``.
+
+        The zero-copy adoption path: a worker that attached shared
+        buffers (the store's mmap or the decision pool's shared-memory
+        backplane, see :mod:`repro.store.backplane`) registers the
+        decoded structure under the same key :meth:`derived` builds it
+        for, so every later ``derived(key, ...)`` call returns the
+        shared views instead of rebuilding a private copy.  The adopted
+        object must satisfy the same contract as a built one: read-only,
+        and consistent with the circuit's *current* version — adoption
+        is invalidated by mutation exactly like a built entry.
+        """
+        if scope not in ("structure", "names"):
+            raise ValueError(f"unknown derived scope {scope!r}")
+        ident = id(self)
+        entry = _DERIVED_CACHE.get(ident)
+        if entry is None or entry[0] != self._version:
+            entry = (self._version, {})
+            _DERIVED_CACHE[ident] = entry
+            weakref.finalize(self, _DERIVED_CACHE.pop, ident, None)
+        cache_key: str | tuple[str, int] = (
+            key if scope == "structure" else (key, self._meta_version)
+        )
+        entry[1][cache_key] = obj
+
     def structural_hash(self) -> str:
         """Order-invariant digest of the netlist structure and interface.
 

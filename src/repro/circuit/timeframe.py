@@ -135,8 +135,43 @@ def expand_cached(circuit: Circuit, frames: int = 2) -> TimeFrameExpansion:
         weakref.finalize(circuit, _EXPANSION_CACHE.pop, key, None)
     by_frames = entry[1]
     if frames not in by_frames:
-        by_frames[frames] = expand(circuit, frames)
+        by_frames[frames] = _expand_or_load(circuit, frames)
     return by_frames[frames]
+
+
+def _expand_or_load(circuit: Circuit, frames: int) -> TimeFrameExpansion:
+    """Expand, going through the artifact store when one is active.
+
+    Expansions are stored in the flat-buffer layout *detached* from the
+    sequential circuit (the store address already names it); a warm load
+    re-attaches in O(dffs) instead of re-running the O(frames · nodes)
+    unroll.  Names are part of the payload (``name@frame``), so the
+    address includes the name table.
+    """
+    from repro.store.runtime import active_store
+
+    store = active_store()
+    if store is None:
+        return expand(circuit, frames)
+    from repro.store.codecs import DetachedExpansion
+    from repro.store.flatbuf import FlatBufferError
+
+    address = store.address(
+        "expansion",
+        circuit.content_key(include_names=True),
+        f"frames{frames}",
+    )
+    cached = store.load("expansion", address)
+    if isinstance(cached, DetachedExpansion):
+        try:
+            attached = cached.attach(circuit)
+        except FlatBufferError:
+            attached = None  # address collision — rebuild below
+        if isinstance(attached, TimeFrameExpansion):
+            return attached
+    expansion = expand(circuit, frames)
+    store.save("expansion", address, expansion)
+    return expansion
 
 
 def clear_expansion_cache() -> None:

@@ -14,6 +14,7 @@ table1 / table2 / table3
 generate DIR            write the synthetic benchmark suite as .bench files
 sta FILE                timing relaxation unlocked by multi-cycle pairs
 sdc FILE                emit SDC timing exceptions (multicycle/false path)
+cache stats|clear       inspect or clear the on-disk artifact store
 
 ``--cache-dir DIR`` (or ``REPRO_CACHE_DIR``) activates the on-disk
 artifact store: derived artifacts persist across runs and ``analyze
@@ -64,6 +65,7 @@ def _detector_options(args: argparse.Namespace) -> DetectorOptions:
         workers=args.workers,
         parallel_threshold=args.parallel_threshold,
         chunk_pairs=args.chunk_pairs,
+        backplane=getattr(args, "backplane", "auto"),
         hazard_check=getattr(args, "hazard_check", "off"),
         streaming=args.streaming,
         max_pairs_in_flight=args.max_pairs_in_flight,
@@ -145,6 +147,15 @@ def _add_detector_args(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--chunk-pairs", type=int, default=0,
                         help="pairs per chunk dispatched to the worker "
                              "pool (default: 0 = automatic)")
+    parser.add_argument("--backplane", default="auto",
+                        choices=("auto", "on", "off"),
+                        help="zero-copy shared-memory backplane for the "
+                             "worker pool: the parent publishes the "
+                             "2-frame expansion and derived numpy "
+                             "artifacts once and workers attach instead "
+                             "of rebuilding; verdicts and pair records "
+                             "are identical in every mode (default: "
+                             "auto = publish whenever workers spawn)")
     parser.add_argument("--streaming", default="auto",
                         choices=("auto", "on", "off"),
                         help="streaming launch-group execution: folds "
@@ -234,6 +245,14 @@ def cmd_analyze(args: argparse.Namespace) -> int:
         print(f"cache:              {cache['hits']} hits, "
               f"{cache['misses']} misses, {cache['stores']} stores, "
               f"{cache['evictions']} evicted, {cache['corrupt']} healed")
+    backplane = result.backplane
+    if backplane is not None:
+        print(f"backplane:          {len(backplane['kinds'])} artifacts, "
+              f"{backplane['bytes']} bytes shared, "
+              f"{backplane['attached']}/{backplane['workers']} workers "
+              f"attached, "
+              f"{backplane['worker_store_misses']} worker store misses, "
+              f"spawn {backplane['spawn_seconds_max']:.3f}s")
     incremental = result.incremental
     if incremental is not None:
         print(f"incremental:        {incremental['survivors']} survivors, "
@@ -523,6 +542,38 @@ def cmd_sdc(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or clear the on-disk artifact store.
+
+    ``cache stats`` prints per-kind entry counts and byte usage plus the
+    store's lifetime layout; ``cache clear`` removes every entry.  The
+    directory comes from ``--cache-dir`` or ``REPRO_CACHE_DIR``.
+    """
+    from repro.store.artifact_store import ArtifactStore
+    from repro.store.runtime import resolve_cache_dir
+
+    cache_dir = resolve_cache_dir(args.cache_dir)
+    if cache_dir is None:
+        print("error: cache needs --cache-dir or REPRO_CACHE_DIR",
+              file=sys.stderr)
+        return 2
+    store = ArtifactStore(cache_dir, max_bytes=args.cache_max_bytes)
+    if args.action == "clear":
+        removed, freed = store.clear()
+        print(f"{cache_dir}: removed {removed} entries, freed {freed} bytes")
+        return 0
+    usage = store.usage()
+    total_entries = sum(row["entries"] for row in usage.values())
+    total_bytes = sum(row["bytes"] for row in usage.values())
+    print(f"{cache_dir}: {total_entries} entries, {total_bytes} bytes "
+          f"(bound {store.max_bytes})")
+    for kind in sorted(usage):
+        row = usage[kind]
+        print(f"  {kind:18s} {row['entries']:6d} entries "
+              f"{row['bytes']:12d} bytes")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -628,6 +679,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("golden", help="reference .bench netlist")
     p.add_argument("revised", help="netlist to compare against the reference")
     p.set_defaults(func=cmd_equiv)
+
+    p = sub.add_parser("cache", help="inspect or clear the on-disk "
+                                     "artifact store")
+    p.add_argument("action", choices=("stats", "clear"),
+                   help="stats = per-kind entry/byte usage; clear = "
+                        "remove every entry")
+    p.add_argument("--cache-dir", metavar="DIR", default=None,
+                   help="store directory (default: $REPRO_CACHE_DIR)")
+    p.add_argument("--cache-max-bytes", type=int, default=1 << 30,
+                   help="size bound used when touching the store "
+                        "(default: 1 GiB)")
+    p.set_defaults(func=cmd_cache)
 
     p = sub.add_parser("stats", help="structural statistics of a netlist")
     p.add_argument("file", help=".bench or .v netlist")

@@ -100,6 +100,14 @@ class DetectorOptions:
     packed_implication: str = "auto"
     #: worker processes for the decision stage (1 = in-process serial).
     workers: int = 1
+    #: zero-copy shared-memory backplane for parallel decision workers:
+    #: "auto"/"on" publish the expansion, CSR views, SimPlan, packed plan
+    #: and implication DB once into ``multiprocessing.shared_memory`` so
+    #: workers attach instead of rebuilding; "off" ships pickled
+    #: arguments as before.  Verdicts and pair records are byte-identical
+    #: in every mode; publishing is best-effort (a failure falls back to
+    #: the pickled path).
+    backplane: str = "auto"
     #: simulation evaluator: "compiled" (levelized batched plan, default)
     #: or "python" (the reference per-node loop).  Both are bit-identical.
     sim_plan: str = "compiled"
@@ -201,6 +209,7 @@ class AnalysisContext:
         decider: PairDecider,
         expansion: TimeFrameExpansion,
         shared=None,
+        publish=None,
     ) -> WorkStealingPool:
         """The run's persistent worker pool, created on first use.
 
@@ -209,6 +218,13 @@ class AnalysisContext:
         parent-computed static-learning table) ships with them.
         Subsequent work units only carry pair lists.  Asking for a
         different decider/expansion/worker count replaces the pool.
+
+        ``publish`` is the backplane hook: a zero-arg callable returning
+        ``(backplane, worker_expansion, worker_shared)``, invoked only
+        when a new pool is actually spawned (reusing a pool must not
+        publish — and leak — another shared-memory block).  When it
+        returns a backplane, workers receive its handle and attach
+        instead of deserializing the pickled expansion/shared payloads.
         """
         workers = max(1, self.options.workers)
         key = (
@@ -222,9 +238,13 @@ class AnalysisContext:
             self._pool.shutdown()
             self._pool = None
         if self._pool is None:
+            backplane = None
+            worker_expansion, worker_shared = expansion, shared
+            if publish is not None:
+                backplane, worker_expansion, worker_shared = publish()
             self._pool = WorkStealingPool(
-                self.circuit, self.options, decider, expansion, workers, key,
-                shared=shared,
+                self.circuit, self.options, decider, worker_expansion,
+                workers, key, shared=worker_shared, backplane=backplane,
             )
         return self._pool
 
@@ -266,6 +286,8 @@ class PipelineState:
     hazard_flagged_pairs: list[FFPair] = field(default_factory=list)
     #: incremental re-analysis stats (set by the incremental stage only).
     incremental: dict[str, int] | None = None
+    #: shared-memory backplane summary (None when none was published).
+    backplane: dict | None = None
 
 
 class PipelineStage(Protocol):
@@ -464,6 +486,79 @@ def merge_session_stats(
     return total
 
 
+def publish_backplane(ctx: AnalysisContext, expansion: TimeFrameExpansion,
+                      shared) -> tuple:
+    """Publish the decide-stage artifacts into shared memory (best-effort).
+
+    Returns ``(backplane, worker_expansion, worker_shared)`` for the
+    pool spawn: with a successful publish the expansion travels in the
+    block (workers get ``None`` and attach), and an
+    :class:`~repro.analysis.implication_db.ImplicationDB` shared table
+    rides along the same way; anything else — mode "off", a non-DB
+    shared payload, or a publish failure — keeps the pickled path.
+    """
+    options = ctx.options
+    mode = getattr(options, "backplane", "auto")
+    if mode not in ("auto", "on", "off"):
+        raise ValueError(f"unknown backplane mode {mode!r}")
+    if mode == "off":
+        return None, expansion, shared
+    try:
+        from repro.analysis.implication_db import ImplicationDB
+        from repro.atpg.packed_implication import packed_plan
+        from repro.circuit.csr import csr_arrays
+        from repro.core.session import PACKED_AUTO_MIN_NODES
+        from repro.logic.simplan import compiled_plan
+        from repro.store.backplane import publish
+
+        comb = expansion.comb
+        artifacts = [
+            ("expansion", expansion),
+            ("csr-arrays", csr_arrays(comb)),
+            ("simplan", compiled_plan(comb)),
+        ]
+        packed = options.packed_implication
+        if packed == "on" or (
+            packed == "auto" and comb.num_nodes >= PACKED_AUTO_MIN_NODES
+        ):
+            artifacts.append(("packed-implication", packed_plan(comb)))
+        worker_shared = shared
+        if isinstance(shared, ImplicationDB):
+            artifacts.append(("implication-db", shared))
+            worker_shared = None
+        return publish(artifacts), None, worker_shared
+    except Exception:
+        # Publishing is an optimization only: exhausted /dev/shm or a
+        # codec error degrades to pickled shipping, never to a failure.
+        return None, expansion, shared
+
+
+def backplane_summary(pool: WorkStealingPool) -> dict | None:
+    """Fold the workers' prepare reports into the backplane trace block.
+
+    ``None`` when no backplane was published (mode "off", publish
+    failure, or a serial run).  Must run before the pool shuts down.
+    """
+    if pool.backplane is None:
+        return None
+    ready = pool.wait_ready()
+    return {
+        "kinds": list(pool.backplane.kinds),
+        "bytes": pool.backplane.nbytes,
+        "workers": pool.workers,
+        "ready": len(ready),
+        "attached": sum(1 for entry in ready if entry["adopted"]),
+        "spawn_seconds_max": round(
+            max((entry["seconds"] for entry in ready), default=0.0), 6
+        ),
+        "worker_store_hits": sum(e["store_hits"] for e in ready),
+        "worker_store_misses": sum(e["store_misses"] for e in ready),
+        "worker_rss_max_kb": max(
+            (entry["rss_kb"] for entry in ready), default=0
+        ),
+    }
+
+
 class DecisionStage:
     """Steps 3+4: settle every surviving pair with a decision engine.
 
@@ -508,9 +603,10 @@ class DecisionStage:
                 threshold=threshold,
             )
         if go_parallel:
-            decided, learned, disagreements, session = self._run_parallel(
-                ctx, decider, pairs, workers
+            decided, learned, disagreements, session, backplane = (
+                self._run_parallel(ctx, decider, pairs, workers)
             )
+            state.backplane = backplane
         else:
             decider.prepare(ctx)
             group_fn = getattr(decider, "decide_group", None)
@@ -590,7 +686,10 @@ class DecisionStage:
             from repro.atpg.learning import count_learned
 
             learned = count_learned(shared)
-        pool = ctx.decision_pool(decider, expansion, shared=shared)
+        pool = ctx.decision_pool(
+            decider, expansion, shared=shared,
+            publish=lambda: publish_backplane(ctx, expansion, shared),
+        )
         size = ctx.options.chunk_pairs or _auto_chunk_size(len(pairs), workers)
         units = launch_units(pairs, size, split=split_threshold(size))
         decided: list[tuple[PairResult, float]] = []
@@ -608,7 +707,10 @@ class DecisionStage:
             split=split_threshold(size),
             per_worker=pool.worker_summary(),
         )
-        return decided, learned, disagreements, session
+        backplane = backplane_summary(pool)
+        if backplane is not None:
+            ctx.emit("backplane", **backplane)
+        return decided, learned, disagreements, session, backplane
 
 
 class HazardStage:
@@ -747,6 +849,7 @@ class Pipeline:
             hazard_flagged_pairs=state.hazard_flagged_pairs,
             cache=cache_stats,
             incremental=state.incremental,
+            backplane=state.backplane,
         )
         ctx.emit(
             "run_end",

@@ -145,6 +145,11 @@ class DetectionResult:
     #: byte-identical to a fresh full run — the invariant the hypothesis
     #: differentials in ``tests/core/test_incremental.py`` enforce.
     incremental: dict[str, int] | None = None
+    #: shared-memory backplane summary for parallel decide runs (kinds
+    #: published, bytes, workers attached, per-worker store misses and
+    #: peak RSS); ``None`` when no backplane was published.
+    #: Observability only — excluded from :meth:`pair_records`.
+    backplane: dict | None = None
 
     @property
     def multi_cycle_pairs(self) -> list[PairResult]:

@@ -58,8 +58,10 @@ from repro.core.pipeline import (
     PipelineState,
     _auto_chunk_size,
     _emit_pair,
+    backplane_summary,
     merge_session_stats,
     packed_summary,
+    publish_backplane,
 )
 from repro.core.random_filter import random_filter_packed
 from repro.core.result import Classification, Disagreement, PairResult, Stage
@@ -405,7 +407,10 @@ class StreamingStage:
             from repro.atpg.learning import count_learned
 
             fold.learned = count_learned(shared)
-        pool = ctx.decision_pool(decider, expansion, shared=shared)
+        pool = ctx.decision_pool(
+            decider, expansion, shared=shared,
+            publish=lambda: publish_backplane(ctx, expansion, shared),
+        )
         size = options.chunk_pairs or _auto_chunk_size(survivor_count, workers)
         split = split_threshold(size)
         max_in_flight = max(size, options.max_pairs_in_flight)
@@ -472,6 +477,9 @@ class StreamingStage:
             max_pairs_in_flight=max_in_flight,
             per_worker=pool.worker_summary(),
         )
+        state.backplane = backplane_summary(pool)
+        if state.backplane is not None:
+            ctx.emit("backplane", **state.backplane)
 
     # ------------------------------------------------------------------
     # Hazard validation, folded per group.

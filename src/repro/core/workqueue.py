@@ -75,6 +75,21 @@ class _UnitFailure(NamedTuple):
     error: str
 
 
+class _WorkerReady(NamedTuple):
+    """One worker's prepare report, sent before its first unit result."""
+
+    worker: int
+    #: wall seconds from process entry to prepared decider.
+    seconds: float
+    #: backplane kinds the worker adopted (empty = rebuilt locally).
+    adopted: tuple[str, ...]
+    #: artifact-store hit/miss deltas during prepare (0/0 with no store).
+    store_hits: int
+    store_misses: int
+    #: the worker's ``ru_maxrss`` after prepare, in KiB.
+    rss_kb: int
+
+
 def split_threshold(size: int) -> int:
     """Pairs above which one launch group is sliced into several units."""
     return max(4 * max(1, size), MIN_SPLIT_PAIRS)
@@ -161,16 +176,40 @@ def _worker_main(
     decider: Any,
     expansion: Any,
     shared: Any,
+    backplane: Any = None,
 ) -> None:
     """Queue worker: prepare once, then pull units until the sentinel."""
     # Imported here, not at module top: the pipeline module imports this
     # one, and under the fork start method nothing else is needed before
     # the worker begins pulling.
     from repro.core.pipeline import AnalysisContext
+    from repro.store.runtime import active_store
 
+    prepare_started = time.perf_counter()
+    store = active_store()
+    store_before = store.stats() if store is not None else None
+    adopted: tuple[str, ...] = ()
+    attachment = None  # anchors the shared mapping for the process lifetime
     try:
         ctx = AnalysisContext(circuit, options)
-        ctx.adopt_expansion(expansion)
+        if backplane is not None:
+            # Attach instead of rebuild; any failure (stale handle, shm
+            # pressure, codec skew) falls back to the pickled arguments.
+            try:
+                from repro.store.backplane import AttachedBackplane
+
+                attachment = AttachedBackplane(backplane)
+                adopted_expansion = attachment.adopt(circuit)
+                if adopted_expansion is not None:
+                    expansion = adopted_expansion
+                if shared is None:
+                    shared = attachment.shared_learned
+                adopted = attachment.kinds
+            except Exception:
+                attachment = None
+                adopted = ()
+        if expansion is not None:
+            ctx.adopt_expansion(expansion)
         if shared is not None:
             adopt = getattr(decider, "adopt_shared", None)
             if adopt is not None:
@@ -179,6 +218,24 @@ def _worker_main(
     except Exception:
         results.put(_UnitFailure(worker_id, traceback.format_exc()))
         return
+    store_hits = store_misses = 0
+    if store is not None and store_before is not None:
+        store_hits = store.hits - store_before["hits"]
+        store_misses = store.misses - store_before["misses"]
+    try:
+        import resource
+
+        rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    except Exception:
+        rss_kb = 0
+    results.put(_WorkerReady(
+        worker_id,
+        time.perf_counter() - prepare_started,
+        adopted,
+        store_hits,
+        store_misses,
+        int(rss_kb),
+    ))
     while True:
         task = tasks.get()
         if task is None:
@@ -216,9 +273,16 @@ class WorkStealingPool:
         workers: int,
         key: tuple,
         shared: Any = None,
+        backplane: Any = None,
     ) -> None:
         self.key = key
         self.workers = workers
+        #: parent-owned shared-memory backplane (unlinked at shutdown).
+        self.backplane = backplane
+        #: per-worker prepare reports (spawn seconds, adoption, RSS).
+        self.ready_log: list[dict[str, Any]] = []
+        self._ready_seen = 0
+        self._stash: list[UnitResult] = []
         ctx = mp.get_context()
         # Buffered queues (feeder thread + unbounded deque), NOT
         # SimpleQueue: a SimpleQueue is a bare ~64 KiB pipe, and with
@@ -237,6 +301,7 @@ class WorkStealingPool:
                 args=(
                     wid, self._tasks, self._results, circuit,
                     replace(options, workers=1), decider, expansion, shared,
+                    backplane.handle if backplane is not None else None,
                 ),
                 daemon=True,
             )
@@ -255,9 +320,26 @@ class WorkStealingPool:
         self._tasks.put(WorkUnit(index, list(pairs)))
         self._pending += 1
 
+    def _record_ready(self, ready: _WorkerReady) -> None:
+        self._ready_seen += 1
+        self.ready_log.append({
+            "worker": ready.worker,
+            "seconds": round(ready.seconds, 6),
+            "adopted": list(ready.adopted),
+            "store_hits": ready.store_hits,
+            "store_misses": ready.store_misses,
+            "rss_kb": ready.rss_kb,
+        })
+
     def next_result(self) -> UnitResult:
         """Block for the next settled unit, in completion order."""
-        outcome = self._results.get()
+        if self._stash:
+            outcome: Any = self._stash.pop(0)
+        else:
+            outcome = self._results.get()
+            while isinstance(outcome, _WorkerReady):
+                self._record_ready(outcome)
+                outcome = self._results.get()
         if isinstance(outcome, _UnitFailure):
             self.shutdown()
             raise RuntimeError(
@@ -281,6 +363,37 @@ class WorkStealingPool:
             result = self.next_result()
             collected[result.index] = result
         return [collected[index] for index in range(len(units))]
+
+    def wait_ready(self, timeout: float = 30.0) -> list[dict[str, Any]]:
+        """Collect every worker's prepare report (best-effort, bounded).
+
+        Unit results arriving while waiting are stashed for the next
+        :meth:`next_result` call, so this is safe to call at any point;
+        callers normally do so after the units drained, when the only
+        outstanding messages are ready reports from idle workers.
+        """
+        import queue as queue_mod
+
+        deadline = time.monotonic() + timeout
+        while self._ready_seen < self.workers:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                break
+            try:
+                outcome = self._results.get(timeout=remaining)
+            except queue_mod.Empty:
+                break
+            if isinstance(outcome, _WorkerReady):
+                self._record_ready(outcome)
+            elif isinstance(outcome, _UnitFailure):
+                self.shutdown()
+                raise RuntimeError(
+                    f"decision worker {outcome.worker} failed:\n"
+                    f"{outcome.error}"
+                )
+            else:
+                self._stash.append(outcome)
+        return list(self.ready_log)
 
     def worker_summary(self) -> list[dict[str, int | float]]:
         """Per-worker totals over the run's unit log (for telemetry)."""
@@ -312,3 +425,6 @@ class WorkStealingPool:
         for queue in (self._tasks, self._results):
             queue.close()
             queue.cancel_join_thread()
+        if self.backplane is not None:
+            self.backplane.close_and_unlink()
+            self.backplane = None

@@ -31,19 +31,19 @@ def _entry_paths(store):
 
 class TestRoundtrip:
     def test_save_load(self, store):
-        store.save("simplan", "a" * 64, {"x": [1, 2, 3]})
-        assert store.load("simplan", "a" * 64) == {"x": [1, 2, 3]}
+        store.save("sweep-report", "a" * 64, {"x": [1, 2, 3]})
+        assert store.load("sweep-report", "a" * 64) == {"x": [1, 2, 3]}
         assert store.stats() == {
             "hits": 1, "misses": 0, "stores": 1, "evictions": 0, "corrupt": 0,
         }
 
     def test_missing_is_miss(self, store):
-        assert store.load("simplan", "b" * 64) is None
+        assert store.load("sweep-report", "b" * 64) is None
         assert store.misses == 1
 
     def test_kinds_are_disjoint(self, store):
-        store.save("simplan", "c" * 64, 1)
-        assert store.load("ff-reach", "c" * 64) is None
+        store.save("sweep-report", "c" * 64, 1)
+        assert store.load("lint-report", "c" * 64) is None
 
     def test_address_salts(self, store):
         plain = store.address("pair-records", "k" * 64)
@@ -55,35 +55,35 @@ class TestRoundtrip:
 
 class TestSelfHeal:
     def test_truncated_entry_heals(self, store):
-        store.save("simplan", "d" * 64, [1, 2, 3])
+        store.save("sweep-report", "d" * 64, [1, 2, 3])
         (path,) = _entry_paths(store)
         path.write_bytes(path.read_bytes()[:10])
-        assert store.load("simplan", "d" * 64) is None
+        assert store.load("sweep-report", "d" * 64) is None
         assert store.corrupt == 1
         assert not path.exists()
         # The caller rebuilds and republishes; the store recovers.
-        store.save("simplan", "d" * 64, [1, 2, 3])
-        assert store.load("simplan", "d" * 64) == [1, 2, 3]
+        store.save("sweep-report", "d" * 64, [1, 2, 3])
+        assert store.load("sweep-report", "d" * 64) == [1, 2, 3]
 
     def test_wrong_envelope_heals(self, store):
-        store.save("simplan", "e" * 64, 42)
+        store.save("sweep-report", "e" * 64, 42)
         (path,) = _entry_paths(store)
-        path.write_bytes(pickle.dumps({"kind": "simplan", "schema": 999,
+        path.write_bytes(pickle.dumps({"kind": "sweep-report", "schema": 999,
                                        "payload": 42}))
-        assert store.load("simplan", "e" * 64) is None
+        assert store.load("sweep-report", "e" * 64) is None
         assert store.corrupt == 1
 
     def test_schema_bump_invalidates(self, store, monkeypatch):
-        store.save("simplan", "f" * 64, 42)
+        store.save("sweep-report", "f" * 64, 42)
         from repro.store import artifact_store
 
         monkeypatch.setitem(
-            artifact_store.SCHEMA_VERSIONS, "simplan",
-            schema_version("simplan") + 1,
+            artifact_store.SCHEMA_VERSIONS, "sweep-report",
+            schema_version("sweep-report") + 1,
         )
         # The new schema looks for a different file name: clean miss, no
         # corruption — old entries are simply invisible.
-        assert store.load("simplan", "f" * 64) is None
+        assert store.load("sweep-report", "f" * 64) is None
         assert store.corrupt == 0
 
 
@@ -92,20 +92,89 @@ class TestEviction:
         payload = b"x" * 4096
         store = ArtifactStore(tmp_path / "s", max_bytes=3 * 5000)
         for index in range(3):
-            store.save("simplan", f"{index:064d}", payload)
+            store.save("sweep-report", f"{index:064d}", payload)
             os.utime(
                 _entry_paths(store)[-1],
                 (time.time() + index, time.time() + index),
             )
-        store.save("simplan", "9" * 64, payload)  # pushes over the bound
+        store.save("sweep-report", "9" * 64, payload)  # pushes over the bound
         survivors = {p.name for p in _entry_paths(store)}
         assert store.evictions >= 1
-        assert f"{0:064d}-v{schema_version('simplan')}.pkl" not in survivors
+        assert f"{0:064d}-v{schema_version('sweep-report')}.pkl" not in survivors
 
     def test_total_bytes(self, store):
         assert store.total_bytes() == 0
-        store.save("simplan", "a" * 64, list(range(100)))
+        store.save("sweep-report", "a" * 64, list(range(100)))
         assert store.total_bytes() > 0
+
+
+class TestPinning:
+    """Flat entries stay on disk while a live run has them mapped."""
+
+    def _flat_paths(self, store):
+        return sorted(store.root.rglob("*.rfb"))
+
+    def test_mapped_entry_survives_eviction(self, tmp_path):
+        import gc
+
+        from repro.circuit.library import fig1_circuit
+
+        store = ArtifactStore(tmp_path / "s")
+        plan = compiled_plan(fig1_circuit())
+        store.save("simplan", "a" * 64, plan)
+        (flat_path,) = self._flat_paths(store)
+
+        loaded = store.load("simplan", "a" * 64)
+        assert loaded is not None
+        assert store._pinned  # mapped: pinned against eviction
+
+        # Evict everything: the mapped entry must be skipped, even
+        # though it is the only candidate over the (zero) bound.
+        store.max_bytes = 0
+        store.save("sweep-report", "b" * 64, [1, 2, 3])
+        assert flat_path.exists(), "evicted a file a live run has mapped"
+
+        # Once the last decoded view dies, the pin is released and the
+        # next eviction pass may reclaim the file.
+        del loaded
+        gc.collect()
+        assert not store._pinned
+        store.save("sweep-report", "c" * 64, [4, 5, 6])
+        assert not flat_path.exists()
+
+    def test_clear_ignores_pins(self, tmp_path):
+        """clear() is an explicit action: mapped readers keep their views
+        (the mapping survives the unlink), the directory empties."""
+        from repro.circuit.library import fig1_circuit
+
+        store = ArtifactStore(tmp_path / "s")
+        store.save("simplan", "a" * 64, compiled_plan(fig1_circuit()))
+        loaded = store.load("simplan", "a" * 64)
+        removed, freed = store.clear()
+        assert removed == 1 and freed > 0
+        assert not self._flat_paths(store)
+        assert loaded.num_nodes > 0  # views still readable after unlink
+
+
+class TestUsageAndClear:
+    def test_usage_groups_by_kind(self, store):
+        assert store.usage() == {}
+        store.save("sweep-report", "a" * 64, [1])
+        store.save("sweep-report", "b" * 64, [2])
+        store.save("lint-report", "c" * 64, [3])
+        usage = store.usage()
+        assert usage["sweep-report"]["entries"] == 2
+        assert usage["lint-report"]["entries"] == 1
+        assert all(row["bytes"] > 0 for row in usage.values())
+
+    def test_clear_removes_everything(self, store):
+        store.save("sweep-report", "a" * 64, [1])
+        store.save("lint-report", "b" * 64, [2])
+        total = store.total_bytes()
+        assert store.clear() == (2, total)
+        assert store.total_bytes() == 0
+        assert store.usage() == {}
+        assert store.clear() == (0, 0)
 
 
 class TestRuntime:
@@ -170,14 +239,14 @@ class TestDerivedIntegration:
 def _writer(root, address, value, rounds):
     store = ArtifactStore(root)
     for _ in range(rounds):
-        store.save("simplan", address, value)
+        store.save("sweep-report", address, value)
 
 
 def _reader(root, address, rounds, failures):
     store = ArtifactStore(root)
     seen = 0
     for _ in range(rounds):
-        payload = store.load("simplan", address)
+        payload = store.load("sweep-report", address)
         if payload is not None:
             seen += 1
             if payload != list(range(200)):

@@ -294,3 +294,61 @@ def test_sdc_command_writes_files(fig1_file, tmp_path, capsys):
     payload = json.loads(js.read_text())
     assert payload["circuit"] == "fig1"
     assert any(not c["safe"] for c in payload["constraints"])
+
+
+def test_cache_stats_and_clear(fig1_file, tmp_path, capsys):
+    from repro.store import deactivate_store
+
+    cache = str(tmp_path / "cache")
+    assert main(["analyze", fig1_file, "--cache-dir", cache]) == 0
+    deactivate_store()
+    capsys.readouterr()
+
+    assert main(["cache", "stats", "--cache-dir", cache]) == 0
+    out = capsys.readouterr().out
+    assert "entries" in out and "bytes" in out
+    assert "simplan" in out  # flat-buffer kinds are listed per kind
+
+    assert main(["cache", "clear", "--cache-dir", cache]) == 0
+    out = capsys.readouterr().out
+    assert "removed" in out and "freed" in out
+
+    assert main(["cache", "stats", "--cache-dir", cache]) == 0
+    assert "0 entries, 0 bytes" in capsys.readouterr().out
+
+
+def test_cache_resolves_env_dir(fig1_file, tmp_path, capsys, monkeypatch):
+    from repro.store import deactivate_store
+
+    cache = str(tmp_path / "cache")
+    assert main(["analyze", fig1_file, "--cache-dir", cache]) == 0
+    deactivate_store()
+    capsys.readouterr()
+    monkeypatch.setenv("REPRO_CACHE_DIR", cache)
+    assert main(["cache", "stats"]) == 0
+    assert cache in capsys.readouterr().out
+
+
+def test_cache_without_dir_errors(capsys, monkeypatch):
+    monkeypatch.delenv("REPRO_CACHE_DIR", raising=False)
+    assert main(["cache", "stats"]) == 2
+    assert "REPRO_CACHE_DIR" in capsys.readouterr().err
+
+
+def test_analyze_backplane_summary_line(fig1_file, capsys):
+    assert main([
+        "analyze", fig1_file, "--workers", "2", "--parallel-threshold", "2",
+        "--backplane", "on",
+    ]) == 0
+    out = capsys.readouterr().out
+    assert "backplane:" in out
+    assert "2/2 workers attached" in out
+    assert "0 worker store misses" in out
+
+
+def test_analyze_backplane_off_no_line(fig1_file, capsys):
+    assert main([
+        "analyze", fig1_file, "--workers", "2", "--parallel-threshold", "2",
+        "--backplane", "off",
+    ]) == 0
+    assert "backplane:" not in capsys.readouterr().out

@@ -38,6 +38,13 @@ Two measurements per circuit of the selected suite profile, recorded to
   the packed bit-parallel verdict sweep against the scalar per-case dict
   evaluation over the *same* precomputed witness lanes, so the ratio
   isolates the evaluation kernels.
+* **Exact hazard stage**: the SAT-backed three-way classifier over the
+  same detected multi-cycle pairs — ``hazard_disagreement`` counts
+  pairs where the sensitization/co-sensitization bounds disagreed and
+  ``exact_resolution_fraction`` the share the dual-rail SAT encoding
+  settled to a definite safe / glitch-proven verdict.  The fraction is
+  a pure completeness property (no timing in it), so the regression
+  gate requires exactly 1.0 on every suite circuit.
 * **Topology stage**: the packed-bitset reachability pass (cold reach
   build + pair extraction, warm CSR — the CSR is shared with the
   decision engines) against the per-sink set-BFS reference
@@ -417,6 +424,31 @@ def _sustained_hazard(circuit, detection) -> dict[str, float | int]:
     }
 
 
+def _exact_hazard_metrics(circuit, detection) -> dict[str, float | int]:
+    """Exact SAT-backed hazard classification over the detected MC pairs.
+
+    ``hazard_disagreement`` counts pairs where the sensitization and
+    co-sensitization bounds disagreed; ``exact_resolution_fraction`` is
+    the share of those the SAT stage settled to a definite verdict
+    (``1.0`` means no pair was left ``glitch-possible`` — a pure
+    completeness property of the encoding, so the CI gate requires it
+    exactly on every suite circuit regardless of hardware)."""
+    from repro.analysis.hazard_exact import ExactHazardChecker
+
+    checker = ExactHazardChecker(circuit)
+    checker.check_pairs(detection.multi_cycle_pairs)
+    summary = checker.summary()
+    return {
+        "hazard_disagreement": summary["disagreement"],
+        "exact_resolved": summary["resolved"],
+        "exact_resolution_fraction": summary["resolution_fraction"],
+        "exact_safe": summary["safe"],
+        "exact_glitch_proven": summary["glitch_proven"],
+        "exact_glitch_possible": summary["glitch_possible"],
+        "exact_sat_solves": summary["sat_solves"],
+    }
+
+
 def _topology_metrics(circuit, repeats: int = 5) -> dict[str, float | bool]:
     """Shipping topology pass (cold reach build + extraction) vs set BFS.
 
@@ -495,7 +527,8 @@ def test_pipeline_report(bench_circuits):
         f"{'circuit':>10}  {'pairs':>6}  {'serial(s)':>10}  "
         f"{'workers=' + str(_WORKERS) + '(s)':>14}  {'speedup':>8}  "
         f"{'Mpat/s':>8}  {'simx':>6}  {'dec p/s':>8}  {'decx':>6}  "
-        f"{'pdecx':>6}  {'hazx':>6}  {'impl db/base':>12}  {'db build':>9}",
+        f"{'pdecx':>6}  {'hazx':>6}  {'exres':>9}  {'impl db/base':>12}  "
+        f"{'db build':>9}",
     ]
     for circuit in bench_circuits:
         _run(circuit, workers=1)  # warmup (plan + expansion caches)
@@ -537,6 +570,7 @@ def test_pipeline_report(bench_circuits):
 
         packed_decide = _sustained_packed_decision(circuit)
         hazard = _sustained_hazard(circuit, serial)
+        exact_hazard = _exact_hazard_metrics(circuit, serial)
         topology = _topology_metrics(circuit)
         implication = _implication_metrics(circuit, serial)
 
@@ -558,6 +592,7 @@ def test_pipeline_report(bench_circuits):
                 "decision_speedup": round(decision_speedup, 3),
                 **packed_decide,
                 **hazard,
+                **exact_hazard,
                 **topology,
                 **implication,
             }
@@ -569,6 +604,9 @@ def test_pipeline_report(bench_circuits):
             f"{dps:>8.0f}  {decision_speedup:>6.2f}  "
             f"{packed_decide['decide_speedup']:>6.1f}  "
             f"{hazard['hazard_speedup']:>6.1f}  "
+            f"{exact_hazard['exact_resolved']:>3}/"
+            f"{exact_hazard['hazard_disagreement']:<3}"
+            f"{exact_hazard['exact_resolution_fraction']:>5.2f}  "
             f"{implication['implication_proved_db']:>5}/"
             f"{implication['implication_proved']:<5} "
             f"{implication['db_build_seconds'] * 1e3:>7.1f}ms"
@@ -577,6 +615,15 @@ def test_pipeline_report(bench_circuits):
         # shard (auto-serial) — never pay dispatch overhead for a loss.
         assert speedup >= 0.8 or auto_serial, (
             f"parallel executor lost without auto-serial on {circuit.name}"
+        )
+        # Acceptance: the exact SAT stage must settle every pair the
+        # sensitization bounds disagreed on — a glitch-possible leftover
+        # means lost completeness, not a hard circuit.
+        assert exact_hazard["exact_resolution_fraction"] == 1.0, (
+            f"exact hazard stage left "
+            f"{exact_hazard['exact_glitch_possible']} of "
+            f"{exact_hazard['hazard_disagreement']} disagreements "
+            f"unresolved on {circuit.name}"
         )
     # Acceptance: on the largest circuit with surviving pairs the packed
     # implication closure must beat the scalar per-case kernel at least 4x.

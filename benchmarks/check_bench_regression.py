@@ -28,6 +28,12 @@ as the recorded baseline.
 The fixed-size ``topology_probe`` (bitset reachability vs set BFS, both
 measured back to back) is gated in both cases via its speedup ratio.
 
+``exact_resolution_fraction`` — the share of sensitization-bound
+disagreements the exact SAT hazard stage settled — is a completeness
+property with no timing in it, so it is gated absolutely: any suite
+circuit reporting less than 1.0 fails regardless of hardware or
+baseline.
+
 The ``scale`` section (streaming-scale ladder, fresh process per rung)
 gates ``peak_rss_bytes`` the other way around: peak memory is dominated
 by data-structure sizes, not clock speed, so regardless of hardware the
@@ -121,9 +127,35 @@ def check(baseline: dict, current: dict, tolerance: float) -> list[str]:
                 f"topology_speedup {measured:.2f} < floor {floor:.2f} "
                 f"(baseline {reference:.2f}, tolerance {tolerance:.0%})"
             )
+    failures.extend(_check_exact_hazard(current))
     failures.extend(_check_scale(baseline, current, tolerance))
     failures.extend(_check_cache(baseline, current, tolerance))
     failures.extend(_check_backplane(baseline, current, tolerance))
+    return failures
+
+
+def _check_exact_hazard(current: dict) -> list[str]:
+    """Exact-hazard completeness gate (hardware-independent, no tolerance).
+
+    ``exact_resolution_fraction`` is the share of bound disagreements
+    the SAT stage settled to a definite verdict.  It carries no timing
+    component — anything below 1.0 means the encoding or its budgets
+    lost completeness on a suite circuit, so the gate is absolute and
+    ignores the baseline entirely.  Reports that predate the metric
+    are not gated."""
+    failures = []
+    for entry in current.get("results", []):
+        fraction = entry.get("exact_resolution_fraction")
+        if fraction is None:
+            continue
+        if fraction != 1.0:
+            failures.append(
+                f"{entry['circuit']}: exact_resolution_fraction "
+                f"{fraction:.4f} != 1.0 "
+                f"({entry.get('hazard_disagreement', '?')} disagreements, "
+                f"{entry.get('exact_resolved', '?')} resolved — the exact "
+                f"hazard stage must settle every pair the bounds disagree on)"
+            )
     return failures
 
 

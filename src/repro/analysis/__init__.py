@@ -11,6 +11,10 @@ and cache their results through ``Circuit.derived``:
 * :func:`implication_db` / :func:`build_implication_db` — the compiled
   global implication database consumed by the ATPG deciders.
 
+A fourth, per-detection pass lives here too:
+:class:`ExactHazardChecker` — the SAT-backed exact three-way hazard
+classification behind ``--hazard-check exact`` (see ``docs/hazards.md``).
+
 See ``docs/architecture.md`` ("The analysis layer") for pass ordering and
 the annotate-vs-simplify contract.
 """
@@ -21,6 +25,7 @@ from repro.analysis.diagnostics import (
     LintReport,
     Severity,
 )
+from repro.analysis.hazard_exact import ExactHazardChecker, verdict_flags_pair
 from repro.analysis.implication_db import (
     ImplicationDB,
     build_implication_db,
@@ -31,6 +36,7 @@ from repro.analysis.sweep import SweepReport, simplified, sweep
 
 __all__ = [
     "Diagnostic",
+    "ExactHazardChecker",
     "ImplicationDB",
     "LINT_MODES",
     "LintError",
@@ -45,4 +51,5 @@ __all__ = [
     "lint_file",
     "simplified",
     "sweep",
+    "verdict_flags_pair",
 ]

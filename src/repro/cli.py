@@ -67,6 +67,10 @@ def _detector_options(args: argparse.Namespace) -> DetectorOptions:
         chunk_pairs=args.chunk_pairs,
         backplane=getattr(args, "backplane", "auto"),
         hazard_check=getattr(args, "hazard_check", "off"),
+        hazard_delays=getattr(args, "hazard_delays", None),
+        hazard_conflict_limit=getattr(
+            args, "hazard_conflict_limit", 100_000
+        ),
         streaming=args.streaming,
         max_pairs_in_flight=args.max_pairs_in_flight,
         cache_dir=getattr(args, "cache_dir", None),
@@ -169,13 +173,25 @@ def _add_detector_args(parser: argparse.ArgumentParser) -> None:
                              "(default: 8192)")
     parser.add_argument("--hazard-check", default="off",
                         choices=("off", "ternary", "sensitize",
-                                 "cosensitize"),
+                                 "cosensitize", "exact"),
                         help="validate detected multi-cycle pairs against "
                              "static hazards (Section 5): bit-parallel "
-                             "ternary simulation or a static "
-                             "(co-)sensitization path search; flagged "
-                             "pairs are reported, classifications are "
-                             "unchanged (default: off)")
+                             "ternary simulation, a static "
+                             "(co-)sensitization path search, or the "
+                             "SAT-backed exact three-way classification "
+                             "(safe / glitch-possible / glitch-proven); "
+                             "flagged pairs are reported, classifications "
+                             "are unchanged (default: off)")
+    parser.add_argument("--hazard-delays", metavar="FILE", default=None,
+                        help="exact mode only: per-gate min/max delay "
+                             "sidecar JSON; glitch-proven verdicts whose "
+                             "witness pulse cannot form under the given "
+                             "intervals are re-marked delay-safe")
+    parser.add_argument("--hazard-conflict-limit", type=int,
+                        default=100_000,
+                        help="exact mode only: SAT conflict budget per "
+                             "pair before the verdict degrades to "
+                             "glitch-possible (default: 100000)")
     parser.add_argument("--cache-dir", metavar="DIR", default=None,
                         help="content-addressed on-disk artifact store: "
                              "derived artifacts (simulation plans, reach "
@@ -263,6 +279,26 @@ def cmd_analyze(args: argparse.Namespace) -> int:
               f"{result.hazard_checked} checked, "
               f"{result.hazard_flagged} flagged, "
               f"{len(result.hazard_verified_pairs)} verified")
+        exact = result.hazard_exact
+        if exact is not None:
+            kinds = {"safe": 0, "glitch-possible": 0, "glitch-proven": 0}
+            delay_safe = 0
+            for verdict in result.hazard_verdicts:
+                kinds[verdict.verdict.value] += 1
+                if verdict.delay_safe:
+                    delay_safe += 1
+            line = (f"hazard verdicts:    {kinds['safe']} safe, "
+                    f"{kinds['glitch-possible']} glitch-possible, "
+                    f"{kinds['glitch-proven']} glitch-proven")
+            if delay_safe:
+                line += f" ({delay_safe} delay-safe)"
+            print(line)
+            print(f"hazard exact:       {exact['disagreement']} bound "
+                  f"disagreements, resolution fraction "
+                  f"{exact['resolution_fraction']:.2f}, "
+                  f"{exact['sat_solves']} SAT solves "
+                  f"({exact['sat']} sat / {exact['unsat']} unsat / "
+                  f"{exact['unknown']} unknown)")
         for pair in result.hazard_flagged_pairs:
             print(f"  hazard-flagged {circuit.names[pair.source]} -> "
                   f"{circuit.names[pair.sink]}")
@@ -361,6 +397,23 @@ def cmd_hazard(args: argparse.Namespace) -> int:
     print("classification (Section 5.2/5.3):")
     for key in (HazardClass.SAFE, HazardClass.DEPENDENT, HazardClass.HAZARDOUS):
         print(f"  {key:10s}: {len(classes[key])}")
+    from repro.analysis.hazard_exact import ExactHazardChecker
+
+    exact = ExactHazardChecker(circuit)
+    verdicts = exact.check_pairs(result.multi_cycle_pairs)
+    summary = exact.summary()
+    print("exact classification (SAT-backed):")
+    for kind in ("safe", "glitch-possible", "glitch-proven"):
+        hits = [v for v in verdicts if v.verdict.value == kind]
+        print(f"  {kind:15s}: {len(hits)}")
+        for verdict in hits:
+            if kind == "safe":
+                continue
+            print(f"    {circuit.names[verdict.pair.source]} -> "
+                  f"{circuit.names[verdict.pair.sink]} "
+                  f"(by {verdict.decided_by})")
+    print(f"  resolution fraction: {summary['resolution_fraction']:.2f} "
+          f"over {summary['disagreement']} bound disagreement(s)")
     return 0
 
 

@@ -45,6 +45,7 @@ memory follows the staged path for the re-decided subset only.
 from __future__ import annotations
 
 import hashlib
+from pathlib import Path
 
 from repro.circuit.netlist import Circuit
 from repro.circuit.structhash import (
@@ -61,12 +62,15 @@ from repro.core.pipeline import (
     RandomFilterStage,
     TopologyStage,
     _emit_pair,
+    load_gate_delays,
 )
 from repro.core.result import (
     CaseOutcome,
     CaseResult,
     Classification,
     DetectionResult,
+    HazardVerdictKind,
+    PairHazardVerdict,
     PairResult,
     Stage,
 )
@@ -120,6 +124,33 @@ def options_fingerprint(
     return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
 
 
+def hazard_fingerprint(options: DetectorOptions) -> str:
+    """Digest of every option that can influence a pair's hazard verdict.
+
+    Separate from :func:`options_fingerprint` on purpose: hazard
+    options never touch decide records (the byte-identity invariant),
+    so changing them must not invalidate decide inheritance — only the
+    per-pair hazard verdicts.  For ``exact`` mode the SAT conflict
+    budget and the delay sidecar's *content* are mixed in; a missing
+    sidecar file hashes as absent and fails later at load time.
+    """
+    parts = [
+        f"mode={options.hazard_check}",
+        f"backtrack={options.hazard_backtrack_limit}",
+    ]
+    if options.hazard_check == "exact":
+        parts.append(f"conflict={options.hazard_conflict_limit}")
+        if options.hazard_delays is not None:
+            sidecar = Path(options.hazard_delays)
+            digest = (
+                hashlib.sha256(sidecar.read_bytes()).hexdigest()
+                if sidecar.is_file()
+                else "absent"
+            )
+            parts.append(f"delays={digest}")
+    return hashlib.sha256("\x1f".join(parts).encode()).hexdigest()
+
+
 # ----------------------------------------------------------------------
 # Pair-record bundles.
 # ----------------------------------------------------------------------
@@ -142,9 +173,13 @@ def result_bundle(
     flagged = {
         (p.source, p.sink) for p in result.hazard_flagged_pairs
     }
+    verdicts = {
+        (v.pair.source, v.pair.sink): v for v in result.hazard_verdicts
+    }
     records: list[dict[str, object]] = []
     for pair_result in result.pair_results:
         pair = pair_result.pair
+        verdict = verdicts.get((pair.source, pair.sink))
         records.append({
             "source": names[pair.source],
             "sink": names[pair.sink],
@@ -164,6 +199,12 @@ def result_bundle(
                 for case in pair_result.cases
             ],
             "hazard_flagged": (pair.source, pair.sink) in flagged,
+            "hazard_verdict": (
+                verdict.verdict.value if verdict is not None else None
+            ),
+            "hazard_delay_safe": (
+                verdict.delay_safe if verdict is not None else None
+            ),
         })
     return {
         "circuit": circuit.name,
@@ -171,6 +212,7 @@ def result_bundle(
         "frames": frames,
         "fingerprint": options_fingerprint(options, circuit, frames),
         "hazard_mode": result.hazard_mode,
+        "hazard_fingerprint": hazard_fingerprint(options),
         "records": records,
     }
 
@@ -323,7 +365,7 @@ class IncrementalStage:
         fresh_results: list[PairResult],
         inherited: list[tuple[FFPair, dict[str, object]]],
     ) -> None:
-        """Hazard-check fresh MC pairs; inherit flags where mode matches."""
+        """Hazard-check fresh MC pairs; inherit verdicts where options match."""
         mode = ctx.options.hazard_check
         state.hazard_mode = mode
         if mode == "off":
@@ -337,30 +379,56 @@ class IncrementalStage:
             if r.classification is Classification.MULTI_CYCLE
         ]
         flagged: list[FFPair] = []
+        verdicts: list[PairHazardVerdict] = []
         checked = len(candidates)
-        if self.bundle.get("hazard_mode") == mode:
+        by_pair = {
+            (r.pair.source, r.pair.sink): r for r in state.results
+        }
+        if self.bundle.get("hazard_fingerprint") == hazard_fingerprint(
+            ctx.options
+        ):
             for pair, record in inherited:
                 if Classification(record["classification"]) is not (
                     Classification.MULTI_CYCLE
                 ):
                     continue
+                if mode == "exact":
+                    kind = record.get("hazard_verdict")
+                    if kind is None:
+                        # Pre-verdict bundle format: re-check the pair.
+                        candidates.append(by_pair[(pair.source, pair.sink)])
+                        checked += 1
+                        continue
+                    from repro.analysis.hazard_exact import (
+                        verdict_flags_pair,
+                    )
+
+                    verdict = PairHazardVerdict(
+                        pair,
+                        HazardVerdictKind(kind),
+                        "inherited",
+                        delay_safe=record.get("hazard_delay_safe"),  # type: ignore[arg-type]
+                    )
+                    verdicts.append(verdict)
+                    checked += 1
+                    if verdict_flags_pair(verdict):
+                        flagged.append(pair)
+                    continue
                 checked += 1
                 if record.get("hazard_flagged"):
                     flagged.append(pair)
         else:
-            # Prior run used a different (or no) hazard mode: its flags
-            # do not apply, so inherited MC pairs are re-checked.
-            by_pair = {
-                (r.pair.source, r.pair.sink): r for r in state.results
-            }
+            # Prior run used different hazard options (or none): its
+            # verdicts do not apply, so inherited MC pairs re-check.
             for pair, record in inherited:
                 if Classification(record["classification"]) is (
                     Classification.MULTI_CYCLE
                 ):
                     candidates.append(by_pair[(pair.source, pair.sink)])
-            checked = len(candidates)
+                    checked += 1
         started = ctx.clock()
         lanes = batches = 0
+        exact_checker = None
         if candidates:
             if mode == "ternary":
                 checker = TernaryHazardChecker(
@@ -380,6 +448,26 @@ class IncrementalStage:
                     expansion=ctx.expansion(2),
                 )
                 reports = [checker.check_pair(r) for r in candidates]
+            elif mode == "exact":
+                from repro.analysis.hazard_exact import (
+                    ExactHazardChecker,
+                    verdict_flags_pair,
+                )
+
+                exact_checker = ExactHazardChecker(
+                    ctx.circuit,
+                    ctx.expansion(2),
+                    backtrack_limit=ctx.options.hazard_backtrack_limit,
+                    conflict_limit=ctx.options.hazard_conflict_limit,
+                    delays=load_gate_delays(ctx.options, ctx.circuit),
+                )
+                fresh_verdicts = exact_checker.check_pairs(candidates)
+                verdicts.extend(fresh_verdicts)
+                flagged.extend(
+                    v.pair for v in fresh_verdicts
+                    if verdict_flags_pair(v)
+                )
+                reports = []
             else:
                 raise ValueError(f"unknown hazard_check mode {mode!r}")
             flagged.extend(
@@ -391,8 +479,7 @@ class IncrementalStage:
         state.hazard_flagged_pairs = flagged
         state.hazard_flagged = len(flagged)
         state.hazard_checked = checked
-        ctx.emit(
-            "hazard_stage",
+        event: dict = dict(
             mode=mode,
             checked=checked,
             flagged=len(flagged),
@@ -400,6 +487,18 @@ class IncrementalStage:
             batches=batches,
             seconds=round(ctx.clock() - started, 6),
         )
+        if mode == "exact":
+            state.hazard_verdicts = sorted(
+                verdicts, key=lambda v: (v.pair.source, v.pair.sink)
+            )
+            if exact_checker is not None:
+                state.hazard_exact = exact_checker.summary()
+            else:
+                from repro.analysis.hazard_exact import empty_exact_summary
+
+                state.hazard_exact = empty_exact_summary()
+            event["exact"] = state.hazard_exact
+        ctx.emit("hazard_stage", **event)
 
 
 def incremental_pipeline(

@@ -44,6 +44,7 @@ from repro.core.result import (
     Classification,
     DetectionResult,
     Disagreement,
+    PairHazardVerdict,
     PairResult,
     Stage,
     StageStats,
@@ -123,12 +124,21 @@ class DetectorOptions:
     chunk_pairs: int = 0
     #: hazard validation of detected multi-cycle pairs (Section 5):
     #: "off" (default), "ternary" (bit-parallel Eichelberger simulation),
-    #: "sensitize" or "cosensitize" (static path sensitization).  Pair
-    #: classifications and records are identical either way — the stage
-    #: only annotates the result with flagged pairs.
+    #: "sensitize" or "cosensitize" (static path sensitization), or
+    #: "exact" (both bounds plus a SAT decision of every disagreeing
+    #: pair — see ``docs/hazards.md``).  Pair classifications and records
+    #: are identical either way — the stage only annotates the result
+    #: with flagged pairs (and, for "exact", per-pair verdicts).
     hazard_check: str = "off"
     #: backtrack limit for the hazard stage's witness/path searches.
     hazard_backtrack_limit: int = 200
+    #: conflict limit per SAT solve of the exact hazard decision; hitting
+    #: it demotes the pair to the conservative "glitch-possible".
+    hazard_conflict_limit: int = 100_000
+    #: path of a per-gate min/max delay sidecar JSON (see
+    #: :mod:`repro.sta.delays`); with "exact" mode it re-filters
+    #: glitch-proven pairs to those whose pulse survives the delays.
+    hazard_delays: str | None = None
     #: streaming launch-group execution: "auto" (selected for circuits
     #: above :data:`repro.core.streaming.STREAMING_AUTO_DFFS` flip-flops),
     #: "on", or "off".  The streaming pipeline folds topology →
@@ -284,6 +294,9 @@ class PipelineState:
     hazard_checked: int = 0
     hazard_flagged: int = 0
     hazard_flagged_pairs: list[FFPair] = field(default_factory=list)
+    #: exact mode only: per-pair three-way verdicts and pass counters.
+    hazard_verdicts: list[PairHazardVerdict] = field(default_factory=list)
+    hazard_exact: dict[str, float | int] | None = None
     #: incremental re-analysis stats (set by the incremental stage only).
     incremental: dict[str, int] | None = None
     #: shared-memory backplane summary (None when none was published).
@@ -713,17 +726,31 @@ class DecisionStage:
         return decided, learned, disagreements, session, backplane
 
 
+def load_gate_delays(options: DetectorOptions, circuit: Circuit):
+    """Load the exact-mode delay sidecar named by the options, if any."""
+    if options.hazard_delays is None:
+        return None
+    from pathlib import Path
+
+    from repro.sta.delays import GateDelays
+
+    return GateDelays.load(Path(options.hazard_delays), circuit)
+
+
 class HazardStage:
     """Step 5 (optional): validate detected MC pairs against static hazards.
 
     Runs after the decision stage over the multi-cycle survivors only.
     ``options.hazard_check`` picks the condition: the bit-parallel ternary
-    (Eichelberger) simulation check or a static (co-)sensitization path
-    search; ``"off"`` makes the stage a no-op.  Classifications and
+    (Eichelberger) simulation check, a static (co-)sensitization path
+    search, or the exact SAT-backed three-way classification (both bounds
+    plus a CNF decision of every disagreeing pair — ``docs/hazards.md``);
+    ``"off"`` makes the stage a no-op.  Classifications and
     :meth:`~repro.core.result.DetectionResult.pair_records` are never
     modified — flagged pairs are reported through the result's hazard
     counters (a flagged pair should not be timing-relaxed even though its
-    settled-value MC condition holds).
+    settled-value MC condition holds), and exact mode additionally
+    records per-pair safe / glitch-possible / glitch-proven verdicts.
 
     The checkers run in-process on the context's cached 2-frame expansion
     — the same object the deciders used, so no re-expansion happens; the
@@ -755,6 +782,11 @@ class HazardStage:
             reports = checker.check_pairs(survivors)
             lanes = checker.lanes_evaluated
             batches = checker.batches_evaluated
+            flagged_pairs = [
+                report.pair_result.pair
+                for report in reports
+                if report.has_potential_hazard
+            ]
         elif mode in ("sensitize", "cosensitize"):
             checker = HazardChecker(
                 ctx.circuit,
@@ -763,20 +795,37 @@ class HazardStage:
                 expansion=ctx.expansion(2),
             )
             reports = [checker.check_pair(r) for r in survivors]
-        else:
-            raise ValueError(f"unknown hazard_check mode {mode!r}")
-        flagged = sorted(
-            (
+            flagged_pairs = [
                 report.pair_result.pair
                 for report in reports
                 if report.has_potential_hazard
-            ),
-            key=lambda p: (p.source, p.sink),
-        )
+            ]
+        elif mode == "exact":
+            from repro.analysis.hazard_exact import (
+                ExactHazardChecker,
+                verdict_flags_pair,
+            )
+
+            exact = ExactHazardChecker(
+                ctx.circuit,
+                ctx.expansion(2),
+                backtrack_limit=ctx.options.hazard_backtrack_limit,
+                conflict_limit=ctx.options.hazard_conflict_limit,
+                delays=load_gate_delays(ctx.options, ctx.circuit),
+            )
+            verdicts = exact.check_pairs(survivors)
+            verdicts.sort(key=lambda v: (v.pair.source, v.pair.sink))
+            state.hazard_verdicts = verdicts
+            state.hazard_exact = exact.summary()
+            flagged_pairs = [
+                v.pair for v in verdicts if verdict_flags_pair(v)
+            ]
+        else:
+            raise ValueError(f"unknown hazard_check mode {mode!r}")
+        flagged = sorted(flagged_pairs, key=lambda p: (p.source, p.sink))
         state.hazard_flagged_pairs = flagged
         state.hazard_flagged = len(flagged)
-        ctx.emit(
-            "hazard_stage",
+        event: dict = dict(
             mode=mode,
             checked=state.hazard_checked,
             flagged=state.hazard_flagged,
@@ -784,6 +833,9 @@ class HazardStage:
             batches=batches,
             seconds=round(ctx.clock() - started, 6),
         )
+        if state.hazard_exact is not None:
+            event["exact"] = state.hazard_exact
+        ctx.emit("hazard_stage", **event)
 
 
 class Pipeline:
@@ -847,6 +899,8 @@ class Pipeline:
             hazard_checked=state.hazard_checked,
             hazard_flagged=state.hazard_flagged,
             hazard_flagged_pairs=state.hazard_flagged_pairs,
+            hazard_verdicts=state.hazard_verdicts,
+            hazard_exact=state.hazard_exact,
             cache=cache_stats,
             incremental=state.incremental,
             backplane=state.backplane,

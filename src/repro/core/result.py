@@ -101,6 +101,36 @@ class Disagreement:
     secondary: Classification
 
 
+class HazardVerdictKind(Enum):
+    """Three-way exact hazard classification of one multi-cycle pair."""
+
+    #: no input assignment lets the source transition glitch the sink
+    SAFE = "safe"
+    #: a resource limit left the pair undecided; treated as flagged
+    GLITCH_POSSIBLE = "glitch-possible"
+    #: a concrete assignment (or a sensitizable path) proves the glitch
+    GLITCH_PROVEN = "glitch-proven"
+
+
+@dataclass
+class PairHazardVerdict:
+    """Exact hazard verdict for one pair (``--hazard-check exact``)."""
+
+    pair: FFPair
+    verdict: HazardVerdictKind
+    #: what settled the pair: ``cases`` (no satisfiable premise),
+    #: ``sensitize`` / ``cosensitize`` (a bound decided it), ``exact``
+    #: (the SAT decision) or ``inherited`` (incremental reuse).
+    decided_by: str
+    #: the ``(a, b)`` case exhibiting the proven glitch, if any
+    witness_case: tuple[int, int] | None = None
+    #: glitching input pattern by expanded-circuit node id (SAT-decided)
+    witness: dict[int, int] | None = None
+    #: delay-annotated runs only: True when the proven glitch cannot
+    #: survive the annotated min/max gate delays (zero-width pulse).
+    delay_safe: bool | None = None
+
+
 @dataclass
 class DetectionResult:
     """Everything the detector learned about one circuit."""
@@ -136,6 +166,13 @@ class DetectionResult:
     #: flagged (source, sink) pairs, sorted — observability only, the
     #: per-pair classifications and :meth:`pair_records` are unchanged.
     hazard_flagged_pairs: list[FFPair] = field(default_factory=list)
+    #: ``exact`` mode only: per-pair three-way verdicts, sorted by pair.
+    #: Observability only — excluded from :meth:`pair_records`.
+    hazard_verdicts: list[PairHazardVerdict] = field(default_factory=list)
+    #: ``exact`` mode only: counters of the exact pass (bounds
+    #: disagreement, resolution fraction, SAT solve outcomes, delay
+    #: filtering); ``None`` for every other hazard mode.
+    hazard_exact: dict[str, float | int] | None = None
     #: artifact-store counter deltas for this run (hits/misses/stores/
     #: evictions/corrupt); ``None`` when no on-disk store was active.
     #: Observability only — excluded from :meth:`pair_records`.

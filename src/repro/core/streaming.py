@@ -59,12 +59,19 @@ from repro.core.pipeline import (
     _auto_chunk_size,
     _emit_pair,
     backplane_summary,
+    load_gate_delays,
     merge_session_stats,
     packed_summary,
     publish_backplane,
 )
 from repro.core.random_filter import random_filter_packed
-from repro.core.result import Classification, Disagreement, PairResult, Stage
+from repro.core.result import (
+    Classification,
+    Disagreement,
+    PairHazardVerdict,
+    PairResult,
+    Stage,
+)
 from repro.core.sensitization import mode_from_flag
 from repro.core.ternary_hazard import TernaryHazardChecker
 from repro.core.workqueue import launch_units, split_threshold
@@ -133,7 +140,7 @@ class StreamingStage:
         circuit = ctx.circuit
         include_self = options.include_self_loops
         if options.hazard_check not in ("off", "ternary", "sensitize",
-                                        "cosensitize"):
+                                        "cosensitize", "exact"):
             raise ValueError(
                 f"unknown hazard_check mode {options.hazard_check!r}"
             )
@@ -489,6 +496,7 @@ class StreamingStage:
         self._hazard_seconds = 0.0
         self._hazard_flagged: list[FFPair] = []
         self._hazard_checked = 0
+        self._hazard_verdicts: list[PairHazardVerdict] = []
 
     def _hazard_fold(
         self,
@@ -517,19 +525,38 @@ class StreamingStage:
                     backtrack_limit=ctx.options.hazard_backtrack_limit,
                     expansion=ctx.expansion(2),
                 )
+            elif mode == "exact":
+                from repro.analysis.hazard_exact import ExactHazardChecker
+
+                checker = ExactHazardChecker(
+                    ctx.circuit,
+                    ctx.expansion(2),
+                    backtrack_limit=ctx.options.hazard_backtrack_limit,
+                    conflict_limit=ctx.options.hazard_conflict_limit,
+                    delays=load_gate_delays(ctx.options, ctx.circuit),
+                )
             else:
                 raise ValueError(f"unknown hazard_check mode {mode!r}")
             self._hazard_checker = checker
-        if mode == "ternary":
-            reports = checker.check_pairs(fresh_mc)
-        else:
-            reports = [checker.check_pair(r) for r in fresh_mc]
         self._hazard_checked += len(fresh_mc)
-        self._hazard_flagged.extend(
-            report.pair_result.pair
-            for report in reports
-            if report.has_potential_hazard
-        )
+        if mode == "exact":
+            from repro.analysis.hazard_exact import verdict_flags_pair
+
+            verdicts = checker.check_pairs(fresh_mc)
+            self._hazard_verdicts.extend(verdicts)
+            self._hazard_flagged.extend(
+                v.pair for v in verdicts if verdict_flags_pair(v)
+            )
+        else:
+            if mode == "ternary":
+                reports = checker.check_pairs(fresh_mc)
+            else:
+                reports = [checker.check_pair(r) for r in fresh_mc]
+            self._hazard_flagged.extend(
+                report.pair_result.pair
+                for report in reports
+                if report.has_potential_hazard
+            )
         self._hazard_seconds += ctx.clock() - started
 
     def _hazard_finish(
@@ -549,8 +576,7 @@ class StreamingStage:
         checker = self._hazard_checker
         lanes = getattr(checker, "lanes_evaluated", 0) if checker else 0
         batches = getattr(checker, "batches_evaluated", 0) if checker else 0
-        ctx.emit(
-            "hazard_stage",
+        event: dict = dict(
             mode=mode,
             checked=self._hazard_checked,
             flagged=state.hazard_flagged,
@@ -558,6 +584,20 @@ class StreamingStage:
             batches=batches,
             seconds=round(self._hazard_seconds, 6),
         )
+        if mode == "exact":
+            state.hazard_verdicts = sorted(
+                self._hazard_verdicts,
+                key=lambda v: (v.pair.source, v.pair.sink),
+            )
+            if checker is not None:
+                state.hazard_exact = checker.summary()
+            else:
+                # No multi-cycle survivors: a trivially complete pass.
+                from repro.analysis.hazard_exact import empty_exact_summary
+
+                state.hazard_exact = empty_exact_summary()
+            event["exact"] = state.hazard_exact
+        ctx.emit("hazard_stage", **event)
 
 
 class _FoldState:

@@ -62,7 +62,9 @@ class CdclSolver:
 
     def __init__(self) -> None:
         self.num_vars = 0
-        self.clauses: list[list[int]] = []          # internal-literal clauses
+        # Internal-literal clauses; a slot becomes None when a database
+        # reduction deletes the learned clause living there.
+        self.clauses: list[list[int] | None] = []
         self.watches: list[list[int]] = []          # internal lit -> clause ids
         self.values: list[int] = []                 # per var: 0/1/_UNASSIGNED
         self.levels: list[int] = []
@@ -184,7 +186,7 @@ class CdclSolver:
 
     def _propagate(self) -> int:
         """Unit propagation; returns a conflicting clause id or -1."""
-        head = getattr(self, "_qhead", 0)
+        head = self._qhead
         trail = self.trail
         while head < len(trail):
             lit = trail[head]
@@ -260,6 +262,7 @@ class CdclSolver:
             # Reason clauses keep their asserted literal at position 0, so
             # resolution skips it; the conflict clause contributes all lits.
             clause = self.clauses[reason]
+            assert clause is not None  # reasons are locked against deletion
             if self.is_learned[reason]:
                 self._bump_clause(reason)
             for k in range(0 if lit == -1 else 1, len(clause)):

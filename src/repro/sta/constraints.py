@@ -15,6 +15,10 @@ mirror) that downstream synthesis/STA tools consume directly.  When the
 detector's hazard stage ran, flagged pairs are *not* relaxed: the MC
 condition holds for settled values but a static hazard could latch a
 transient, so the constraint is emitted commented-out with the reason.
+Under ``--hazard-check exact`` the reason carries the three-way verdict
+(glitch-proven / glitch-possible) and the JSON mirror grows a
+``hazard_verdict`` field per pair — "safe" pairs relax normally even
+when a bounding mode would have flagged them.
 """
 
 from __future__ import annotations
@@ -117,6 +121,10 @@ class SdcConstraint:
     #: (a static hazard could latch a transient) and the SDC command is
     #: emitted commented-out.
     hazard_flagged: bool = False
+    #: the exact three-way verdict ("safe" / "glitch-possible" /
+    #: "glitch-proven") when the detection ran ``--hazard-check exact``;
+    #: ``None`` under the bounding modes.
+    hazard_verdict: str | None = None
 
     @property
     def safe(self) -> bool:
@@ -140,6 +148,10 @@ def sdc_constraints(
     flagged = {
         (p.source, p.sink) for p in detection.hazard_flagged_pairs
     }
+    verdicts = {
+        (v.pair.source, v.pair.sink): v.verdict.value
+        for v in detection.hazard_verdicts
+    }
     constraints: list[SdcConstraint] = []
     for result in detection.multi_cycle_pairs:
         pair = (result.pair.source, result.pair.sink)
@@ -154,6 +166,7 @@ def sdc_constraints(
                 kind="false-path" if all_contradicted else "multicycle",
                 cycles=0 if all_contradicted else multi_cycle_budget,
                 hazard_flagged=pair in flagged,
+                hazard_verdict=verdicts.get(pair),
             )
         )
     constraints.sort(key=lambda c: (c.source, c.sink))
@@ -199,8 +212,13 @@ def format_sdc(
     for constraint in constraints:
         command = _sdc_command(constraint)
         if constraint.hazard_flagged:
+            reason = (
+                constraint.hazard_verdict
+                if constraint.hazard_verdict is not None
+                else "hazard-flagged"
+            )
             lines.append(
-                f"# hazard-flagged, not relaxed: "
+                f"# {reason}, not relaxed: "
                 f"{constraint.source} -> {constraint.sink}"
             )
             lines.extend(f"# {line}" for line in command.splitlines())
@@ -229,6 +247,7 @@ def constraints_json(
                 "kind": c.kind,
                 "cycles": c.cycles,
                 "hazard_flagged": c.hazard_flagged,
+                "hazard_verdict": c.hazard_verdict,
                 "safe": c.safe,
             }
             for c in constraints

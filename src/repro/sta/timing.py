@@ -25,7 +25,9 @@ class DelayModel:
     default: float = 1.0
     per_type: dict[GateType, float] = field(default_factory=dict)
     #: OUTPUT markers and buffers are free by default
-    free_types: frozenset = frozenset({GateType.OUTPUT, GateType.BUF})
+    free_types: frozenset[GateType] = frozenset(
+        {GateType.OUTPUT, GateType.BUF}
+    )
 
     def delay_of(self, gate_type: GateType) -> float:
         if gate_type in self.free_types:

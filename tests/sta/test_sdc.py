@@ -118,3 +118,109 @@ def test_single_cycle_only_circuit_emits_nothing(shift4):
     assert sdc_constraints(detection) == []
     text = format_sdc(detection)
     assert "set_multicycle_path" not in text
+
+
+# ----------------------------------------------------------------------
+# Exact three-way verdicts (--hazard-check exact).
+# ----------------------------------------------------------------------
+def _exact(circuit):
+    return detect_multi_cycle_pairs(
+        circuit, DetectorOptions(hazard_check="exact")
+    )
+
+
+def test_exact_verdict_flows_into_constraints(fig1):
+    detection = _exact(fig1)
+    assert detection.hazard_verdicts  # fig1 has MC pairs to classify
+    constraints = sdc_constraints(detection)
+    verdicts = {
+        (fig1.names[v.pair.source], fig1.names[v.pair.sink]):
+            v.verdict.value
+        for v in detection.hazard_verdicts
+    }
+    for constraint in constraints:
+        assert constraint.hazard_verdict == verdicts[
+            (constraint.source, constraint.sink)
+        ]
+        # Exact "safe" pairs relax; proven/possible pairs are gated.
+        if constraint.hazard_verdict == "safe":
+            assert not constraint.hazard_flagged
+
+
+def test_exact_glitch_proven_commented_with_verdict(fig1):
+    detection = _exact(fig1)
+    constraints = sdc_constraints(detection)
+    text = format_sdc(detection, constraints=constraints)
+    gated = [c for c in constraints if c.hazard_flagged]
+    assert gated  # fig1 has glitch-proven pairs
+    for constraint in gated:
+        assert (
+            f"# {constraint.hazard_verdict}, not relaxed: "
+            f"{constraint.source} -> {constraint.sink}" in text
+        )
+    active = [
+        line for line in text.splitlines()
+        if line.startswith(("set_multicycle_path", "set_false_path"))
+    ]
+    for constraint in gated:
+        span = (
+            f"-from [get_cells {{{constraint.source}}}] "
+            f"-to [get_cells {{{constraint.sink}}}]"
+        )
+        assert not any(span in line for line in active)
+
+
+def test_exact_json_interchange_carries_verdict(fig1):
+    detection = _exact(fig1)
+    payload = json.loads(constraints_json(detection))
+    assert payload["hazard_mode"] == "exact"
+    kinds = {"safe", "glitch-possible", "glitch-proven"}
+    for entry in payload["constraints"]:
+        assert entry["hazard_verdict"] in kinds
+        if entry["hazard_verdict"] == "safe":
+            assert entry["safe"]
+
+
+def test_k1_budget_emits_setup_one_hold_zero(fig1):
+    """Regression: k=1 keeps -setup 1 / -hold 0 (a no-op relaxation)."""
+    detection = _exact(fig1)
+    text = format_sdc(detection, multi_cycle_budget=1)
+    assert "-setup 1" in text
+    assert "-hold 0" in text
+    assert "-setup 2" not in text
+
+
+def test_all_contradiction_pair_is_safe_false_path():
+    """A shift pair (sink.D = source.Q) contradicts every implication
+    case, so it is multi-cycle, a false path in SDC, and exactly safe
+    without any SAT solve (decided by the case analysis alone)."""
+    from repro.circuit.builder import CircuitBuilder
+
+    b = CircuitBuilder("shift-pair")
+    src = b.dff("FFA")
+    b.dff("FFB", d=b.buf(src, name="g"))
+    b.drive(src, b.input("pi"))
+    circuit = b.build()
+    detection = _exact(circuit)
+    names = circuit.names
+    pairs = {
+        (names[r.pair.source], names[r.pair.sink])
+        for r in detection.multi_cycle_pairs
+    }
+    if ("FFA", "FFB") not in pairs:
+        return  # library/classifier change; property is vacuous then
+    constraints = sdc_constraints(detection)
+    by_pair = {(c.source, c.sink): c for c in constraints}
+    constraint = by_pair[("FFA", "FFB")]
+    assert constraint.kind == "false-path"
+    assert constraint.cycles == 0
+    assert constraint.hazard_verdict == "safe"
+    assert constraint.safe
+    verdict = next(
+        v for v in detection.hazard_verdicts
+        if (names[v.pair.source], names[v.pair.sink]) == ("FFA", "FFB")
+    )
+    assert verdict.decided_by == "cases"
+    text = format_sdc(detection, constraints=constraints)
+    assert "set_false_path -from [get_cells {FFA}] " \
+           "-to [get_cells {FFB}]" in text
